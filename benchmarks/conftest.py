@@ -1,0 +1,46 @@
+"""Benchmark fixtures: the full-scale experiment context.
+
+Scale: the default suite traces each application up to 300k
+instructions over a 200-sequence synthetic database; set the
+``REPRO_SCALE`` environment variable (e.g. ``REPRO_SCALE=4``) to grow
+every trace budget proportionally.  All experiments share one
+:class:`ExperimentContext`, so simulations common to several figures
+(e.g. Figs 3 and 4) run once.
+
+Each benchmark writes its paper-style report to
+``benchmarks/reports/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.context import ExperimentContext
+from repro.workloads.suite import WorkloadSuite
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext(suite=WorkloadSuite())
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    path = Path(__file__).parent / "reports"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def save_report(report_dir):
+    def save(identifier: str, report: str) -> None:
+        (report_dir / f"{identifier}.txt").write_text(report + "\n")
+
+    return save
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

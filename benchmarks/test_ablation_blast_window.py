@@ -1,0 +1,25 @@
+"""Ablation: BLAST's two-hit window.
+
+Not a paper figure — it quantifies the two-hit heuristic the BLAST
+kernel implements: widening the window admits more seeds and hence
+more extension work (larger traces), trading speed for sensitivity.
+"""
+
+from conftest import run_once
+
+from repro.analysis.extensions import (
+    blast_window_ablation,
+    window_ablation_report,
+)
+
+
+def test_ablation_blast_window(benchmark, context, save_report):
+    rows = run_once(
+        benchmark,
+        lambda: blast_window_ablation(context, windows=(10, 20, 40, 80)),
+    )
+    report = window_ablation_report(rows)
+    save_report("ablation_blast_window", report)
+    print("\n" + report)
+    assert rows[-1].two_hits >= rows[0].two_hits
+    assert rows[-1].instructions >= rows[0].instructions

@@ -1,0 +1,21 @@
+"""Ablation: SSEARCH's SWAT computation-avoidance fast path.
+
+Not a paper figure — it isolates the design choice behind the paper's
+SSEARCH findings: the fast path removes most per-cell work (that is
+SSEARCH's speed over naive SW) at the cost of concentrating
+data-dependent branches, which is why branch prediction dominates its
+stall profile.
+"""
+
+from conftest import run_once
+
+from repro.analysis.extensions import swat_ablation, swat_ablation_report
+
+
+def test_ablation_swat(benchmark, context, save_report):
+    data = run_once(benchmark, lambda: swat_ablation(context))
+    report = swat_ablation_report(data)
+    save_report("ablation_swat", report)
+    print("\n" + report)
+    assert data.instruction_inflation > 1.1
+    assert data.control_without < data.control_with

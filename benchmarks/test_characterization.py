@@ -1,0 +1,30 @@
+"""Extension: pipeline-independent trace characterization.
+
+Branch bias, dependency distances, working sets, and reuse-distance
+miss curves per application — the raw material behind Figures 2, 5,
+and 11, computed without the cycle model.
+"""
+
+from conftest import run_once
+
+from repro.analysis.characterization import characterization_report, characterize
+
+
+def test_characterization(benchmark, context, save_report):
+    profiles = run_once(benchmark, lambda: characterize(context))
+    report = characterization_report(profiles)
+    save_report("characterization", report)
+    print("\n" + report)
+    by_app = {profile.application: profile for profile in profiles}
+    # BLAST touches by far the largest footprint per instruction.
+    blast_density = (by_app["blast"].working_set_bytes
+                     / by_app["blast"].instructions)
+    ssearch_density = (by_app["ssearch34"].working_set_bytes
+                       / by_app["ssearch34"].instructions)
+    assert blast_density > 5 * ssearch_density
+    # SIMD branch streams are almost entirely one-directional.
+    assert by_app["sw_vmx128"].taken_fraction > 0.8
+    # Reuse-based miss rates fall with capacity for every application.
+    for profile in profiles:
+        rates = profile.reuse_miss_rates
+        assert rates[0] >= rates[-1]

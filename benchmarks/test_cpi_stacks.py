@@ -1,0 +1,23 @@
+"""Extension: CPI stacks — the modern summary of Figure 2.
+
+One row per application, decomposing cycles per instruction into base
+work plus branch / memory / dependence / resource stall families.  The
+dominant families must match the paper's conclusions.
+"""
+
+from conftest import run_once
+
+from repro.analysis.cpi_stack import cpi_stack_report, cpi_stacks
+
+
+def test_cpi_stacks(benchmark, context, save_report):
+    stacks = run_once(benchmark, lambda: cpi_stacks(context))
+    report = cpi_stack_report(stacks)
+    save_report("cpi_stacks", report)
+    print("\n" + report)
+    by_app = {stack.application: stack for stack in stacks}
+    assert by_app["ssearch34"].dominant_family() == "branch"
+    assert by_app["fasta34"].dominant_family() == "branch"
+    assert by_app["sw_vmx128"].dominant_family() == "dependence"
+    assert by_app["sw_vmx256"].dominant_family() in ("dependence", "memory")
+    assert by_app["blast"].dominant_family() in ("memory", "branch")

@@ -1,0 +1,28 @@
+"""Extension: the unit-tuning study the paper's motivation calls for.
+
+Scales the vector-integer and fixed-point unit pools on the 4-way
+baseline.  Expected shape: VI units unlock the SIMD codes (their
+dominant stall is rg_vi contention/dependence) and do nothing for the
+scalar codes; FX units move the scalar codes far less, because their
+limits are branches and memory, not raw integer throughput.
+"""
+
+from conftest import run_once
+
+from repro.analysis.design_space import unit_scaling_report, unit_scaling_study
+from repro.isa.opcodes import FunctionalUnit
+
+
+def test_design_space_units(benchmark, context, save_report):
+    def run():
+        vi = unit_scaling_study(context, FunctionalUnit.VI, counts=(1, 2, 4))
+        fx = unit_scaling_study(context, FunctionalUnit.FX, counts=(1, 3, 6))
+        return vi, fx
+
+    vi, fx = run_once(benchmark, run)
+    report = unit_scaling_report(vi) + "\n\n" + unit_scaling_report(fx)
+    save_report("design_space", report)
+    print("\n" + report)
+    assert vi.gain("sw_vmx128") > 0.10
+    assert vi.gain("ssearch34") < 0.05
+    assert fx.gain("ssearch34") < vi.gain("sw_vmx128")

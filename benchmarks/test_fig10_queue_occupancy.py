@@ -1,0 +1,23 @@
+"""Figure 10: issue-queue and in-flight occupancy (FASTA, SW_vmx128).
+
+Paper shape: FASTA's queues are mostly empty (pipeline flushes from
+mispredictions limit ILP), while SW_vmx128 keeps its vector-integer
+queue busy and sustains many in-flight instructions.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig10_queue_occupancy(benchmark, context, save_report):
+    data, report = run_once(benchmark, lambda: run_experiment("fig10", context))
+    save_report("fig10", report)
+    print("\n" + report)
+    assert data.mean("sw_vmx128", "VI-Q") > data.mean("fasta34", "FIX-Q")
+    assert data.mean("sw_vmx128", "INFLIGHT") > data.mean(
+        "fasta34", "INFLIGHT"
+    )
+    fasta_fix = data.histograms["fasta34"]["FIX-Q"]
+    total = sum(fasta_fix.values())
+    assert sum(v for k, v in fasta_fix.items() if k <= 2) > 0.3 * total

@@ -1,0 +1,22 @@
+"""Figure 11: branch prediction rate vs strategy and table size.
+
+Paper shape: bimodal, gshare, and the combined GP predictor land
+within a few points of each other, and accuracy saturates at small
+table sizes — the residual mispredictions are data-dependent, not
+capacity-driven.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig11_predictor_accuracy(benchmark, context, save_report):
+    data, report = run_once(benchmark, lambda: run_experiment("fig11", context))
+    save_report("fig11", report)
+    print("\n" + report)
+    for app, strategies in data.accuracy.items():
+        plateaus = [values[-1] for values in strategies.values()]
+        assert max(plateaus) - min(plateaus) < 0.08, app
+        assert data.saturation_size(app, "bimodal", 0.01) <= 4096, app
+    assert data.accuracy["sw_vmx128"]["gp"][-1] > 0.95

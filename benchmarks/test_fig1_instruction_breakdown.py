@@ -1,0 +1,23 @@
+"""Figure 1: instruction breakdown per workload.
+
+Paper shape: ctrl ~25%/18%/16% in ssearch/fasta/blast vs ~2% in the
+SIMD codes; loads 16-22% everywhere; stores small; integer ALU the
+largest scalar class.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig1_instruction_breakdown(benchmark, context, save_report):
+    data, report = run_once(benchmark, lambda: run_experiment("fig1", context))
+    save_report("fig1", report)
+    print("\n" + report)
+    assert data.fractions("ssearch34")["ctrl"] > 0.18
+    assert data.fractions("sw_vmx128")["ctrl"] < 0.05
+    assert data.fractions("blast")["ialu"] > 0.4
+    for name in data.mixes:
+        mix = data.mixes[name]
+        assert mix.load_fraction() > 0.10, name
+        assert mix.store_fraction() < mix.load_fraction(), name

@@ -1,0 +1,21 @@
+"""Figure 2: trauma histograms on the 4-way / 32K / 1M configuration.
+
+Paper shape: BLAST led by integer/memory dependencies plus L2 misses;
+SSEARCH dominated by branch misprediction; the SIMD codes by rg_vi and
+rg_vper, with memory classes emerging for the 256-bit variant.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig2_stall_histograms(benchmark, context, save_report):
+    data, report = run_once(benchmark, lambda: run_experiment("fig2", context))
+    save_report("fig2", report)
+    print("\n" + report)
+    assert data.top("ssearch34", 1)[0][0] == "if_pred"
+    vmx_top = [name for name, _ in data.top("sw_vmx128", 2)]
+    assert "rg_vi" in vmx_top or "rg_vper" in vmx_top
+    blast = data.histograms["blast"]
+    assert blast["mm_dl2"] + blast["mm_dl1"] + blast["rg_mem"] > 0

@@ -1,0 +1,29 @@
+"""Figure 3: execution cycles vs memory configuration and width.
+
+Paper shape: BLAST (and to a lesser degree the SIMD codes) speed up
+substantially from 32K caches to ideal memory; all applications gain
+only modestly from wider pipelines.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig3_cycles_vs_memory(benchmark, context, save_report):
+    data, report = run_once(benchmark, lambda: run_experiment("fig3", context))
+    save_report("fig3", report)
+    print("\n" + report)
+
+    def slowdown(app):
+        small = data.cycles[(app, "4-way", "me1")]
+        ideal = data.cycles[(app, "4-way", "meinf")]
+        return (small - ideal) / small
+
+    assert slowdown("blast") > 0.3          # paper: ~52%
+    assert slowdown("blast") > slowdown("ssearch34")
+    assert slowdown("blast") > slowdown("fasta34")
+    for app in context.suite.names:
+        assert data.cycles[(app, "16-way", "me1")] <= data.cycles[
+            (app, "4-way", "me1")
+        ]

@@ -1,0 +1,30 @@
+"""Figure 4: IPC vs memory configuration and width.
+
+Paper shape: only the SIMD codes exceed 2 IPC; scalar codes sit near 1
+and do not improve with ideal memory (their limits are branches and
+dependences), while BLAST's IPC rises markedly with ideal memory.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig4_ipc_vs_memory(benchmark, context, save_report):
+    data, report = run_once(benchmark, lambda: run_experiment("fig4", context))
+    save_report("fig4", report)
+    print("\n" + report)
+    assert data.ipc[("sw_vmx128", "4-way", "me1")] > data.ipc[
+        ("ssearch34", "4-way", "me1")
+    ]
+    assert data.ipc[("sw_vmx256", "8-way", "meinf")] > 2.0
+    # BLAST gains the most from ideal memory.
+    blast_gain = (
+        data.ipc[("blast", "4-way", "meinf")]
+        / data.ipc[("blast", "4-way", "me1")]
+    )
+    ssearch_gain = (
+        data.ipc[("ssearch34", "4-way", "meinf")]
+        / data.ipc[("ssearch34", "4-way", "me1")]
+    )
+    assert blast_gain > ssearch_gain

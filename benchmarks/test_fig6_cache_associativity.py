@@ -1,0 +1,25 @@
+"""Figure 6: DL1 miss rate and IPC vs associativity at 32K.
+
+Paper shape: only BLAST's miss rate moves notably with associativity,
+and even for BLAST the IPC barely improves — 32K is simply too small
+for its working set, whatever the organization.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig6_cache_associativity(benchmark, context, save_report):
+    data, report = run_once(benchmark, lambda: run_experiment("fig6", context))
+    save_report("fig6", report)
+    print("\n" + report)
+    blast_gain = data.miss_rate["blast"][0] - data.miss_rate["blast"][-1]
+    for name in ("ssearch34", "fasta34", "sw_vmx128"):
+        other_gain = abs(
+            data.miss_rate[name][0] - data.miss_rate[name][-1]
+        )
+        assert blast_gain >= other_gain - 1e-9, name
+    # BLAST's IPC moves much less than its miss-rate gain suggests.
+    blast_ipc = data.ipc["blast"]
+    assert max(blast_ipc) - min(blast_ipc) < 0.4

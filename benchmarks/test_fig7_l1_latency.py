@@ -1,0 +1,24 @@
+"""Figure 7: IPC vs L1 hit latency (1-10 cycles, 32K/32K/1M, 4-way).
+
+Paper shape: every application loses IPC as the L1 slows; the
+compute-bound SIMD codes are the most sensitive (their wavefront loads
+both feed dependence chains and saturate the slower cache ports), the
+memory-bound BLAST the least (it is already limited behind the L1).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig7_l1_latency(benchmark, context, save_report):
+    data, report = run_once(benchmark, lambda: run_experiment("fig7", context))
+    save_report("fig7", report)
+    print("\n" + report)
+    for name, values in data.ipc.items():
+        assert values[0] >= values[-1], name
+    sensitivities = {
+        name: data.sensitivity(name) for name in context.suite.names
+    }
+    assert max(sensitivities, key=sensitivities.get) == "sw_vmx256"
+    assert all(value > 0.2 for value in sensitivities.values())

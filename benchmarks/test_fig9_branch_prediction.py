@@ -1,0 +1,20 @@
+"""Figure 9: IPC with the real vs a perfect branch predictor.
+
+Paper shape: perfect prediction transforms the branchy codes (SSEARCH
+most, then FASTA and BLAST) and leaves the SIMD codes untouched.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_fig9_branch_prediction(benchmark, context, save_report):
+    data, report = run_once(benchmark, lambda: run_experiment("fig9", context))
+    save_report("fig9", report)
+    print("\n" + report)
+    assert data.gain("ssearch34") > 0.15
+    assert data.gain("fasta34") > 0.10
+    assert data.gain("sw_vmx128") < 0.05
+    assert data.gain("sw_vmx256") < 0.05
+    assert data.gain("ssearch34") > data.gain("blast")

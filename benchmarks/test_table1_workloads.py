@@ -1,0 +1,13 @@
+"""Table I: regenerate the workload description table."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_table1_workloads(benchmark, context, save_report):
+    _, report = run_once(benchmark, lambda: run_experiment("table1", context))
+    save_report("table1", report)
+    print("\n" + report)
+    assert "ssearch34" in report
+    assert "blastp -d -G 10 -E 1 -b 0" in report

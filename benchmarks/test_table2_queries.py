@@ -1,0 +1,13 @@
+"""Table II: regenerate the query-sequence table."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_table2_queries(benchmark, context, save_report):
+    _, report = run_once(benchmark, lambda: run_experiment("table2", context))
+    save_report("table2", report)
+    print("\n" + report)
+    assert "P14942" in report
+    assert "143" in report and "567" in report

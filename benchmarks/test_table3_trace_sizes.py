@@ -1,0 +1,21 @@
+"""Table III: trace sizes over one common database slice.
+
+Paper shape: ssearch34 >> sw_vmx128 > sw_vmx256 > fasta34 > blast
+(319.8M / 79.0M / 65.6M / 27.5M / 7.7M instructions).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_table3_trace_sizes(benchmark, context, save_report):
+    data, report = run_once(
+        benchmark, lambda: run_experiment("table3", context)
+    )
+    save_report("table3", report)
+    print("\n" + report)
+    assert data.ordering_matches_paper()
+    relative = data.normalized()
+    assert relative["sw_vmx256"] < relative["sw_vmx128"] < 0.5
+    assert relative["blast"] < relative["fasta34"]

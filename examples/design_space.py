@@ -1,0 +1,70 @@
+"""Design-space exploration: tuning a processor for alignment codes.
+
+The paper's stated purpose is to "help designers tune future processor
+architectures" for sequence alignment.  This example acts on the
+findings: starting from the 4-way baseline it evaluates the three
+upgrades the characterization suggests — more vector-integer units
+(for the SIMD codes), a bigger L1 (for BLAST), and a next-line
+prefetcher (for BLAST's streaming) — and reports which applications
+each upgrade actually helps.
+
+Run:  python examples/design_space.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.design_space import with_unit_count
+from repro.bio.synthetic import SyntheticDatabaseConfig
+from repro.isa.opcodes import FunctionalUnit
+from repro.uarch.config import KB, ME1, PROC_4WAY, memory_with_dl1
+from repro.workloads import WorkloadSuite
+
+APPS = ("ssearch34", "sw_vmx128", "blast")
+
+
+def main() -> None:
+    suite = WorkloadSuite(
+        database_config=SyntheticDatabaseConfig(
+            sequence_count=120, family_count=4, family_size=3, seed=77,
+            mean_length=280.0,
+        ),
+        # Long enough that cold-start misses stop dominating; shorter
+        # traces make every app look prefetch-friendly.
+        trace_budget=200_000,
+    )
+    context = ExperimentContext(suite=suite)
+
+    baseline = PROC_4WAY.with_memory(ME1)
+    upgrades = {
+        "baseline (4-way/me1)": baseline,
+        "+3 VI units": with_unit_count(baseline, FunctionalUnit.VI, 4),
+        "128K DL1": PROC_4WAY.with_memory(memory_with_dl1(128 * KB, l2_mb=1)),
+        "+prefetch": PROC_4WAY.with_memory(
+            replace(ME1, name="me1+pf", sequential_prefetch=True)
+        ),
+    }
+
+    print(f"{'configuration':<22}" + "".join(f"{app:>12}" for app in APPS))
+    reference = {}
+    for label, config in upgrades.items():
+        cells = []
+        for app in APPS:
+            ipc = context.simulate_trace(suite.trace(app), config).ipc
+            if label.startswith("baseline"):
+                reference[app] = ipc
+                cells.append(f"{ipc:>12.2f}")
+            else:
+                gain = ipc / reference[app] - 1
+                cells.append(f"{ipc:>7.2f}{gain:>+5.0%}")
+        print(f"{label:<22}" + "".join(cells))
+
+    print("\nExpected shape: extra VI units only move the SIMD code, and")
+    print("the memory upgrades move BLAST most (prefetch covers its")
+    print("streaming and diagonal-array misses) — each application")
+    print("responds to the resource its characterization says it is")
+    print("starved of.")
+
+
+if __name__ == "__main__":
+    main()

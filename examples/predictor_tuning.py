@@ -1,0 +1,51 @@
+"""Branch predictor tuning on an application's real branch stream.
+
+Replays the branch outcomes of a branchy workload (SSEARCH by default)
+through bimodal, gshare, and combined (GP) predictors at a range of
+table sizes — the standalone version of the paper's Figure 11 — and
+reports where each strategy saturates.
+
+Run:  python examples/predictor_tuning.py [workload]
+"""
+
+import sys
+
+from repro.bio import SyntheticDatabaseConfig, default_query, generate_database
+from repro.kernels import create_kernel
+from repro.uarch import run_predictor_only
+
+SIZES = tuple(16 << i for i in range(12))  # 16 .. 32K entries
+STRATEGIES = ("bimodal", "gshare", "gp")
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "ssearch34"
+    database = generate_database(
+        SyntheticDatabaseConfig(
+            sequence_count=30, family_count=2, family_size=3, seed=3
+        )
+    )
+    run = create_kernel(workload).run(
+        default_query(), database, record=True, limit=120_000
+    )
+    trace = run.trace
+    branches = trace.branch_count()
+    print(f"{workload}: {len(trace)} instructions, {branches} branches "
+          f"({branches / len(trace):.1%})\n")
+
+    header = "entries " + "".join(f"{s:>8}" for s in SIZES)
+    print(header)
+    for strategy in STRATEGIES:
+        accuracies = []
+        for size in SIZES:
+            result, _ = run_predictor_only(trace, strategy, size)
+            accuracies.append(result.accuracy)
+        print(f"{strategy:<8}" + "".join(f"{a:8.1%}" for a in accuracies))
+
+    print("\nExpected shape (paper Fig. 11): all strategies within a few")
+    print("points of each other, saturating by ~512-1K entries — the")
+    print("mispredictions left are data-dependent, not capacity-driven.")
+
+
+if __name__ == "__main__":
+    main()

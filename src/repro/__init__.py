@@ -1,0 +1,53 @@
+"""repro: reproduction of "Performance Analysis of Sequence Alignment
+Applications" (Sánchez, Salamí, Ramirez, Valero — IISWC 2006).
+
+The package stacks four layers:
+
+* :mod:`repro.bio` — sequences, scoring matrices, synthetic databases;
+* :mod:`repro.align` — the five applications under study: scalar and
+  SIMD Smith-Waterman, BLAST, and FASTA;
+* :mod:`repro.isa` / :mod:`repro.kernels` — instrumented kernels that
+  execute the real algorithms while emitting PowerPC/Altivec-style
+  dynamic instruction traces;
+* :mod:`repro.uarch` / :mod:`repro.analysis` — a Turandot-style
+  out-of-order superscalar simulator and the experiment drivers that
+  regenerate every table and figure of the paper.
+
+Quick start::
+
+    from repro import quickstart
+    print(quickstart())
+"""
+
+from repro.align import smith_waterman, sw_score
+from repro.analysis import ExperimentContext, run_experiment
+from repro.bio import BLOSUM62, Sequence, default_query, generate_database
+from repro.bio.synthetic import SyntheticDatabaseConfig
+from repro.kernels import create_kernel
+from repro.uarch import PROC_4WAY, simulate
+from repro.workloads import WorkloadSuite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "smith_waterman",
+    "sw_score",
+    "ExperimentContext",
+    "run_experiment",
+    "BLOSUM62",
+    "Sequence",
+    "default_query",
+    "generate_database",
+    "SyntheticDatabaseConfig",
+    "create_kernel",
+    "PROC_4WAY",
+    "simulate",
+    "WorkloadSuite",
+    "quickstart",
+]
+
+
+def quickstart() -> str:
+    """Align two short sequences and report the paper's intro example."""
+    alignment = smith_waterman("CSTTPGGG", "CSDTNGLAWGG")
+    return alignment.pretty()

@@ -1,0 +1,75 @@
+"""Command-line entry point: run paper experiments, export traces.
+
+Usage::
+
+    python -m repro list                 # available experiment ids
+    python -m repro fig5                 # run one experiment, print report
+    python -m repro table3 fig1 fig2     # run several, in order
+    python -m repro trace blast out.npz  # export one workload's trace
+
+Scale with the ``REPRO_SCALE`` environment variable (see README).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+
+
+def _export_trace(arguments: list[str]) -> int:
+    from repro.isa.serialize import save_trace
+    from repro.kernels.registry import WORKLOAD_NAMES
+    from repro.workloads.suite import WorkloadSuite
+
+    if len(arguments) != 2:
+        print("usage: python -m repro trace <workload> <out.npz>",
+              file=sys.stderr)
+        return 2
+    name, path = arguments
+    if name not in WORKLOAD_NAMES:
+        print(f"unknown workload {name!r}; "
+              f"available: {' '.join(WORKLOAD_NAMES)}", file=sys.stderr)
+        return 2
+    suite = WorkloadSuite()
+    trace = suite.trace(name)
+    save_trace(trace, path)
+    mix = trace.mix()
+    print(f"wrote {len(trace)} instructions of {name} to {path} "
+          f"(ctrl {mix.control_fraction():.1%}, "
+          f"loads {mix.load_fraction():.1%})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    if not arguments or arguments[0] in {"-h", "--help"}:
+        print(__doc__)
+        return 0
+    if arguments[0] == "list":
+        for identifier in EXPERIMENTS:
+            print(identifier)
+        return 0
+    if arguments[0] == "trace":
+        return _export_trace(arguments[1:])
+
+    unknown = [name for name in arguments if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {' '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    context = ExperimentContext()
+    for identifier in arguments:
+        start = time.time()
+        _, report = run_experiment(identifier, context)
+        elapsed = time.time() - start
+        print(report)
+        print(f"[{identifier} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

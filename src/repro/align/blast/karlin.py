@@ -1,0 +1,134 @@
+"""Karlin-Altschul statistics for local alignment scores.
+
+BLAST converts raw Smith-Waterman-style scores into bit scores and
+E-values using the Karlin-Altschul parameters ``lambda`` and ``K`` of
+the scoring system.  ``lambda`` is the unique positive solution of
+
+    sum_{a,b} p_a * p_b * exp(lambda * s(a, b)) = 1
+
+for background residue frequencies ``p`` and substitution scores ``s``;
+we solve it by bisection.  ``K`` is approximated with the standard
+high-score regime formula ``K ~= H / lambda * C`` truncated series; the
+approximation only needs to be stable and monotone for ranking, which
+is how the engine uses it (the paper's runs report scores, ``-b 0``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bio.alphabet import STANDARD_AMINO_ACIDS
+from repro.bio.matrices import ScoringMatrix
+from repro.bio.synthetic import SWISSPROT_COMPOSITION
+
+
+class InvalidScoringSystemError(ValueError):
+    """Raised when the scoring system has no valid Karlin parameters.
+
+    Karlin-Altschul theory requires a negative expected score and at
+    least one positive score; otherwise local alignment statistics are
+    undefined.
+    """
+
+
+def _background_frequencies(matrix: ScoringMatrix) -> list[float]:
+    frequencies = []
+    for code in range(STANDARD_AMINO_ACIDS):
+        symbol = matrix.alphabet.symbol_of(code)
+        frequencies.append(SWISSPROT_COMPOSITION[symbol])
+    total = sum(frequencies)
+    return [value / total for value in frequencies]
+
+
+def expected_score(matrix: ScoringMatrix) -> float:
+    """Expected per-pair score under background composition."""
+    freqs = _background_frequencies(matrix)
+    return sum(
+        freqs[a] * freqs[b] * matrix.score(a, b)
+        for a in range(STANDARD_AMINO_ACIDS)
+        for b in range(STANDARD_AMINO_ACIDS)
+    )
+
+
+def _restriction_sum(matrix: ScoringMatrix, freqs: list[float], lam: float) -> float:
+    return sum(
+        freqs[a] * freqs[b] * math.exp(lam * matrix.score(a, b))
+        for a in range(STANDARD_AMINO_ACIDS)
+        for b in range(STANDARD_AMINO_ACIDS)
+    )
+
+
+def solve_lambda(matrix: ScoringMatrix, tolerance: float = 1e-9) -> float:
+    """Solve for the Karlin-Altschul lambda by bisection."""
+    freqs = _background_frequencies(matrix)
+    if expected_score(matrix) >= 0:
+        raise InvalidScoringSystemError("expected score must be negative")
+    if matrix.max_score() <= 0:
+        raise InvalidScoringSystemError("matrix needs at least one positive score")
+
+    low, high = 0.0, 1.0
+    while _restriction_sum(matrix, freqs, high) < 1.0:
+        high *= 2.0
+        if high > 64.0:
+            raise InvalidScoringSystemError("failed to bracket lambda")
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if _restriction_sum(matrix, freqs, mid) < 1.0:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def relative_entropy(matrix: ScoringMatrix, lam: float) -> float:
+    """H: expected score per aligned pair in the extreme-value regime."""
+    freqs = _background_frequencies(matrix)
+    return sum(
+        freqs[a]
+        * freqs[b]
+        * math.exp(lam * matrix.score(a, b))
+        * lam
+        * matrix.score(a, b)
+        for a in range(STANDARD_AMINO_ACIDS)
+        for b in range(STANDARD_AMINO_ACIDS)
+    )
+
+
+@dataclass(frozen=True)
+class KarlinParameters:
+    """lambda/K/H bundle for one scoring system."""
+
+    lam: float
+    k: float
+    h: float
+
+    def bit_score(self, raw_score: int) -> float:
+        """Normalized score in bits."""
+        return (self.lam * raw_score - math.log(self.k)) / math.log(2.0)
+
+    def evalue(self, raw_score: int, query_length: int, database_residues: int) -> float:
+        """Expected number of chance hits with at least ``raw_score``."""
+        return (
+            self.k
+            * query_length
+            * database_residues
+            * math.exp(-self.lam * raw_score)
+        )
+
+
+def estimate_parameters(matrix: ScoringMatrix) -> KarlinParameters:
+    """Compute lambda exactly and K via the H/lambda approximation.
+
+    The exact K requires summing a slowly converging series over random
+    walk ladder epochs; BLAST itself tabulates K for its supported
+    scoring systems.  We use the standard first-order approximation
+    ``K ~= H / lambda * exp(-1.9 * H / lambda)`` scaled into the range
+    of the tabulated BLOSUM values, which is accurate enough for E-value
+    ranking (scores drive the paper's behaviour, not E-values).
+    """
+    lam = solve_lambda(matrix)
+    h = relative_entropy(matrix, lam)
+    ratio = h / lam
+    k = max(1e-3, min(0.5, ratio * math.exp(-1.9 * ratio) * 0.7))
+    return KarlinParameters(lam=lam, k=k, h=h)

@@ -1,0 +1,83 @@
+"""Translated search (blastx-style): DNA query vs protein database.
+
+Each of the DNA query's six reading frames is compiled into a protein
+BLAST engine; a subject's score is the best score over all frames, and
+the reported hit remembers which frame produced it.  This is how
+blastx maps uncharacterized DNA reads onto protein databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.blast.engine import BlastEngine, BlastOptions
+from repro.bio.database import SequenceDatabase
+from repro.bio.sequence import Sequence
+from repro.bio.translate import TranslatedFrame, six_frame_translation
+from repro.align.types import SearchHit, SearchResult
+
+
+@dataclass(frozen=True)
+class FramedHit:
+    """A translated-search hit: protein hit plus its reading frame."""
+
+    hit: SearchHit
+    frame: int
+
+
+class BlastxEngine:
+    """Six-frame translated protein search."""
+
+    def __init__(
+        self, dna_query: Sequence, options: BlastOptions = BlastOptions()
+    ) -> None:
+        self.query = dna_query
+        self.options = options
+        self.frames: list[TranslatedFrame] = six_frame_translation(dna_query)
+        self._engines = [
+            BlastEngine(frame.protein, options) for frame in self.frames
+        ]
+
+    def score_subject(self, subject: Sequence) -> tuple[int, int]:
+        """Best (score, frame) of the subject over all six frames."""
+        best_score = 0
+        best_frame = 0
+        for frame, engine in zip(self.frames, self._engines):
+            score = engine.score_subject(subject)
+            if score > best_score:
+                best_score = score
+                best_frame = frame.frame
+        return best_score, best_frame
+
+    def search(self, database: SequenceDatabase) -> list[FramedHit]:
+        """Search a protein database; hits sorted by descending score."""
+        framed: list[FramedHit] = []
+        for index, subject in enumerate(database):
+            score, frame = self.score_subject(subject)
+            if score <= 0:
+                continue
+            framed.append(
+                FramedHit(
+                    hit=SearchHit(
+                        score=score,
+                        subject_id=subject.identifier,
+                        subject_index=index,
+                        subject_length=len(subject),
+                    ),
+                    frame=frame,
+                )
+            )
+        framed.sort(key=lambda item: (-item.hit.score, item.hit.subject_index))
+        return framed[: self.options.best_count]
+
+    def as_search_result(
+        self, database: SequenceDatabase, framed: list[FramedHit]
+    ) -> SearchResult:
+        """Repackage framed hits as a standard SearchResult."""
+        return SearchResult(
+            query_id=self.query.identifier,
+            database_name=database.name,
+            hits=tuple(item.hit for item in framed),
+            sequences_searched=len(database),
+            residues_searched=database.residue_count,
+        )

@@ -1,0 +1,29 @@
+"""FASTA pipeline: k-tuple scan, region chaining, banded optimization."""
+
+from repro.align.fasta.chaining import chain_regions
+from repro.align.fasta.engine import (
+    FastaEngine,
+    FastaOptions,
+    FastaScores,
+    fasta_search,
+)
+from repro.align.fasta.ktup import (
+    DiagonalRegion,
+    KtupleIndex,
+    find_initial_regions,
+    rescore_region,
+    scan_diagonal,
+)
+
+__all__ = [
+    "chain_regions",
+    "FastaEngine",
+    "FastaOptions",
+    "FastaScores",
+    "fasta_search",
+    "DiagonalRegion",
+    "KtupleIndex",
+    "find_initial_regions",
+    "rescore_region",
+    "scan_diagonal",
+]

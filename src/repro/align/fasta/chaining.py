@@ -1,0 +1,49 @@
+"""FASTA stage 2: joining initial regions into an ``initn`` score.
+
+After the diagonal scan, FASTA tries to combine the best initial
+regions — possibly on different diagonals — into one consistent chain,
+charging a joining penalty per junction.  The best chain's score is
+``initn``; chaining lets FASTA reward similarities interrupted by
+insertions or deletions that break a single diagonal.
+"""
+
+from __future__ import annotations
+
+from repro.align.fasta.ktup import DiagonalRegion
+
+#: Penalty charged for joining two regions on different diagonals
+#: (FASTA's gap-joining penalty).
+DEFAULT_JOIN_PENALTY = 20
+
+
+def chain_regions(
+    regions: list[DiagonalRegion],
+    join_penalty: int = DEFAULT_JOIN_PENALTY,
+) -> int:
+    """Best chain score over compatible regions (the ``initn`` score).
+
+    Regions are compatible when the second starts strictly after the
+    first ends in *both* sequences.  Classic O(r^2) chaining DP over at
+    most ~10 regions.
+    """
+    if not regions:
+        return 0
+    ordered = sorted(
+        regions, key=lambda region: (region.subject_start, region.query_start)
+    )
+    best_ending = [0] * len(ordered)
+    overall = 0
+    for i, region in enumerate(ordered):
+        best_ending[i] = region.score
+        for j in range(i):
+            previous = ordered[j]
+            if (
+                previous.subject_end <= region.subject_start
+                and previous.query_end <= region.query_start
+            ):
+                candidate = best_ending[j] + region.score - join_penalty
+                if candidate > best_ending[i]:
+                    best_ending[i] = candidate
+        if best_ending[i] > overall:
+            overall = best_ending[i]
+    return overall

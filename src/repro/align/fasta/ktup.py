@@ -1,0 +1,229 @@
+"""FASTA stage 1: k-tuple lookup and diagonal region finding.
+
+FASTA prescreens each database sequence by finding runs of identical
+k-tuples (ktup=2 for proteins) shared with the query.  Hits falling on
+the same diagonal are chained into *initial regions* with a
+Kadane-style scan (identities earn a bonus, the distance between
+consecutive hits costs a penalty); the best regions are then rescored
+with the substitution matrix over their actual residues.  The best
+rescored region score is FASTA's ``init1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bio.alphabet import STANDARD_AMINO_ACIDS
+from repro.bio.matrices import ScoringMatrix
+
+#: Default protein k-tuple size.
+DEFAULT_KTUP = 2
+#: Score contribution of one k-tuple identity during diagonal scanning.
+HIT_BONUS_PER_RESIDUE = 4
+#: Penalty per residue of distance between consecutive hits on a diagonal.
+DISTANCE_PENALTY = 1
+
+
+@dataclass(frozen=True)
+class DiagonalRegion:
+    """A scored ungapped region on one diagonal.
+
+    Offsets are 0-based and inclusive of ``start``/exclusive of ``end``
+    along the *subject*; the query window follows from the diagonal.
+    """
+
+    diagonal: int
+    subject_start: int
+    subject_end: int
+    score: int
+
+    @property
+    def query_start(self) -> int:
+        """Query offset of the region start."""
+        return self.subject_start - self.diagonal
+
+    @property
+    def query_end(self) -> int:
+        """Query offset just past the region end."""
+        return self.subject_end - self.diagonal
+
+    @property
+    def length(self) -> int:
+        """Region length in residues."""
+        return self.subject_end - self.subject_start
+
+
+class KtupleIndex:
+    """Query k-tuple position table (``20**ktup`` buckets)."""
+
+    def __init__(self, query_codes, ktup: int = DEFAULT_KTUP) -> None:
+        if ktup < 1:
+            raise ValueError("ktup must be positive")
+        self.ktup = ktup
+        self.query_length = len(query_codes)
+        size = STANDARD_AMINO_ACIDS**ktup
+        buckets: list[list[int] | None] = [None] * size
+        for position in range(len(query_codes) - ktup + 1):
+            index = 0
+            valid = True
+            for offset in range(ktup):
+                code = query_codes[position + offset]
+                if code >= STANDARD_AMINO_ACIDS:
+                    valid = False
+                    break
+                index = index * STANDARD_AMINO_ACIDS + code
+            if not valid:
+                continue
+            bucket = buckets[index]
+            if bucket is None:
+                buckets[index] = [position]
+            else:
+                bucket.append(position)
+        self._buckets: list[tuple[int, ...] | None] = [
+            tuple(bucket) if bucket is not None else None for bucket in buckets
+        ]
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def positions(self, index: int) -> tuple[int, ...]:
+        """Query positions holding the k-tuple with this integer index."""
+        if index < 0:
+            return ()
+        bucket = self._buckets[index]
+        return bucket if bucket is not None else ()
+
+    def diagonal_hits(self, subject_codes) -> dict[int, list[int]]:
+        """Map diagonal -> sorted subject offsets of shared k-tuples."""
+        ktup = self.ktup
+        hits: dict[int, list[int]] = {}
+        index = -1
+        for subject_offset in range(len(subject_codes) - ktup + 1):
+            index = 0
+            valid = True
+            for offset in range(ktup):
+                code = subject_codes[subject_offset + offset]
+                if code >= STANDARD_AMINO_ACIDS:
+                    valid = False
+                    break
+                index = index * STANDARD_AMINO_ACIDS + code
+            if not valid:
+                continue
+            for query_offset in self.positions(index):
+                diagonal = subject_offset - query_offset
+                hits.setdefault(diagonal, []).append(subject_offset)
+        return hits
+
+
+def scan_diagonal(
+    offsets: list[int], ktup: int
+) -> list[tuple[int, int, int]]:
+    """Chain hit offsets on one diagonal into scored runs.
+
+    Returns ``(start_offset, end_offset, scan_score)`` triples, where the
+    scan score uses the constant bonus/penalty model (FASTA's ``dhash``
+    savings scores).  Kadane-style reset when the running score drops
+    to zero or below.
+    """
+    runs: list[tuple[int, int, int]] = []
+    running = 0
+    best = 0
+    run_start = 0
+    best_end = 0
+    previous_end = None
+    for offset in offsets:
+        bonus = HIT_BONUS_PER_RESIDUE * ktup
+        if previous_end is None:
+            gap_cost = 0
+        else:
+            distance = offset - previous_end
+            if distance <= 0:
+                # Overlapping hit: only the new residues earn a bonus.
+                bonus = HIT_BONUS_PER_RESIDUE * (ktup + distance)
+                gap_cost = 0
+            else:
+                gap_cost = distance * DISTANCE_PENALTY
+        if running == 0:
+            run_start = offset
+            running = max(0, bonus)
+            best = running
+            best_end = offset + ktup
+        else:
+            running = running - gap_cost + bonus
+            if running <= 0:
+                if best > 0:
+                    runs.append((run_start, best_end, best))
+                # The triggering hit seeds a fresh run.
+                run_start = offset
+                running = HIT_BONUS_PER_RESIDUE * ktup
+                best = running
+                best_end = offset + ktup
+                previous_end = offset + ktup
+                continue
+            if running > best:
+                best = running
+                best_end = offset + ktup
+        previous_end = offset + ktup
+    if best > 0:
+        runs.append((run_start, best_end, best))
+    return runs
+
+
+def find_initial_regions(
+    index: KtupleIndex,
+    subject_codes,
+    best_count: int = 10,
+) -> list[DiagonalRegion]:
+    """Find the ``best_count`` best scan-scored regions across diagonals."""
+    regions: list[DiagonalRegion] = []
+    for diagonal, offsets in index.diagonal_hits(subject_codes).items():
+        for start, end, score in scan_diagonal(offsets, index.ktup):
+            regions.append(
+                DiagonalRegion(
+                    diagonal=diagonal,
+                    subject_start=start,
+                    subject_end=end,
+                    score=score,
+                )
+            )
+    regions.sort(key=lambda region: (-region.score, region.diagonal))
+    return regions[:best_count]
+
+
+def rescore_region(
+    region: DiagonalRegion,
+    query_codes,
+    subject_codes,
+    matrix: ScoringMatrix,
+) -> DiagonalRegion:
+    """Rescore a region with matrix scores over its actual residues.
+
+    Finds the best-scoring contiguous sub-run (max subarray) of the
+    region span, as FASTA does when converting scan scores to init1
+    scores.
+    """
+    best = 0
+    running = 0
+    best_start = region.subject_start
+    best_end = region.subject_start
+    run_start = region.subject_start
+    for subject_offset in range(region.subject_start, region.subject_end):
+        query_offset = subject_offset - region.diagonal
+        if not 0 <= query_offset < len(query_codes):
+            continue
+        value = matrix.score(query_codes[query_offset], subject_codes[subject_offset])
+        if running == 0:
+            run_start = subject_offset
+        running += value
+        if running <= 0:
+            running = 0
+        elif running > best:
+            best = running
+            best_start = run_start
+            best_end = subject_offset + 1
+    return DiagonalRegion(
+        diagonal=region.diagonal,
+        subject_start=best_start,
+        subject_end=best_end,
+        score=best,
+    )

@@ -1,0 +1,105 @@
+"""FASTA-style search statistics: length-regressed z-scores.
+
+FASTA judges significance empirically: similarity scores of unrelated
+sequences grow roughly linearly with the *logarithm* of subject length,
+so the driver fits ``score ~ a + b*ln(length)`` over the whole search,
+computes each hit's studentized residual (the reported ``z-score``),
+and converts it to an expectation value with the normal tail times the
+database size.  Related sequences are extreme outliers of the fit, so
+a robust two-pass regression (refit after dropping high outliers)
+keeps them from polluting the baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence as TypingSequence
+
+
+@dataclass(frozen=True)
+class LengthRegression:
+    """The fitted score baseline ``score ~ intercept + slope*ln(len)``."""
+
+    intercept: float
+    slope: float
+    residual_sd: float
+    samples: int
+
+    def expected_score(self, length: int) -> float:
+        """Baseline (unrelated) score at a subject length."""
+        return self.intercept + self.slope * math.log(max(length, 2))
+
+    def zscore(self, score: int, length: int) -> float:
+        """Studentized residual of one score (FASTA's z-score).
+
+        FASTA rescales so unrelated sequences centre near z=50 with
+        sd 10; we keep the plain standard-normal form (mean 0, sd 1).
+        """
+        if self.residual_sd <= 0:
+            return 0.0
+        return (score - self.expected_score(length)) / self.residual_sd
+
+
+def _fit(pairs: list[tuple[float, float]]) -> tuple[float, float]:
+    n = len(pairs)
+    mean_x = sum(x for x, _ in pairs) / n
+    mean_y = sum(y for _, y in pairs) / n
+    sxx = sum((x - mean_x) ** 2 for x, _ in pairs)
+    if sxx == 0:
+        return mean_y, 0.0
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    slope = sxy / sxx
+    return mean_y - slope * mean_x, slope
+
+
+def fit_length_regression(
+    scores: TypingSequence[int],
+    lengths: TypingSequence[int],
+    outlier_z: float = 3.0,
+) -> LengthRegression:
+    """Fit the score-vs-ln(length) baseline with one outlier-trim pass."""
+    if len(scores) != len(lengths):
+        raise ValueError("scores and lengths must pair up")
+    if len(scores) < 3:
+        raise ValueError("need at least 3 scores to fit the baseline")
+
+    pairs = [
+        (math.log(max(length, 2)), float(score))
+        for score, length in zip(scores, lengths)
+    ]
+
+    def residual_sd(intercept: float, slope: float, sample) -> float:
+        variance = sum(
+            (y - intercept - slope * x) ** 2 for x, y in sample
+        ) / max(len(sample) - 2, 1)
+        return math.sqrt(variance)
+
+    intercept, slope = _fit(pairs)
+    sd = residual_sd(intercept, slope, pairs)
+    if sd > 0:
+        kept = [
+            (x, y)
+            for x, y in pairs
+            if (y - intercept - slope * x) / sd < outlier_z
+        ]
+        if len(kept) >= 3:
+            intercept, slope = _fit(kept)
+            sd = residual_sd(intercept, slope, kept)
+            pairs = kept
+    return LengthRegression(
+        intercept=intercept,
+        slope=slope,
+        residual_sd=max(sd, 1e-9),
+        samples=len(pairs),
+    )
+
+
+def normal_tail(z: float) -> float:
+    """P(Z > z) for a standard normal (complementary error function)."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def expectation(z: float, database_size: int) -> float:
+    """FASTA-style E-value: database size times the normal tail."""
+    return database_size * normal_tail(z)

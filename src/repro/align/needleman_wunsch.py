@@ -1,0 +1,133 @@
+"""Needleman-Wunsch global alignment with affine gaps.
+
+Included for substrate completeness (it is the dynamic-programming
+ancestor the paper cites [19]) and used by tests as an independent check
+of the affine-gap recurrences shared with Smith-Waterman.
+"""
+
+from __future__ import annotations
+
+from repro.align.types import AlignmentResult, GapPenalties, PAPER_GAPS
+from repro.bio.matrices import BLOSUM62, ScoringMatrix
+from repro.bio.sequence import Sequence, as_sequence
+
+_NEG_INF = -(10**9)
+
+
+def nw_score(
+    query: Sequence | str,
+    subject: Sequence | str,
+    matrix: ScoringMatrix = BLOSUM62,
+    gaps: GapPenalties = PAPER_GAPS,
+) -> int:
+    """Score-only global alignment (linear space)."""
+    q = as_sequence(query).codes
+    s = as_sequence(subject).codes
+    gap_first = gaps.first_residue_cost
+    gap_extend = gaps.extend
+    rows = matrix.rows
+
+    m = len(q)
+    # h_row[i] = H[i][j]; boundary: leading gaps are charged affinely.
+    h_row = [0] + [-gaps.cost(i) for i in range(1, m + 1)]
+    e_row = [_NEG_INF] * (m + 1)
+    for j, b_code in enumerate(s, start=1):
+        score_row = rows[b_code]
+        diag = h_row[0]
+        h_row[0] = -gaps.cost(j)
+        f = _NEG_INF
+        for i in range(1, m + 1):
+            e = max(h_row[i] - gap_first, e_row[i] - gap_extend)
+            f = max(h_row[i - 1] - gap_first, f - gap_extend)
+            h = max(diag + score_row[q[i - 1]], e, f)
+            diag = h_row[i]
+            h_row[i] = h
+            e_row[i] = e
+    return h_row[m]
+
+
+def needleman_wunsch(
+    query: Sequence | str,
+    subject: Sequence | str,
+    matrix: ScoringMatrix = BLOSUM62,
+    gaps: GapPenalties = PAPER_GAPS,
+) -> AlignmentResult:
+    """Global alignment with full traceback."""
+    query_seq = as_sequence(query, identifier="query")
+    subject_seq = as_sequence(subject, identifier="subject")
+    q = query_seq.codes
+    s = subject_seq.codes
+    m, n = len(q), len(s)
+    gap_first = gaps.first_residue_cost
+    gap_extend = gaps.extend
+    rows = matrix.rows
+
+    h_matrix = [[0] * (n + 1) for _ in range(m + 1)]
+    e_matrix = [[_NEG_INF] * (n + 1) for _ in range(m + 1)]
+    f_matrix = [[_NEG_INF] * (n + 1) for _ in range(m + 1)]
+    for i in range(1, m + 1):
+        h_matrix[i][0] = -gaps.cost(i)
+    for j in range(1, n + 1):
+        h_matrix[0][j] = -gaps.cost(j)
+
+    for i in range(1, m + 1):
+        score_row = rows[q[i - 1]]
+        for j in range(1, n + 1):
+            e = max(h_matrix[i][j - 1] - gap_first, e_matrix[i][j - 1] - gap_extend)
+            f = max(h_matrix[i - 1][j] - gap_first, f_matrix[i - 1][j] - gap_extend)
+            h = max(h_matrix[i - 1][j - 1] + score_row[s[j - 1]], e, f)
+            h_matrix[i][j] = h
+            e_matrix[i][j] = e
+            f_matrix[i][j] = f
+
+    aligned_q: list[str] = []
+    aligned_s: list[str] = []
+    i, j = m, n
+    state = "H"
+    while i > 0 or j > 0:
+        if state == "H":
+            if i > 0 and j > 0 and (
+                h_matrix[i][j]
+                == h_matrix[i - 1][j - 1] + rows[q[i - 1]][s[j - 1]]
+            ):
+                aligned_q.append(query_seq.text[i - 1])
+                aligned_s.append(subject_seq.text[j - 1])
+                i -= 1
+                j -= 1
+            elif j > 0 and h_matrix[i][j] == e_matrix[i][j]:
+                state = "E"
+            elif i > 0 and h_matrix[i][j] == f_matrix[i][j]:
+                state = "F"
+            elif j > 0:
+                # Boundary row: leading gap in the query.
+                aligned_q.append("-")
+                aligned_s.append(subject_seq.text[j - 1])
+                j -= 1
+            else:
+                aligned_q.append(query_seq.text[i - 1])
+                aligned_s.append("-")
+                i -= 1
+        elif state == "E":
+            aligned_q.append("-")
+            aligned_s.append(subject_seq.text[j - 1])
+            came_from_open = e_matrix[i][j] == h_matrix[i][j - 1] - gap_first
+            j -= 1
+            state = "H" if came_from_open else "E"
+        else:
+            aligned_q.append(query_seq.text[i - 1])
+            aligned_s.append("-")
+            came_from_open = f_matrix[i][j] == h_matrix[i - 1][j] - gap_first
+            i -= 1
+            state = "H" if came_from_open else "F"
+
+    aligned_q.reverse()
+    aligned_s.reverse()
+    return AlignmentResult(
+        score=h_matrix[m][n],
+        query_start=0,
+        query_end=m,
+        subject_start=0,
+        subject_end=n,
+        aligned_query="".join(aligned_q),
+        aligned_subject="".join(aligned_s),
+    )

@@ -1,0 +1,85 @@
+"""Search-result output formats.
+
+Render :class:`~repro.align.types.SearchResult` objects the way users
+of the real tools expect them: BLAST's tabular output (``-outfmt 6``
+style columns) and a human-readable hit list with optional alignments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.align.smith_waterman import smith_waterman
+from repro.align.types import SearchHit, SearchResult
+from repro.bio.database import SequenceDatabase
+from repro.bio.sequence import Sequence
+
+#: Column order of the tabular format (BLAST outfmt-6 inspired).
+TABULAR_COLUMNS = (
+    "query", "subject", "score", "bits_or_z", "evalue", "subject_length"
+)
+
+
+def format_tabular(result: SearchResult, top: int | None = None) -> str:
+    """Tab-separated hit rows (one line per hit, header included)."""
+    hits: Iterable[SearchHit] = result.hits if top is None else result.top(top)
+    lines = ["#" + "\t".join(TABULAR_COLUMNS)]
+    for hit in hits:
+        evalue = "" if hit.evalue == float("inf") else f"{hit.evalue:.3g}"
+        lines.append(
+            "\t".join(
+                (
+                    result.query_id,
+                    hit.subject_id,
+                    str(hit.score),
+                    f"{hit.bit_score:.1f}",
+                    evalue,
+                    str(hit.subject_length),
+                )
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_hit_list(result: SearchResult, top: int = 10) -> str:
+    """Aligned human-readable hit table."""
+    lines = [
+        f"Query: {result.query_id}   Database: {result.database_name} "
+        f"({result.sequences_searched} sequences / "
+        f"{result.residues_searched} residues)",
+        "",
+        f"{'rank':>4}  {'subject':<20} {'len':>6} {'score':>7} "
+        f"{'bits/z':>8} {'E':>10}",
+    ]
+    for rank, hit in enumerate(result.top(top), start=1):
+        evalue = "-" if hit.evalue == float("inf") else f"{hit.evalue:.2g}"
+        lines.append(
+            f"{rank:>4}  {hit.subject_id:<20} {hit.subject_length:>6} "
+            f"{hit.score:>7} {hit.bit_score:>8.1f} {evalue:>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_alignments(
+    query: Sequence,
+    database: SequenceDatabase,
+    result: SearchResult,
+    top: int = 3,
+    width: int = 60,
+) -> str:
+    """Recompute and render the top hits' full local alignments.
+
+    The search drivers report scores only (the paper runs use ``-d 0``/
+    ``-b 0``); this helper produces the alignments on demand for the
+    hits the user actually wants to see.
+    """
+    blocks = []
+    for hit in result.top(top):
+        subject = database.get(hit.subject_id)
+        alignment = smith_waterman(query, subject)
+        header = (
+            f">{hit.subject_id} len={hit.subject_length} "
+            f"s-w score={hit.score}"
+        )
+        blocks.append(header + "\n" + alignment.pretty(width))
+    return "\n\n".join(blocks)

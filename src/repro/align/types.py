@@ -1,0 +1,157 @@
+"""Shared alignment value types.
+
+These types are the vocabulary of the whole alignment layer: gap
+penalties, pairwise alignment results with their aligned strings, and
+database-search hits as reported by the SSEARCH/FASTA/BLAST drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GapPenalties:
+    """Affine gap model: ``cost(k) = open + extend * k`` for a gap of k.
+
+    The paper runs every search with ``-f 11 -g 1`` FASTA-style penalties
+    (gap open 10 plus first extension 1 = 11 for the first gapped
+    residue), equivalently a gap-open penalty of 10 and extension 1.
+    """
+
+    open: int = 10
+    extend: int = 1
+
+    def __post_init__(self) -> None:
+        if self.open < 0 or self.extend < 0:
+            raise ValueError("gap penalties must be non-negative")
+
+    @property
+    def first_residue_cost(self) -> int:
+        """Cost of a gap of length one (open + extend)."""
+        return self.open + self.extend
+
+    def cost(self, length: int) -> int:
+        """Total cost of a gap of ``length`` residues."""
+        if length < 0:
+            raise ValueError("gap length must be non-negative")
+        if length == 0:
+            return 0
+        return self.open + self.extend * length
+
+
+#: The penalties used for all experiments in the paper.
+PAPER_GAPS = GapPenalties(open=10, extend=1)
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """A scored local (or global) pairwise alignment.
+
+    ``aligned_query``/``aligned_subject`` contain residue letters and
+    ``-`` for gaps; ``midline`` marks identities with ``|`` in the style
+    of the paper's introduction example.
+    """
+
+    score: int
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+    aligned_query: str = ""
+    aligned_subject: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.aligned_query) != len(self.aligned_subject):
+            raise ValueError("aligned strings must have equal length")
+
+    @property
+    def length(self) -> int:
+        """Number of alignment columns (residues plus gaps)."""
+        return len(self.aligned_query)
+
+    @property
+    def identities(self) -> int:
+        """Number of identical aligned residue pairs."""
+        return sum(
+            1
+            for a, b in zip(self.aligned_query, self.aligned_subject)
+            if a == b and a != "-"
+        )
+
+    @property
+    def identity(self) -> float:
+        """Fraction of identical columns (0.0 for empty alignments)."""
+        if self.length == 0:
+            return 0.0
+        return self.identities / self.length
+
+    @property
+    def gaps(self) -> int:
+        """Total gap columns in either sequence."""
+        return self.aligned_query.count("-") + self.aligned_subject.count("-")
+
+    def midline(self) -> str:
+        """Identity midline (``|`` on matching columns)."""
+        return "".join(
+            "|" if a == b and a != "-" else " "
+            for a, b in zip(self.aligned_query, self.aligned_subject)
+        )
+
+    def pretty(self, width: int = 60) -> str:
+        """Render the alignment in blocks, like the paper's intro figure."""
+        lines: list[str] = [f"score={self.score} identity={self.identity:.1%}"]
+        midline = self.midline()
+        for start in range(0, self.length, width):
+            stop = start + width
+            lines.append(self.aligned_query[start:stop])
+            lines.append(midline[start:stop])
+            lines.append(self.aligned_subject[start:stop])
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, order=True)
+class SearchHit:
+    """One database hit from a search driver.
+
+    Ordering is by score so drivers can use standard sorting; the
+    comparison fields are arranged score-first on purpose.
+    """
+
+    score: int
+    subject_id: str = field(compare=False)
+    subject_index: int = field(compare=False)
+    subject_length: int = field(compare=False)
+    evalue: float = field(default=float("inf"), compare=False)
+    bit_score: float = field(default=0.0, compare=False)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """The outcome of searching one query against a database."""
+
+    query_id: str
+    database_name: str
+    hits: tuple[SearchHit, ...]
+    sequences_searched: int
+    residues_searched: int
+
+    def best(self) -> SearchHit:
+        """Highest-scoring hit."""
+        if not self.hits:
+            raise ValueError("search produced no hits")
+        return self.hits[0]
+
+    def top(self, count: int) -> tuple[SearchHit, ...]:
+        """The ``count`` best hits (the driver's ``-b`` reporting limit)."""
+        return self.hits[:count]
+
+    def score_histogram(self, bin_width: int = 4) -> dict[int, int]:
+        """Score histogram as printed by SSEARCH's ``-H`` option."""
+        if bin_width < 1:
+            raise ValueError("bin_width must be positive")
+        histogram: dict[int, int] = {}
+        for hit in self.hits:
+            bin_start = (hit.score // bin_width) * bin_width
+            histogram[bin_start] = histogram.get(bin_start, 0) + 1
+        return dict(sorted(histogram.items()))

@@ -1,0 +1,79 @@
+"""Figure 11: branch predictor accuracy vs strategy and table size."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.reporting import render_series
+from repro.uarch.standalone import run_predictor_only
+
+#: Table sizes swept (entries), 16 .. 32K as in the paper's x-axis.
+FIG11_SIZES: tuple[int, ...] = tuple(16 << i for i in range(12))
+#: Strategies compared.
+FIG11_STRATEGIES: tuple[str, ...] = ("bimodal", "gshare", "gp")
+#: Applications plotted by the paper (sw_vmx256 omitted, like Fig. 11).
+FIG11_APPS: tuple[str, ...] = ("ssearch34", "sw_vmx128", "fasta34", "blast")
+
+
+@dataclass(frozen=True)
+class PredictorStudyResult:
+    """accuracy[app][strategy] = list over sizes."""
+
+    sizes: tuple[int, ...]
+    accuracy: dict[str, dict[str, list[float]]]
+
+    def plateau(self, app: str, strategy: str) -> float:
+        """Accuracy at the largest table (the saturated value)."""
+        return self.accuracy[app][strategy][-1]
+
+    def saturation_size(
+        self, app: str, strategy: str, tolerance: float = 0.005
+    ) -> int:
+        """Smallest size within ``tolerance`` of the plateau."""
+        values = self.accuracy[app][strategy]
+        plateau = values[-1]
+        for size, value in zip(self.sizes, values):
+            if plateau - value <= tolerance:
+                return size
+        return self.sizes[-1]
+
+
+def fig11_predictor_accuracy(
+    context: ExperimentContext,
+    sizes: tuple[int, ...] = FIG11_SIZES,
+    strategies: tuple[str, ...] = FIG11_STRATEGIES,
+    apps: tuple[str, ...] = FIG11_APPS,
+) -> PredictorStudyResult:
+    """Replay each application's branch stream through each predictor."""
+    accuracy: dict[str, dict[str, list[float]]] = {}
+    for app in apps:
+        trace = context.suite.trace(app)
+        per_strategy: dict[str, list[float]] = {}
+        for strategy in strategies:
+            values = []
+            for size in sizes:
+                branch_result, _ = run_predictor_only(trace, strategy, size)
+                values.append(branch_result.accuracy)
+            per_strategy[strategy] = values
+        accuracy[app] = per_strategy
+    return PredictorStudyResult(sizes=sizes, accuracy=accuracy)
+
+
+def fig11_report(result: PredictorStudyResult) -> str:
+    """Render one block per application (prediction rate %, like Fig 11)."""
+    labels = [
+        str(size) if size < 1024 else f"{size // 1024}K" for size in result.sizes
+    ]
+    blocks = []
+    for app, strategies in result.accuracy.items():
+        blocks.append(
+            render_series(
+                f"Figure 11: prediction rate [%], {app}",
+                "strategy",
+                labels,
+                {k: [v * 100 for v in vs] for k, vs in strategies.items()},
+                value_format="{:.1f}",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,56 @@
+"""Figure 1: instruction breakdown per workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.reporting import render_table
+from repro.isa.opcodes import FIG1_ORDER
+from repro.isa.trace import InstructionMix
+
+#: Fractions the paper quotes in the Fig. 1 discussion, for comparison.
+PAPER_FRACTIONS: dict[str, dict[str, float]] = {
+    "ssearch34": {"ctrl": 0.25, "iload": 0.22, "ialu": 0.44},
+    "sw_vmx128": {"ctrl": 0.02, "ialu": 0.15, "vsimple": 0.21},
+    "sw_vmx256": {"ctrl": 0.02, "ialu": 0.18, "vsimple": 0.14},
+    "fasta34": {"ctrl": 0.18, "iload": 0.17, "ialu": 0.48},
+    "blast": {"ctrl": 0.16, "iload": 0.21, "ialu": 0.54},
+}
+
+
+@dataclass(frozen=True)
+class BreakdownResult:
+    """Per-application instruction mixes."""
+
+    mixes: dict[str, InstructionMix]
+
+    def fractions(self, name: str) -> dict[str, float]:
+        """Class -> fraction for one application, in Fig. 1 order."""
+        mix = self.mixes[name]
+        return {op.name.lower(): mix.fraction(op) for op in FIG1_ORDER}
+
+
+def fig1_breakdown(context: ExperimentContext) -> BreakdownResult:
+    """Compute the per-application dynamic instruction mixes."""
+    mixes = {
+        name: context.suite.run(name).mix for name in context.suite.names
+    }
+    return BreakdownResult(mixes=mixes)
+
+
+def fig1_report(result: BreakdownResult) -> str:
+    """Render Fig. 1 as one row per application."""
+    class_names = [op.name.lower() for op in FIG1_ORDER]
+    rows = []
+    for name, mix in result.mixes.items():
+        fractions = result.fractions(name)
+        rows.append(
+            [name, mix.total]
+            + [f"{fractions[class_name]:.1%}" for class_name in class_names]
+        )
+    return render_table(
+        "Figure 1: instruction breakdown",
+        ["application", "instructions"] + class_names,
+        rows,
+    )

@@ -1,0 +1,100 @@
+"""Static trace characterization across the workload suite.
+
+Applies the :mod:`repro.analysis.trace_stats` tools to the five
+applications' traces, producing the pipeline-independent version of
+the paper's story: branch-stream predictability (Fig 11's cause),
+dependency distances (Fig 2's rg_* classes), and working sets with
+reuse-distance miss curves (Fig 5 without running the pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.reporting import render_table
+from repro.analysis.trace_stats import (
+    branch_statistics,
+    dependency_profile,
+    lru_miss_rate,
+    reuse_distance_profile,
+    working_set,
+)
+from repro.uarch.config import KB
+
+#: Fully associative LRU capacities for the reuse-based miss columns.
+REUSE_CAPACITIES: tuple[int, ...] = (
+    8 * KB // 128,
+    32 * KB // 128,
+    256 * KB // 128,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """One application's static trace profile."""
+
+    application: str
+    instructions: int
+    branch_fraction: float
+    taken_fraction: float
+    biased_site_fraction: float
+    mean_dependency_distance: float
+    short_dependency_fraction: float
+    working_set_bytes: int
+    reuse_miss_rates: tuple[float, ...]
+
+
+def characterize(context: ExperimentContext) -> list[WorkloadCharacter]:
+    """Profile every suite application's standard trace."""
+    profiles = []
+    for name in context.suite.names:
+        trace = context.suite.trace(name)
+        branches = branch_statistics(trace)
+        dependencies = dependency_profile(trace)
+        footprint = working_set(trace)
+        reuse = reuse_distance_profile(trace)
+        profiles.append(
+            WorkloadCharacter(
+                application=name,
+                instructions=len(trace),
+                branch_fraction=branches.branches / max(len(trace), 1),
+                taken_fraction=branches.taken_fraction,
+                biased_site_fraction=branches.biased_site_fraction,
+                mean_dependency_distance=dependencies.mean_distance,
+                short_dependency_fraction=dependencies.short_fraction,
+                working_set_bytes=footprint["bytes"],
+                reuse_miss_rates=tuple(
+                    lru_miss_rate(reuse, capacity)
+                    for capacity in REUSE_CAPACITIES
+                ),
+            )
+        )
+    return profiles
+
+
+def characterization_report(profiles: list[WorkloadCharacter]) -> str:
+    """Render the per-application characterization table."""
+    capacity_labels = [
+        f"miss@{capacity * 128 // KB}K" for capacity in REUSE_CAPACITIES
+    ]
+    rows = []
+    for profile in profiles:
+        rows.append(
+            [
+                profile.application,
+                f"{profile.branch_fraction:.1%}",
+                f"{profile.taken_fraction:.1%}",
+                f"{profile.biased_site_fraction:.1%}",
+                f"{profile.mean_dependency_distance:.1f}",
+                f"{profile.short_dependency_fraction:.1%}",
+                f"{profile.working_set_bytes // 1024}K",
+            ]
+            + [f"{rate:.2%}" for rate in profile.reuse_miss_rates]
+        )
+    return render_table(
+        "Workload characterization (trace-level, no pipeline)",
+        ["application", "branches", "taken", "biased sites",
+         "mean dep dist", "short deps", "working set"] + capacity_labels,
+        rows,
+    )

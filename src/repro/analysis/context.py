@@ -1,0 +1,101 @@
+"""Shared experiment context: workload suite + simulation cache.
+
+Most figures sweep one knob while holding everything else fixed, so the
+same (trace, configuration) pair shows up across experiments.  The
+context memoizes simulation results by a structural key, letting the
+whole benchmark suite share work within a process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.trace import Trace
+from repro.uarch.config import ProcessorConfig
+from repro.uarch.results import SimulationResult
+from repro.uarch.simulator import simulate
+from repro.workloads.suite import WorkloadSuite
+
+
+def _config_key(config: ProcessorConfig) -> tuple:
+    """Structural identity of everything that can change a simulation."""
+    memory = config.memory
+    branch = config.branch
+
+    def cache_key(cache) -> tuple:
+        return (cache.size_bytes, cache.associativity, cache.line_bytes,
+                cache.latency)
+
+    def tlb_key(tlb) -> tuple:
+        return (tlb.entries, tlb.associativity, tlb.page_bytes,
+                tlb.miss_penalty)
+
+    return (
+        config.name,
+        config.fetch_width,
+        config.dispatch_width,
+        config.retire_width,
+        config.inflight,
+        config.gpr,
+        config.vpr,
+        config.fpr,
+        tuple(sorted((fu.value, count) for fu, count in config.units.items())),
+        config.issue_queue_size,
+        config.ibuffer_size,
+        config.retire_queue,
+        config.dcache_read_ports,
+        config.dcache_write_ports,
+        config.max_outstanding_misses,
+        config.store_queue_size,
+        config.wide_load_extra_latency,
+        cache_key(memory.il1),
+        cache_key(memory.dl1),
+        cache_key(memory.l2),
+        memory.memory_latency,
+        tlb_key(memory.itlb),
+        tlb_key(memory.dtlb),
+        memory.sequential_prefetch,
+        branch.kind,
+        branch.table_entries,
+        branch.btb_entries,
+        branch.btb_associativity,
+        branch.btb_miss_penalty,
+        branch.max_predicted_branches,
+        branch.mispredict_recovery,
+    )
+
+
+@dataclass
+class ExperimentContext:
+    """Workload suite plus a memoized simulation runner."""
+
+    suite: WorkloadSuite = field(default_factory=WorkloadSuite)
+    _results: dict[tuple, SimulationResult] = field(
+        default_factory=dict, repr=False
+    )
+
+    def simulate_trace(
+        self,
+        trace: Trace,
+        config: ProcessorConfig,
+        track_occupancy: bool = False,
+    ) -> SimulationResult:
+        """Simulate (memoized on trace identity + structural config key)."""
+        key = (id(trace), len(trace), _config_key(config), track_occupancy)
+        result = self._results.get(key)
+        if result is None:
+            result = self._results[key] = simulate(
+                trace, config, track_occupancy=track_occupancy
+            )
+        return result
+
+    def simulate_app(
+        self,
+        name: str,
+        config: ProcessorConfig,
+        track_occupancy: bool = False,
+    ) -> SimulationResult:
+        """Simulate one Table I workload's standard trace."""
+        return self.simulate_trace(
+            self.suite.trace(name), config, track_occupancy=track_occupancy
+        )

@@ -1,0 +1,58 @@
+"""Plain-text renderers for experiment outputs.
+
+Each experiment prints rows/series in the same arrangement as the
+paper's tables and figures, so a bench run can be compared to the paper
+side by side (EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Fixed-width ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    value_format: str = "{:.3f}",
+) -> str:
+    """One row per series, one column per x value (figure data)."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [value_format.format(v) for v in values])
+    return render_table(title, headers, rows)
+
+
+def render_histogram(
+    title: str, histogram: dict[str, int], limit: int = 12, bar_width: int = 40
+) -> str:
+    """Top-N histogram with proportional bars (Fig. 2 style)."""
+    ranked = sorted(histogram.items(), key=lambda item: -item[1])
+    ranked = [(name, value) for name, value in ranked if value > 0][:limit]
+    peak = max((value for _, value in ranked), default=1)
+    lines = [title]
+    for name, value in ranked:
+        bar = "#" * max(1, round(bar_width * value / peak))
+        lines.append(f"  {name:<10} {value:>12d} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,369 @@
+"""Configuration sweeps: Figures 3-9.
+
+Every sweep varies exactly the knob its figure varies and holds
+everything else at the paper's baseline, reusing the per-application
+standard traces through the context's simulation cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.reporting import render_series
+from repro.uarch.config import (
+    BP_PERFECT,
+    KB,
+    ME1,
+    MEMORY_PRESETS,
+    PROC_12WAY,
+    PROC_16WAY,
+    PROC_4WAY,
+    PROC_8WAY,
+    ProcessorConfig,
+    memory_with_dl1,
+)
+from repro.uarch.standalone import run_cache_only
+
+WIDTHS: tuple[ProcessorConfig, ...] = (PROC_4WAY, PROC_8WAY, PROC_16WAY)
+
+#: Fig. 5 cache-size axis: 1K to 2M.
+FIG5_SIZES: tuple[int, ...] = tuple(1 * KB << i for i in range(12))
+#: Fig. 6 associativity axis.
+FIG6_ASSOCIATIVITIES: tuple[int, ...] = (1, 2, 4, 8)
+#: Fig. 7 L1 latency axis.
+FIG7_LATENCIES: tuple[int, ...] = (1, 2, 4, 6, 8, 10)
+#: Fig. 8 width axis.
+FIG8_WIDTHS: tuple[ProcessorConfig, ...] = (
+    PROC_4WAY, PROC_8WAY, PROC_12WAY, PROC_16WAY
+)
+
+
+@dataclass(frozen=True)
+class MemorySweepResult:
+    """Figs 3 & 4: cycles and IPC per (application, width, memory)."""
+
+    cycles: dict[tuple[str, str, str], int]
+    ipc: dict[tuple[str, str, str], float]
+    widths: tuple[str, ...]
+    memories: tuple[str, ...]
+
+    def series_for(self, metric: str, app: str) -> dict[str, list[float]]:
+        """memory-name -> values over widths, for one application."""
+        table = self.cycles if metric == "cycles" else self.ipc
+        return {
+            memory: [float(table[(app, width, memory)]) for width in self.widths]
+            for memory in self.memories
+        }
+
+
+def fig3_fig4_memory_sweep(context: ExperimentContext) -> MemorySweepResult:
+    """Width x memory sweep shared by Figures 3 and 4."""
+    cycles: dict[tuple[str, str, str], int] = {}
+    ipc: dict[tuple[str, str, str], float] = {}
+    for name in context.suite.names:
+        for width in WIDTHS:
+            for memory in MEMORY_PRESETS:
+                result = context.simulate_app(name, width.with_memory(memory))
+                key = (name, width.name, memory.name)
+                cycles[key] = result.cycles
+                ipc[key] = result.ipc
+    return MemorySweepResult(
+        cycles=cycles,
+        ipc=ipc,
+        widths=tuple(width.name for width in WIDTHS),
+        memories=tuple(memory.name for memory in MEMORY_PRESETS),
+    )
+
+
+def fig3_report(result: MemorySweepResult, apps: tuple[str, ...]) -> str:
+    """Figure 3: cycles vs memory configuration."""
+    blocks = []
+    for app in apps:
+        blocks.append(
+            render_series(
+                f"Figure 3: cycles, {app}",
+                "memory",
+                result.widths,
+                result.series_for("cycles", app),
+                value_format="{:.0f}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def fig4_report(result: MemorySweepResult, apps: tuple[str, ...]) -> str:
+    """Figure 4: IPC vs memory configuration."""
+    blocks = []
+    for app in apps:
+        blocks.append(
+            render_series(
+                f"Figure 4: IPC, {app}",
+                "memory",
+                result.widths,
+                result.series_for("ipc", app),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+@dataclass(frozen=True)
+class CacheSizeResult:
+    """Fig. 5: DL1 miss rate and IPC vs DL1 size."""
+
+    sizes: tuple[int, ...]
+    miss_rate: dict[str, list[float]]
+    ipc: dict[str, list[float]]
+
+
+def fig5_cache_size(
+    context: ExperimentContext,
+    sizes: tuple[int, ...] = FIG5_SIZES,
+    with_ipc: bool = True,
+) -> CacheSizeResult:
+    """Sweep DL1 sizes (2M L2, 4-way core).
+
+    Miss rates replay only the reference stream (fast); IPC uses the
+    full pipeline and can be disabled for quick looks.
+    """
+    miss_rate: dict[str, list[float]] = {}
+    ipc: dict[str, list[float]] = {}
+    for name in context.suite.names:
+        trace = context.suite.trace(name)
+        rates = []
+        ipcs = []
+        for size in sizes:
+            memory = memory_with_dl1(size)
+            dl1, _ = run_cache_only(trace, memory)
+            rates.append(dl1.miss_rate)
+            if with_ipc:
+                result = context.simulate_trace(
+                    trace, PROC_4WAY.with_memory(memory)
+                )
+                ipcs.append(result.ipc)
+        miss_rate[name] = rates
+        ipc[name] = ipcs
+    return CacheSizeResult(sizes=sizes, miss_rate=miss_rate, ipc=ipc)
+
+
+def fig5_report(result: CacheSizeResult) -> str:
+    """Figure 5: miss rate (a) and IPC (b) vs cache size."""
+    labels = [
+        f"{size // KB}K" if size < 1024 * KB else f"{size // (1024 * KB)}M"
+        for size in result.sizes
+    ]
+    parts = [
+        render_series(
+            "Figure 5a: DL1 miss rate vs cache size",
+            "app",
+            labels,
+            {k: [v * 100 for v in vs] for k, vs in result.miss_rate.items()},
+            value_format="{:.2f}",
+        )
+    ]
+    if any(result.ipc.values()):
+        parts.append(
+            render_series(
+                "Figure 5b: IPC vs cache size", "app", labels, result.ipc
+            )
+        )
+    return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class AssociativityResult:
+    """Fig. 6: DL1 miss rate and IPC vs associativity (32K DL1)."""
+
+    associativities: tuple[int, ...]
+    miss_rate: dict[str, list[float]]
+    ipc: dict[str, list[float]]
+
+
+def fig6_associativity(
+    context: ExperimentContext,
+    associativities: tuple[int, ...] = FIG6_ASSOCIATIVITIES,
+    with_ipc: bool = True,
+) -> AssociativityResult:
+    """Sweep DL1 associativity at 32K."""
+    miss_rate: dict[str, list[float]] = {}
+    ipc: dict[str, list[float]] = {}
+    for name in context.suite.names:
+        trace = context.suite.trace(name)
+        rates = []
+        ipcs = []
+        for associativity in associativities:
+            memory = memory_with_dl1(32 * KB, associativity=associativity)
+            dl1, _ = run_cache_only(trace, memory)
+            rates.append(dl1.miss_rate)
+            if with_ipc:
+                result = context.simulate_trace(
+                    trace, PROC_4WAY.with_memory(memory)
+                )
+                ipcs.append(result.ipc)
+        miss_rate[name] = rates
+        ipc[name] = ipcs
+    return AssociativityResult(
+        associativities=associativities, miss_rate=miss_rate, ipc=ipc
+    )
+
+
+def fig6_report(result: AssociativityResult) -> str:
+    """Figure 6: miss rate (a) and IPC (b) vs associativity."""
+    labels = list(result.associativities)
+    parts = [
+        render_series(
+            "Figure 6a: DL1 miss rate vs associativity",
+            "app",
+            labels,
+            {k: [v * 100 for v in vs] for k, vs in result.miss_rate.items()},
+            value_format="{:.2f}",
+        )
+    ]
+    if any(result.ipc.values()):
+        parts.append(
+            render_series(
+                "Figure 6b: IPC vs associativity", "app", labels, result.ipc
+            )
+        )
+    return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """Fig. 7: IPC vs L1 hit latency."""
+
+    latencies: tuple[int, ...]
+    ipc: dict[str, list[float]]
+
+    def sensitivity(self, name: str) -> float:
+        """Relative IPC drop from the fastest to the slowest latency."""
+        values = self.ipc[name]
+        return (values[0] - values[-1]) / values[0] if values[0] else 0.0
+
+
+def fig7_l1_latency(
+    context: ExperimentContext,
+    latencies: tuple[int, ...] = FIG7_LATENCIES,
+) -> LatencyResult:
+    """Sweep L1 hit latency (32K/32K/1M, 4-way)."""
+    ipc: dict[str, list[float]] = {}
+    for name in context.suite.names:
+        trace = context.suite.trace(name)
+        values = []
+        for latency in latencies:
+            memory = memory_with_dl1(32 * KB, latency=latency, l2_mb=1)
+            result = context.simulate_trace(trace, PROC_4WAY.with_memory(memory))
+            values.append(result.ipc)
+        ipc[name] = values
+    return LatencyResult(latencies=latencies, ipc=ipc)
+
+
+def fig7_report(result: LatencyResult) -> str:
+    """Figure 7: IPC vs L1 latency."""
+    return render_series(
+        "Figure 7: IPC vs L1 hit latency",
+        "app",
+        list(result.latencies),
+        result.ipc,
+    )
+
+
+@dataclass(frozen=True)
+class VmxSpeedupResult:
+    """Fig. 8: vmx speedups vs width, incl. the +1-latency variant."""
+
+    widths: tuple[str, ...]
+    speedup: dict[str, list[float]]  # variant -> speedup per width
+
+
+def fig8_vmx_speedup(context: ExperimentContext) -> VmxSpeedupResult:
+    """Speedups of the SW variants relative to sw_vmx128.
+
+    All variants run the *same database slice* so cycles are directly
+    comparable; ``sw_vmx256 + 1 lat`` adds one cycle to every 32-byte
+    vector load (the pipelined-double-width memory path scenario).
+    """
+    traces = context.suite.paired_traces(("sw_vmx128", "sw_vmx256"))
+    speedup: dict[str, list[float]] = {
+        "sw_vmx128": [],
+        "sw_vmx256": [],
+        "sw_vmx256+1lat": [],
+    }
+    for width in FIG8_WIDTHS:
+        config = width.with_memory(ME1)
+        base = context.simulate_trace(traces["sw_vmx128"], config).cycles
+        v256 = context.simulate_trace(traces["sw_vmx256"], config).cycles
+        handicapped_config = replace(config, wide_load_extra_latency=1)
+        v256_slow = context.simulate_trace(
+            traces["sw_vmx256"], handicapped_config
+        ).cycles
+        speedup["sw_vmx128"].append(1.0)
+        speedup["sw_vmx256"].append(base / v256 if v256 else 0.0)
+        speedup["sw_vmx256+1lat"].append(base / v256_slow if v256_slow else 0.0)
+    return VmxSpeedupResult(
+        widths=tuple(width.name for width in FIG8_WIDTHS), speedup=speedup
+    )
+
+
+def fig8_report(result: VmxSpeedupResult) -> str:
+    """Figure 8: speedup vs width."""
+    return render_series(
+        "Figure 8: SW SIMD speedup over sw_vmx128 (same database slice)",
+        "variant",
+        list(result.widths),
+        result.speedup,
+    )
+
+
+@dataclass(frozen=True)
+class BranchImpactResult:
+    """Fig. 9: IPC with the real vs a perfect branch predictor."""
+
+    widths: tuple[str, ...]
+    real: dict[str, list[float]]
+    perfect: dict[str, list[float]]
+
+    def gain(self, name: str, width_index: int = 0) -> float:
+        """Relative IPC gain from perfect prediction."""
+        real = self.real[name][width_index]
+        perfect = self.perfect[name][width_index]
+        return (perfect - real) / real if real else 0.0
+
+
+def fig9_branch_prediction(context: ExperimentContext) -> BranchImpactResult:
+    """Perfect-vs-real predictor sweep over widths (me1 memory)."""
+    real: dict[str, list[float]] = {}
+    perfect: dict[str, list[float]] = {}
+    for name in context.suite.names:
+        trace = context.suite.trace(name)
+        real_values = []
+        perfect_values = []
+        for width in WIDTHS:
+            config = width.with_memory(ME1)
+            real_values.append(context.simulate_trace(trace, config).ipc)
+            perfect_values.append(
+                context.simulate_trace(
+                    trace, config.with_branch(BP_PERFECT)
+                ).ipc
+            )
+        real[name] = real_values
+        perfect[name] = perfect_values
+    return BranchImpactResult(
+        widths=tuple(width.name for width in WIDTHS),
+        real=real,
+        perfect=perfect,
+    )
+
+
+def fig9_report(result: BranchImpactResult) -> str:
+    """Figure 9: perfect and real branch predictor IPC."""
+    series: dict[str, list[float]] = {}
+    for name in result.real:
+        series[f"{name} (real)"] = result.real[name]
+        series[f"{name} (perfect)"] = result.perfect[name]
+    return render_series(
+        "Figure 9: IPC with real vs perfect branch prediction",
+        "app",
+        list(result.widths),
+        series,
+    )

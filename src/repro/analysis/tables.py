@@ -1,0 +1,101 @@
+"""Tables I-III reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.reporting import render_table
+from repro.bio.queries import TABLE2_QUERIES
+from repro.workloads.spec import TABLE1_WORKLOADS
+
+#: Residues of the common database slice used for Table III counting.
+#: Large enough that the slice contains a representative mix of
+#: related/unrelated subjects (FASTA's opt stage triggers on some).
+TABLE3_RESIDUES = 2400
+
+#: Paper Table III instruction counts (for shape comparison).
+PAPER_TABLE3: dict[str, int] = {
+    "ssearch34": 319_808_539,
+    "sw_vmx128": 78_993_134,
+    "sw_vmx256": 65_570_645,
+    "fasta34": 27_469_429,
+    "blast": 7_749_725,
+}
+
+
+def table1_report() -> str:
+    """Table I: selected workload description."""
+    rows = [
+        (spec.name, spec.input_parameters, spec.description)
+        for spec in TABLE1_WORKLOADS
+    ]
+    return render_table(
+        "Table I: selected workloads",
+        ["application", "input parameters", "description"],
+        rows,
+    )
+
+
+def table2_report() -> str:
+    """Table II: query sequences."""
+    rows = [
+        (descriptor.family, descriptor.accession, descriptor.length)
+        for descriptor in TABLE2_QUERIES
+    ]
+    return render_table(
+        "Table II: query sequences",
+        ["protein family", "accession", "length"],
+        rows,
+    )
+
+
+@dataclass(frozen=True)
+class TraceSizeResult:
+    """Table III data: per-application instruction counts."""
+
+    counts: dict[str, int]
+    residues: int
+
+    def normalized(self) -> dict[str, float]:
+        """Counts relative to ssearch34 (=1.0)."""
+        base = self.counts.get("ssearch34", 0) or 1
+        return {name: count / base for name, count in self.counts.items()}
+
+    def ordering_matches_paper(self) -> bool:
+        """True when the size ordering equals Table III's."""
+        order = sorted(self.counts, key=lambda name: -self.counts[name])
+        paper_order = sorted(PAPER_TABLE3, key=lambda name: -PAPER_TABLE3[name])
+        return order == paper_order
+
+
+def table3_trace_sizes(
+    context: ExperimentContext, residues: int = TABLE3_RESIDUES
+) -> TraceSizeResult:
+    """Count instructions for all workloads over one common DB slice."""
+    counts = {
+        name: context.suite.count_mix(name, residues).total
+        for name in context.suite.names
+    }
+    return TraceSizeResult(counts=counts, residues=residues)
+
+
+def table3_report(result: TraceSizeResult) -> str:
+    """Render Table III with paper-relative shape columns."""
+    paper_base = PAPER_TABLE3["ssearch34"]
+    ours_base = result.counts.get("ssearch34", 0) or 1
+    rows = []
+    for name in result.counts:
+        rows.append(
+            (
+                name,
+                result.counts[name],
+                f"{result.counts[name] / ours_base:.3f}",
+                f"{PAPER_TABLE3[name] / paper_base:.3f}",
+            )
+        )
+    return render_table(
+        f"Table III: trace sizes (common slice of {result.residues} residues)",
+        ["application", "instructions", "relative (ours)", "relative (paper)"],
+        rows,
+    )

@@ -1,0 +1,184 @@
+"""Trace-level workload characterization tools.
+
+The paper characterizes workloads through the pipeline model; these
+helpers characterize the *traces themselves* — the properties that
+explain the pipeline results:
+
+* :func:`branch_statistics` — bias and per-site behaviour of the
+  branch stream (why predictors succeed or fail);
+* :func:`dependency_profile` — producer-consumer distance distribution
+  (the available ILP);
+* :func:`working_set` — distinct cache lines touched per data region;
+* :func:`reuse_distance_profile` — exact LRU stack distances over the
+  line reference stream, from which the miss rate of *any* fully
+  associative LRU cache size falls out without simulation (Mattson's
+  one-pass algorithm with a Fenwick tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.trace import Trace
+
+
+@dataclass(frozen=True)
+class BranchStatistics:
+    """Summary of a trace's branch stream."""
+
+    branches: int
+    taken: int
+    static_sites: int
+    strongly_biased_sites: int
+
+    @property
+    def taken_fraction(self) -> float:
+        """Fraction of branches taken."""
+        return self.taken / self.branches if self.branches else 0.0
+
+    @property
+    def biased_site_fraction(self) -> float:
+        """Share of static branches that are >=90% one-directional."""
+        if not self.static_sites:
+            return 0.0
+        return self.strongly_biased_sites / self.static_sites
+
+
+def branch_statistics(trace: Trace, bias_threshold: float = 0.9) -> BranchStatistics:
+    """Compute direction bias of the branch stream."""
+    per_site: dict[int, list[int]] = {}
+    taken = 0
+    branches = 0
+    for instruction in trace.instructions:
+        if not instruction.is_branch:
+            continue
+        branches += 1
+        taken += instruction.taken
+        entry = per_site.setdefault(instruction.pc, [0, 0])
+        entry[instruction.taken] += 1
+    biased = 0
+    for not_taken_count, taken_count in per_site.values():
+        total = not_taken_count + taken_count
+        if max(not_taken_count, taken_count) >= bias_threshold * total:
+            biased += 1
+    return BranchStatistics(
+        branches=branches,
+        taken=taken,
+        static_sites=len(per_site),
+        strongly_biased_sites=biased,
+    )
+
+
+@dataclass(frozen=True)
+class DependencyProfile:
+    """Producer-consumer distance distribution."""
+
+    edges: int
+    mean_distance: float
+    short_fraction: float  # distance <= 4 (hard to hide in a pipeline)
+
+    @property
+    def has_long_range_ilp(self) -> bool:
+        """True when most dependencies are far apart."""
+        return self.short_fraction < 0.5
+
+
+def dependency_profile(trace: Trace, short: int = 4) -> DependencyProfile:
+    """Measure how far results travel before being consumed."""
+    edges = 0
+    total = 0
+    near = 0
+    for index, instruction in enumerate(trace.instructions):
+        for source in instruction.sources:
+            distance = index - source
+            edges += 1
+            total += distance
+            if distance <= short:
+                near += 1
+    return DependencyProfile(
+        edges=edges,
+        mean_distance=total / edges if edges else 0.0,
+        short_fraction=near / edges if edges else 0.0,
+    )
+
+
+def working_set(trace: Trace, line_bytes: int = 128) -> dict[str, int]:
+    """Distinct lines and footprint of the data reference stream."""
+    lines = set()
+    references = 0
+    for instruction in trace.instructions:
+        if instruction.is_memory:
+            references += 1
+            first = instruction.address // line_bytes
+            last = (instruction.address + max(instruction.size, 1) - 1) // line_bytes
+            lines.update(range(first, last + 1))
+    return {
+        "references": references,
+        "lines": len(lines),
+        "bytes": len(lines) * line_bytes,
+    }
+
+
+class _Fenwick:
+    """Binary indexed tree over access timestamps."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = [0] * (size + 1)
+        self._size = size
+
+    def add(self, position: int, value: int) -> None:
+        position += 1
+        while position <= self._size:
+            self._tree[position] += value
+            position += position & -position
+
+    def prefix_sum(self, position: int) -> int:
+        position += 1
+        total = 0
+        while position > 0:
+            total += self._tree[position]
+            position -= position & -position
+        return total
+
+
+def reuse_distance_profile(
+    trace: Trace, line_bytes: int = 128
+) -> dict[int, int]:
+    """Exact LRU stack-distance histogram of the line reference stream.
+
+    Returns distance -> count; distance -1 holds cold (first-touch)
+    references.  The miss count of a fully associative LRU cache with
+    capacity C lines equals ``cold + sum(count for d, count in profile
+    if d >= C)``.
+    """
+    addresses = []
+    for instruction in trace.instructions:
+        if instruction.is_memory:
+            addresses.append(instruction.address // line_bytes)
+    n = len(addresses)
+    tree = _Fenwick(n)
+    last_access: dict[int, int] = {}
+    histogram: dict[int, int] = {}
+    for time, line in enumerate(addresses):
+        previous = last_access.get(line)
+        if previous is None:
+            histogram[-1] = histogram.get(-1, 0) + 1
+        else:
+            distance = tree.prefix_sum(time - 1) - tree.prefix_sum(previous)
+            histogram[distance] = histogram.get(distance, 0) + 1
+            tree.add(previous, -1)
+        tree.add(time, 1)
+        last_access[line] = time
+    return histogram
+
+
+def lru_miss_rate(profile: dict[int, int], capacity_lines: int) -> float:
+    """Miss rate of a fully associative LRU cache from a reuse profile."""
+    total = sum(profile.values())
+    if not total:
+        return 0.0
+    misses = profile.get(-1, 0) + sum(
+        count for distance, count in profile.items()
+        if distance >= capacity_lines
+    )
+    return misses / total

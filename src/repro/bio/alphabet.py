@@ -1,0 +1,106 @@
+"""Residue alphabets and integer encodings.
+
+Every alignment kernel in this package works on integer-encoded sequences:
+each residue is mapped to a small integer index into the scoring matrix.
+This module defines the canonical amino-acid and nucleotide alphabets and
+the encode/decode helpers shared by the whole library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class AlphabetError(ValueError):
+    """Raised when a sequence contains symbols outside its alphabet."""
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered residue alphabet with integer encoding.
+
+    Parameters
+    ----------
+    name:
+        Human-readable alphabet name (``"protein"``, ``"dna"``).
+    symbols:
+        Ordered string of canonical residue letters.  The position of a
+        letter is its integer code.
+    wildcard:
+        Symbol used for unknown residues (``X`` for proteins, ``N`` for
+        nucleotides).  It must be present in ``symbols``.
+    """
+
+    name: str
+    symbols: str
+    wildcard: str
+    _index: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.symbols)) != len(self.symbols):
+            raise ValueError(f"duplicate symbols in alphabet {self.name!r}")
+        if self.wildcard not in self.symbols:
+            raise ValueError(
+                f"wildcard {self.wildcard!r} missing from alphabet {self.name!r}"
+            )
+        index = {symbol: code for code, symbol in enumerate(self.symbols)}
+        object.__setattr__(self, "_index", index)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol.upper() in self._index
+
+    @property
+    def size(self) -> int:
+        """Number of symbols in the alphabet (including the wildcard)."""
+        return len(self.symbols)
+
+    @property
+    def wildcard_code(self) -> int:
+        """Integer code of the wildcard symbol."""
+        return self._index[self.wildcard]
+
+    def code_of(self, symbol: str) -> int:
+        """Return the integer code of a single residue letter.
+
+        Unknown letters map to the wildcard code only if ``symbol`` is an
+        ASCII letter; anything else raises :class:`AlphabetError`.
+        """
+        symbol = symbol.upper()
+        code = self._index.get(symbol)
+        if code is not None:
+            return code
+        if symbol.isalpha() and len(symbol) == 1:
+            return self.wildcard_code
+        raise AlphabetError(f"symbol {symbol!r} is not valid in {self.name}")
+
+    def symbol_of(self, code: int) -> str:
+        """Return the residue letter for an integer code."""
+        if not 0 <= code < len(self.symbols):
+            raise AlphabetError(f"code {code} out of range for {self.name}")
+        return self.symbols[code]
+
+    def encode(self, text: str) -> list[int]:
+        """Encode a residue string into a list of integer codes."""
+        return [self.code_of(symbol) for symbol in text]
+
+    def decode(self, codes: list[int]) -> str:
+        """Decode a list of integer codes back into a residue string."""
+        return "".join(self.symbol_of(code) for code in codes)
+
+
+#: The 20 standard amino acids in the conventional scoring-matrix order,
+#: followed by the ambiguity codes B (Asx), Z (Glx), and the X wildcard.
+PROTEIN = Alphabet(
+    name="protein",
+    symbols="ARNDCQEGHILKMFPSTWYVBZX",
+    wildcard="X",
+)
+
+#: The four DNA bases plus the N wildcard.
+DNA = Alphabet(name="dna", symbols="ACGTN", wildcard="N")
+
+#: Number of unambiguous amino acids (used by k-mer word indexing).
+STANDARD_AMINO_ACIDS = 20

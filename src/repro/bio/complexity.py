@@ -1,0 +1,137 @@
+"""Low-complexity region filtering (a SEG-style masker).
+
+Real BLAST runs the SEG algorithm over the query before building its
+lookup table: low-complexity segments (acidic runs, proline stretches,
+coiled-coil repeats) would otherwise flood the word finder with
+biologically meaningless hits.  This module implements the same idea
+with SEG's sliding-window compositional complexity measure:
+
+* ``K2``, the Shannon entropy of the residue composition inside a
+  window, in bits per residue;
+* windows whose entropy falls below a trigger threshold seed candidate
+  segments, which grow while the entropy stays below the extension
+  threshold;
+* masked positions are replaced with the wildcard ``X`` so they enter
+  neither BLAST's neighborhood table nor FASTA's k-tuple index.
+
+Thresholds follow SEG's defaults in spirit (window 12, trigger 2.2,
+extension 2.5 bits) scaled to the protein alphabet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bio.sequence import Sequence
+
+#: SEG-style defaults.
+DEFAULT_WINDOW = 12
+DEFAULT_TRIGGER = 2.2
+DEFAULT_EXTENSION = 2.5
+
+
+def window_entropy(text: str) -> float:
+    """Shannon entropy (bits/residue) of a residue window's composition."""
+    if not text:
+        return 0.0
+    counts: dict[str, int] = {}
+    for symbol in text:
+        counts[symbol] = counts.get(symbol, 0) + 1
+    total = len(text)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+@dataclass(frozen=True)
+class MaskedRegion:
+    """One low-complexity segment (half-open interval)."""
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        """Residues masked."""
+        return self.end - self.start
+
+
+def find_low_complexity(
+    text: str,
+    window: int = DEFAULT_WINDOW,
+    trigger: float = DEFAULT_TRIGGER,
+    extension: float = DEFAULT_EXTENSION,
+) -> list[MaskedRegion]:
+    """Locate low-complexity segments with the two-threshold scheme.
+
+    A window with entropy < ``trigger`` seeds a segment; the segment
+    extends over every neighbouring window with entropy < ``extension``;
+    overlapping segments merge.
+    """
+    if window < 2:
+        raise ValueError("window must cover at least 2 residues")
+    if trigger > extension:
+        raise ValueError("trigger threshold must not exceed extension")
+    n = len(text)
+    if n < window:
+        return []
+
+    entropies = [
+        window_entropy(text[i : i + window]) for i in range(n - window + 1)
+    ]
+    regions: list[MaskedRegion] = []
+    i = 0
+    while i < len(entropies):
+        if entropies[i] >= trigger:
+            i += 1
+            continue
+        # Seed found: extend left and right under the looser threshold.
+        left = i
+        while left > 0 and entropies[left - 1] < extension:
+            left -= 1
+        right = i
+        while right + 1 < len(entropies) and entropies[right + 1] < extension:
+            right += 1
+        start = left
+        end = right + window
+        if regions and start <= regions[-1].end:
+            regions[-1] = MaskedRegion(regions[-1].start, max(end, regions[-1].end))
+        else:
+            regions.append(MaskedRegion(start, end))
+        i = right + 1
+    return regions
+
+
+def mask_sequence(
+    sequence: Sequence,
+    window: int = DEFAULT_WINDOW,
+    trigger: float = DEFAULT_TRIGGER,
+    extension: float = DEFAULT_EXTENSION,
+) -> Sequence:
+    """Return a copy with low-complexity residues replaced by ``X``."""
+    regions = find_low_complexity(
+        sequence.text, window=window, trigger=trigger, extension=extension
+    )
+    if not regions:
+        return sequence
+    chars = list(sequence.text)
+    for region in regions:
+        for position in range(region.start, region.end):
+            chars[position] = sequence.alphabet.wildcard
+    return Sequence(
+        identifier=sequence.identifier,
+        text="".join(chars),
+        description=sequence.description,
+        alphabet=sequence.alphabet,
+    )
+
+
+def masked_fraction(sequence: Sequence, **kwargs) -> float:
+    """Fraction of residues that SEG would mask."""
+    if not len(sequence):
+        return 0.0
+    regions = find_low_complexity(sequence.text, **kwargs)
+    return sum(region.length for region in regions) / len(sequence)

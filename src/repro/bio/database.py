@@ -1,0 +1,126 @@
+"""Sequence database container.
+
+Stands in for the SwissProt flat-file database that the paper's searches
+scan.  The container tracks the aggregate statistics the tools report
+(sequence count, residue count, composition) and provides the ordered
+iteration that the search drivers and traced kernels consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence as TypingSequence
+
+from repro.bio.alphabet import PROTEIN, Alphabet
+from repro.bio.fasta_io import read_fasta, write_fasta
+from repro.bio.sequence import Sequence
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """Aggregate statistics of a database (what SSEARCH prints on exit)."""
+
+    sequence_count: int
+    residue_count: int
+    shortest: int
+    longest: int
+
+    @property
+    def mean_length(self) -> float:
+        """Average sequence length in residues."""
+        if self.sequence_count == 0:
+            return 0.0
+        return self.residue_count / self.sequence_count
+
+
+class SequenceDatabase:
+    """An ordered, indexable collection of sequences.
+
+    The ordering matters: the paper traces the execution of each tool on
+    "the same sequences of the database", so all kernels iterate the
+    database in insertion order and slicing is deterministic.
+    """
+
+    def __init__(
+        self,
+        sequences: TypingSequence[Sequence] = (),
+        name: str = "database",
+        alphabet: Alphabet = PROTEIN,
+    ) -> None:
+        self.name = name
+        self.alphabet = alphabet
+        self._sequences: list[Sequence] = []
+        self._by_id: dict[str, int] = {}
+        for sequence in sequences:
+            self.add(sequence)
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        return iter(self._sequences)
+
+    def __getitem__(self, index: int) -> Sequence:
+        return self._sequences[index]
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._by_id
+
+    def add(self, sequence: Sequence) -> None:
+        """Append a sequence; identifiers must be unique."""
+        if sequence.identifier in self._by_id:
+            raise ValueError(f"duplicate identifier {sequence.identifier!r}")
+        if sequence.alphabet is not self.alphabet:
+            raise ValueError(
+                f"sequence {sequence.identifier!r} uses alphabet "
+                f"{sequence.alphabet.name!r}, database uses {self.alphabet.name!r}"
+            )
+        self._by_id[sequence.identifier] = len(self._sequences)
+        self._sequences.append(sequence)
+
+    def get(self, identifier: str) -> Sequence:
+        """Look a sequence up by identifier."""
+        try:
+            return self._sequences[self._by_id[identifier]]
+        except KeyError:
+            raise KeyError(f"no sequence {identifier!r} in {self.name}") from None
+
+    def slice(self, count: int, name: str | None = None) -> "SequenceDatabase":
+        """Return a database holding the first ``count`` sequences.
+
+        Used to build scaled trace inputs: every application is traced
+        over the same leading slice, as in the paper's methodology.
+        """
+        return SequenceDatabase(
+            self._sequences[:count],
+            name=name or f"{self.name}[:{count}]",
+            alphabet=self.alphabet,
+        )
+
+    def stats(self) -> DatabaseStats:
+        """Compute aggregate statistics."""
+        lengths = [len(sequence) for sequence in self._sequences]
+        return DatabaseStats(
+            sequence_count=len(lengths),
+            residue_count=sum(lengths),
+            shortest=min(lengths) if lengths else 0,
+            longest=max(lengths) if lengths else 0,
+        )
+
+    @property
+    def residue_count(self) -> int:
+        """Total residues across all sequences."""
+        return sum(len(sequence) for sequence in self._sequences)
+
+    @classmethod
+    def from_fasta(
+        cls, path: str | Path, name: str | None = None, alphabet: Alphabet = PROTEIN
+    ) -> "SequenceDatabase":
+        """Load a database from a FASTA file."""
+        sequences = read_fasta(path, alphabet=alphabet)
+        return cls(sequences, name=name or str(path), alphabet=alphabet)
+
+    def to_fasta(self, path: str | Path) -> None:
+        """Write the database to a FASTA file."""
+        write_fasta(self._sequences, path)

@@ -1,0 +1,90 @@
+"""Reading and writing sequences in FASTA format.
+
+This is the interchange format used by every tool the paper studies; the
+synthetic databases produced by :mod:`repro.bio.synthetic` round-trip
+through it so examples can operate on real files.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.bio.alphabet import PROTEIN, Alphabet
+from repro.bio.sequence import Sequence
+
+
+class FastaFormatError(ValueError):
+    """Raised when a FASTA stream is malformed."""
+
+
+def _iter_records(stream: TextIO) -> Iterator[tuple[str, str]]:
+    header: str | None = None
+    chunks: list[str] = []
+    for line_number, raw_line in enumerate(stream, start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield header, "".join(chunks)
+            header = line[1:].strip()
+            chunks = []
+        else:
+            if header is None:
+                raise FastaFormatError(
+                    f"line {line_number}: sequence data before any '>' header"
+                )
+            chunks.append(line)
+    if header is not None:
+        yield header, "".join(chunks)
+
+
+def parse_fasta(stream: TextIO, alphabet: Alphabet = PROTEIN) -> Iterator[Sequence]:
+    """Yield :class:`Sequence` records from an open FASTA text stream."""
+    for header, text in _iter_records(stream):
+        identifier, _, description = header.partition(" ")
+        if not identifier:
+            raise FastaFormatError("empty FASTA header")
+        yield Sequence(
+            identifier=identifier,
+            text=text,
+            description=description,
+            alphabet=alphabet,
+        )
+
+
+def parse_fasta_text(text: str, alphabet: Alphabet = PROTEIN) -> list[Sequence]:
+    """Parse FASTA records from an in-memory string."""
+    return list(parse_fasta(io.StringIO(text), alphabet=alphabet))
+
+
+def read_fasta(path: str | Path, alphabet: Alphabet = PROTEIN) -> list[Sequence]:
+    """Read all FASTA records from a file."""
+    with open(path, encoding="ascii") as stream:
+        return list(parse_fasta(stream, alphabet=alphabet))
+
+
+def format_fasta(sequences: Iterable[Sequence], line_width: int = 60) -> str:
+    """Render sequences as FASTA text with wrapped residue lines."""
+    if line_width < 1:
+        raise ValueError("line_width must be positive")
+    parts: list[str] = []
+    for sequence in sequences:
+        header = sequence.identifier
+        if sequence.description:
+            header = f"{header} {sequence.description}"
+        parts.append(f">{header}")
+        text = sequence.text
+        for start in range(0, len(text), line_width):
+            parts.append(text[start : start + line_width])
+    return "\n".join(parts) + "\n"
+
+
+def write_fasta(
+    sequences: Iterable[Sequence], path: str | Path, line_width: int = 60
+) -> None:
+    """Write sequences to a FASTA file."""
+    with open(path, "w", encoding="ascii") as stream:
+        stream.write(format_fasta(sequences, line_width=line_width))

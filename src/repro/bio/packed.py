@@ -1,0 +1,116 @@
+"""2-bit packed nucleotide sequences (NCBI ``.nsq`` style).
+
+Paper listing 1 is BLAST's nucleotide word finder unpacking a
+compressed database (``READDB_UNPACK_BASE_4(p)`` pulls one base out of
+a byte holding four).  This module implements that storage format: DNA
+is packed four bases per byte, most-significant base first, and the
+unpack helpers mirror the macros in the listing.
+
+Ambiguous bases (``N``) cannot be represented in 2 bits; like NCBI's
+format, the packed stream stores them as ``A`` and callers that care
+keep a side list of ambiguous positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bio.alphabet import DNA
+from repro.bio.sequence import Sequence
+
+#: Bases per packed byte.
+BASES_PER_BYTE = 4
+
+#: 2-bit code per base (ambiguity packs as A, recorded separately).
+_PACK_CODE = {"A": 0, "C": 1, "G": 2, "T": 3, "N": 0}
+_UNPACK_BASE = "ACGT"
+
+
+def pack_dna(text: str) -> tuple[bytes, tuple[int, ...]]:
+    """Pack a DNA string into 2-bit bytes.
+
+    Returns ``(packed, ambiguous_positions)``; the final byte is
+    zero-padded when the length is not a multiple of four.
+    """
+    data = bytearray((len(text) + BASES_PER_BYTE - 1) // BASES_PER_BYTE)
+    ambiguous = []
+    for position, base in enumerate(text.upper()):
+        try:
+            code = _PACK_CODE[base]
+        except KeyError:
+            raise ValueError(f"cannot pack symbol {base!r}") from None
+        if base == "N":
+            ambiguous.append(position)
+        byte_index, offset = divmod(position, BASES_PER_BYTE)
+        data[byte_index] |= code << (6 - 2 * offset)
+    return bytes(data), tuple(ambiguous)
+
+
+def unpack_base(byte: int, slot: int) -> str:
+    """READDB_UNPACK_BASE_{4-slot}: extract one base from a packed byte.
+
+    ``slot`` counts from 0 (most significant pair) to 3.
+    """
+    if not 0 <= slot < BASES_PER_BYTE:
+        raise ValueError(f"slot {slot} out of range")
+    return _UNPACK_BASE[(byte >> (6 - 2 * slot)) & 0b11]
+
+
+def unpack_dna(packed: bytes, length: int,
+               ambiguous: tuple[int, ...] = ()) -> str:
+    """Unpack ``length`` bases, restoring ``N`` at ambiguous positions."""
+    if length > len(packed) * BASES_PER_BYTE:
+        raise ValueError("length exceeds packed data")
+    bases = []
+    for position in range(length):
+        byte_index, slot = divmod(position, BASES_PER_BYTE)
+        bases.append(unpack_base(packed[byte_index], slot))
+    for position in ambiguous:
+        if position < length:
+            bases[position] = "N"
+    return "".join(bases)
+
+
+@dataclass(frozen=True)
+class PackedSequence:
+    """One nucleotide sequence in packed form."""
+
+    identifier: str
+    packed: bytes
+    length: int
+    ambiguous: tuple[int, ...] = ()
+
+    @classmethod
+    def from_sequence(cls, sequence: Sequence) -> "PackedSequence":
+        """Pack a DNA :class:`~repro.bio.sequence.Sequence`."""
+        if sequence.alphabet is not DNA:
+            raise ValueError("only DNA sequences can be packed")
+        packed, ambiguous = pack_dna(sequence.text)
+        return cls(
+            identifier=sequence.identifier,
+            packed=packed,
+            length=len(sequence),
+            ambiguous=ambiguous,
+        )
+
+    def unpack(self) -> Sequence:
+        """Restore the uncompressed sequence."""
+        return Sequence(
+            identifier=self.identifier,
+            text=unpack_dna(self.packed, self.length, self.ambiguous),
+            alphabet=DNA,
+        )
+
+    def base_at(self, position: int) -> str:
+        """Random access to one base (``N``-aware)."""
+        if not 0 <= position < self.length:
+            raise IndexError(position)
+        if position in self.ambiguous:
+            return "N"
+        byte_index, slot = divmod(position, BASES_PER_BYTE)
+        return unpack_base(self.packed[byte_index], slot)
+
+    @property
+    def packed_bytes(self) -> int:
+        """Size of the packed representation."""
+        return len(self.packed)

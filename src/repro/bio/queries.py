@@ -1,0 +1,80 @@
+"""The paper's query set (Table II), as synthetic stand-ins.
+
+The paper's text says 11 query sequences were used, but its Table II
+prints 10 rows (143-567 residues); we reproduce the 10 printed rows.
+The real sequences are not
+redistributable here, so each query is a deterministic synthetic protein
+of the documented length, generated with the SwissProt background
+composition.  What the characterization depends on — query length and
+realistic residue composition — is preserved; the paper's headline
+results use Glutathione S-transferase (P14942, 222 aa), which is the
+default query throughout this package.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bio.sequence import Sequence
+from repro.bio.synthetic import random_protein
+
+
+@dataclass(frozen=True)
+class QueryDescriptor:
+    """One row of Table II."""
+
+    family: str
+    accession: str
+    length: int
+
+
+#: Table II, in paper order (the 10 rows the paper prints).
+TABLE2_QUERIES: tuple[QueryDescriptor, ...] = (
+    QueryDescriptor("Globin", "P02232", 143),
+    QueryDescriptor("Ras", "P01111", 189),
+    QueryDescriptor("Glutathione S-transferase", "P14942", 222),
+    QueryDescriptor("Serine Protease", "P00762", 246),
+    QueryDescriptor("Histocompatibility antigen", "P10318", 362),
+    QueryDescriptor("Alcohol dehydrogenase", "P07327", 375),
+    QueryDescriptor("Serine Protease inhibitor", "P01008", 464),
+    QueryDescriptor("Cytochrome P450", "P10635", 497),
+    QueryDescriptor("H+-transporting ATP synthase", "P25705", 553),
+    QueryDescriptor("Hemaglutinin", "P03435", 567),
+)
+
+#: Accession of the query used for all figures in the paper.
+DEFAULT_QUERY_ACCESSION = "P14942"
+
+
+def make_query(descriptor: QueryDescriptor) -> Sequence:
+    """Build the synthetic stand-in sequence for a Table II query.
+
+    The random stream is seeded from the accession so every call returns
+    the same residues.
+    """
+    seed = sum(ord(char) * (index + 1) for index, char in enumerate(descriptor.accession))
+    rng = random.Random(seed)
+    return Sequence(
+        identifier=descriptor.accession,
+        text=random_protein(descriptor.length, rng),
+        description=f"synthetic stand-in for {descriptor.family}",
+    )
+
+
+def query_by_accession(accession: str) -> Sequence:
+    """Return the synthetic query for a Table II accession."""
+    for descriptor in TABLE2_QUERIES:
+        if descriptor.accession == accession:
+            return make_query(descriptor)
+    raise KeyError(f"accession {accession!r} is not in Table II")
+
+
+def default_query() -> Sequence:
+    """The Glutathione S-transferase stand-in used by the paper's figures."""
+    return query_by_accession(DEFAULT_QUERY_ACCESSION)
+
+
+def all_queries() -> list[Sequence]:
+    """All Table II stand-ins, in paper order."""
+    return [make_query(descriptor) for descriptor in TABLE2_QUERIES]

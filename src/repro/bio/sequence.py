@@ -1,0 +1,79 @@
+"""Sequence value type used throughout the library.
+
+A :class:`Sequence` pairs an identifier and description with an
+integer-encoded residue string.  Kernels operate on the ``codes`` list
+directly; user-facing APIs accept either ``Sequence`` objects or plain
+strings and normalize them with :func:`as_sequence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bio.alphabet import PROTEIN, Alphabet
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """An immutable biological sequence.
+
+    Parameters
+    ----------
+    identifier:
+        Accession-style identifier (e.g. ``"P14942"``).
+    text:
+        Residue letters.  Stored upper-cased; also encoded once into
+        ``codes`` at construction time.
+    description:
+        Optional free-form description line.
+    alphabet:
+        Alphabet used for encoding; defaults to the protein alphabet.
+    """
+
+    identifier: str
+    text: str
+    description: str = ""
+    alphabet: Alphabet = PROTEIN
+    codes: tuple[int, ...] = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        normalized = self.text.upper()
+        object.__setattr__(self, "text", normalized)
+        object.__setattr__(self, "codes", tuple(self.alphabet.encode(normalized)))
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def __getitem__(self, item: int | slice) -> str:
+        return self.text[item]
+
+    def __iter__(self):
+        return iter(self.text)
+
+    @property
+    def residue_count(self) -> int:
+        """Length in residues (alias of ``len``)."""
+        return len(self.text)
+
+    def subsequence(self, start: int, stop: int) -> "Sequence":
+        """Return a new sequence covering ``text[start:stop]``."""
+        return Sequence(
+            identifier=f"{self.identifier}[{start}:{stop}]",
+            text=self.text[start:stop],
+            description=self.description,
+            alphabet=self.alphabet,
+        )
+
+    def composition(self) -> dict[str, int]:
+        """Return residue letter -> occurrence count."""
+        counts: dict[str, int] = {}
+        for symbol in self.text:
+            counts[symbol] = counts.get(symbol, 0) + 1
+        return counts
+
+
+def as_sequence(value: "Sequence | str", identifier: str = "anonymous") -> Sequence:
+    """Coerce a raw residue string (or pass through a Sequence) to Sequence."""
+    if isinstance(value, Sequence):
+        return value
+    return Sequence(identifier=identifier, text=value)

@@ -1,0 +1,106 @@
+"""DNA translation: codon table and six-frame translation.
+
+Substrate for translated searches (blastx-style): a DNA query is
+translated in all six reading frames (three offsets on each strand)
+and each frame is searched as a protein.  The codon table is the
+standard genetic code; stop codons translate to ``*`` which callers
+treat as segment breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bio.alphabet import DNA, PROTEIN
+from repro.bio.sequence import Sequence
+
+#: Stop-codon symbol.
+STOP = "*"
+
+_BASES = "TCAG"
+
+#: The standard genetic code, one amino acid per codon in TCAG order.
+CODON_TABLE: dict[str, str] = {}
+_STANDARD_CODE = (
+    "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG"
+)
+_index = 0
+for _first in _BASES:
+    for _second in _BASES:
+        for _third in _BASES:
+            CODON_TABLE[_first + _second + _third] = _STANDARD_CODE[_index]
+            _index += 1
+
+_COMPLEMENT = {"A": "T", "T": "A", "C": "G", "G": "C", "N": "N"}
+
+
+def reverse_complement(text: str) -> str:
+    """Reverse-complement a DNA string."""
+    try:
+        return "".join(_COMPLEMENT[base] for base in reversed(text.upper()))
+    except KeyError as error:
+        raise ValueError(f"not a DNA symbol: {error.args[0]!r}") from None
+
+
+def translate(text: str, frame: int = 0) -> str:
+    """Translate one reading frame (0-2) of a DNA string.
+
+    Codons containing ``N`` translate to the protein wildcard ``X``;
+    stop codons become ``*``.
+    """
+    if not 0 <= frame <= 2:
+        raise ValueError("frame must be 0, 1, or 2")
+    text = text.upper()
+    out = []
+    for start in range(frame, len(text) - 2, 3):
+        codon = text[start : start + 3]
+        if "N" in codon:
+            out.append(PROTEIN.wildcard)
+        else:
+            out.append(CODON_TABLE[codon])
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class TranslatedFrame:
+    """One of the six reading frames of a DNA sequence."""
+
+    frame: int          # 1..3 forward, -1..-3 reverse
+    protein: Sequence
+
+    @property
+    def is_reverse(self) -> bool:
+        """True for frames on the reverse strand."""
+        return self.frame < 0
+
+
+def six_frame_translation(sequence: Sequence) -> list[TranslatedFrame]:
+    """All six reading frames of a DNA sequence, as protein sequences.
+
+    Stop codons are kept as ``X`` wildcards in the protein encoding so
+    downstream protein engines can consume the frames directly (they
+    skip wildcards in word tables); the raw ``*`` positions remain
+    visible in the frame's text.
+    """
+    if sequence.alphabet is not DNA:
+        raise ValueError("six-frame translation needs a DNA sequence")
+    frames = []
+    for strand_sign, text in (
+        (1, sequence.text),
+        (-1, reverse_complement(sequence.text)),
+    ):
+        for offset in range(3):
+            protein_text = translate(text, offset).replace(STOP, "X")
+            frames.append(
+                TranslatedFrame(
+                    frame=strand_sign * (offset + 1),
+                    protein=Sequence(
+                        identifier=(
+                            f"{sequence.identifier}|frame"
+                            f"{strand_sign * (offset + 1):+d}"
+                        ),
+                        text=protein_text,
+                    ),
+                )
+            )
+    return frames

@@ -1,0 +1,43 @@
+"""Abstract ISA: op classes, instructions, traces, trace builder."""
+
+from repro.isa.builder import (
+    CODE_BASE,
+    DATA_BASE,
+    TraceBudgetExceededError,
+    TraceBuilder,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.serialize import load_trace, save_trace
+from repro.isa.opcodes import (
+    FIG1_ORDER,
+    FU_OF_OPCLASS,
+    LATENCY_OF_OPCLASS,
+    LOAD_OPS,
+    MEMORY_OPS,
+    STORE_OPS,
+    VECTOR_OPS,
+    FunctionalUnit,
+    OpClass,
+)
+from repro.isa.trace import InstructionMix, Trace
+
+__all__ = [
+    "CODE_BASE",
+    "DATA_BASE",
+    "TraceBudgetExceededError",
+    "TraceBuilder",
+    "Instruction",
+    "load_trace",
+    "save_trace",
+    "FIG1_ORDER",
+    "FU_OF_OPCLASS",
+    "LATENCY_OF_OPCLASS",
+    "LOAD_OPS",
+    "MEMORY_OPS",
+    "STORE_OPS",
+    "VECTOR_OPS",
+    "FunctionalUnit",
+    "OpClass",
+    "InstructionMix",
+    "Trace",
+]

@@ -1,0 +1,211 @@
+"""Instrumented-execution trace builder.
+
+Traced kernels (:mod:`repro.kernels`) run the real alignment algorithms
+while narrating every abstract operation to a :class:`TraceBuilder`:
+each ``ialu``/``iload``/``ctrl``/``vsimple``/... call appends one
+dynamic instruction carrying its true data dependencies (producer trace
+indices), its effective memory address, or its actual branch outcome.
+The result is a trace whose instruction mix, locality, and branch
+behaviour *emerge* from executing the algorithm on real data — the
+stand-in for the paper's Aria/MET-generated PowerPC traces.
+
+Emit methods return the new instruction's index, which doubles as the
+SSA virtual register holding the result; kernels thread those indices
+through their computations exactly like register names.
+
+``record=False`` turns the builder into a counting sink for very large
+measurements (Table III trace sizes, Fig. 1 mixes at scale) where the
+per-instruction objects are not needed.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import InstructionMix, Trace
+
+#: Base of the synthetic code segment (site pcs) and data segment.
+CODE_BASE = 0x0001_0000
+DATA_BASE = 0x1000_0000
+
+
+class TraceBudgetExceededError(RuntimeError):
+    """Raised by the builder when the instruction budget is exhausted.
+
+    Kernels let this propagate to their driver, which finalizes the
+    truncated trace — mirroring how the paper samples a representative
+    window out of a billions-long execution.
+    """
+
+
+class TraceBuilder:
+    """Collects dynamic instructions emitted by a traced kernel."""
+
+    def __init__(
+        self,
+        name: str,
+        record: bool = True,
+        limit: int | None = None,
+    ) -> None:
+        self.name = name
+        self.record = record
+        self.limit = limit
+        self.instructions: list[Instruction] = []
+        self.counts = [0] * len(OpClass)
+        self.total = 0
+        self._site_pcs: dict[str, int] = {}
+        self._data_cursor = DATA_BASE
+
+    # ------------------------------------------------------------------
+    # Memory layout
+    # ------------------------------------------------------------------
+    def alloc(self, label: str, nbytes: int, align: int = 128) -> int:
+        """Reserve a data region; returns its base address.
+
+        Regions are laid out sequentially with cache-line alignment,
+        approximating the heap layout of the native tools.  ``label``
+        is only for debugging.
+        """
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        mask = align - 1
+        base = (self._data_cursor + mask) & ~mask
+        self._data_cursor = base + nbytes
+        return base
+
+    # ------------------------------------------------------------------
+    # Site management
+    # ------------------------------------------------------------------
+    def pc_of(self, site: str) -> int:
+        """Synthetic pc of a static emit site (stable per label)."""
+        pc = self._site_pcs.get(site)
+        if pc is None:
+            pc = CODE_BASE + 4 * len(self._site_pcs)
+            self._site_pcs[site] = pc
+        return pc
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        op: OpClass,
+        site: str,
+        sources: tuple[int, ...],
+        has_dest: bool,
+        address: int = -1,
+        size: int = 0,
+        taken: bool = False,
+        target: int = 0,
+    ) -> int:
+        self.counts[op] += 1
+        self.total += 1
+        if self.limit is not None and self.total > self.limit:
+            raise TraceBudgetExceededError(
+                f"trace {self.name!r} exceeded {self.limit} instructions"
+            )
+        if not self.record:
+            return 0
+        index = len(self.instructions)
+        self.instructions.append(
+            Instruction(
+                op=op,
+                pc=self.pc_of(site),
+                sources=sources,
+                has_dest=has_dest,
+                address=address,
+                size=size,
+                taken=taken,
+                target=target,
+            )
+        )
+        return index
+
+    def ialu(self, site: str, sources: tuple[int, ...] = ()) -> int:
+        """Integer ALU op producing a result register."""
+        return self._emit(OpClass.IALU, site, sources, has_dest=True)
+
+    def iload(
+        self, site: str, address: int, sources: tuple[int, ...] = (), size: int = 8
+    ) -> int:
+        """Scalar load from ``address``."""
+        return self._emit(
+            OpClass.ILOAD, site, sources, has_dest=True, address=address, size=size
+        )
+
+    def istore(
+        self, site: str, address: int, sources: tuple[int, ...] = (), size: int = 8
+    ) -> int:
+        """Scalar store to ``address`` (no result register)."""
+        return self._emit(
+            OpClass.ISTORE, site, sources, has_dest=False, address=address, size=size
+        )
+
+    def ctrl(
+        self,
+        site: str,
+        taken: bool,
+        sources: tuple[int, ...] = (),
+        backward: bool = False,
+    ) -> int:
+        """Conditional branch with its actual outcome.
+
+        ``backward=True`` marks loop back-edges (target behind the
+        branch), which matters to the next-fetch-address predictor.
+        """
+        pc = self.pc_of(site)
+        target = pc - 128 if backward else pc + 64
+        return self._emit(
+            OpClass.CTRL, site, sources, has_dest=False, taken=taken, target=target
+        )
+
+    def vload(
+        self, site: str, address: int, sources: tuple[int, ...] = (), size: int = 16
+    ) -> int:
+        """Vector load (16 bytes for vmx128, 32 for vmx256)."""
+        return self._emit(
+            OpClass.VLOAD, site, sources, has_dest=True, address=address, size=size
+        )
+
+    def vstore(
+        self, site: str, address: int, sources: tuple[int, ...] = (), size: int = 16
+    ) -> int:
+        """Vector store."""
+        return self._emit(
+            OpClass.VSTORE, site, sources, has_dest=False, address=address, size=size
+        )
+
+    def vsimple(self, site: str, sources: tuple[int, ...] = ()) -> int:
+        """Vector simple-integer op (vec_adds, vec_subs, vec_max...)."""
+        return self._emit(OpClass.VSIMPLE, site, sources, has_dest=True)
+
+    def vperm(self, site: str, sources: tuple[int, ...] = ()) -> int:
+        """Vector permute op (vec_perm, vec_sld, splats)."""
+        return self._emit(OpClass.VPERM, site, sources, has_dest=True)
+
+    def vcmplx(self, site: str, sources: tuple[int, ...] = ()) -> int:
+        """Vector complex-integer op (multiply-sum family)."""
+        return self._emit(OpClass.VCMPLX, site, sources, has_dest=True)
+
+    def fpu(self, site: str, sources: tuple[int, ...] = ()) -> int:
+        """Scalar floating-point op."""
+        return self._emit(OpClass.FPU, site, sources, has_dest=True)
+
+    def other(self, site: str, sources: tuple[int, ...] = ()) -> int:
+        """Miscellaneous op (system/special-register moves)."""
+        return self._emit(OpClass.OTHER, site, sources, has_dest=True)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def mix(self) -> InstructionMix:
+        """Instruction breakdown (valid in both modes)."""
+        return InstructionMix(counts=tuple(self.counts))
+
+    def build(self) -> Trace:
+        """Finalize into a :class:`Trace` (recording mode only)."""
+        if not self.record:
+            raise ValueError(
+                "builder is in count-only mode; use mix() for statistics"
+            )
+        return Trace(self.name, self.instructions)

@@ -1,0 +1,94 @@
+"""Dynamic instruction record.
+
+One :class:`Instruction` is one executed operation in a trace.  Data
+dependencies are expressed directly as *producer indices*: ``sources``
+holds the trace indices of the instructions whose results this one
+consumes (the trace builder's virtual registers are in SSA form, so a
+register name and the index of its producer are the same thing; the
+out-of-order core models physical-register capacity by counting
+in-flight producers instead of replaying the rename tables).
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import LOAD_OPS, MEMORY_OPS, OpClass, STORE_OPS
+
+
+class Instruction:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    op:
+        Operation class.
+    pc:
+        Synthetic program counter of the static instruction; the same
+        source-level emit site always yields the same pc, which is what
+        the branch predictor and I-cache index on.
+    sources:
+        Trace indices of producer instructions (empty tuple for none).
+    has_dest:
+        Whether the instruction produces a register result.
+    address:
+        Effective byte address for memory operations, -1 otherwise.
+    size:
+        Access size in bytes for memory operations, 0 otherwise.
+    taken:
+        Branch outcome (meaningful only for ``OpClass.CTRL``).
+    target:
+        Branch target pc (meaningful only for ``OpClass.CTRL``).
+    """
+
+    __slots__ = ("op", "pc", "sources", "has_dest", "address", "size",
+                 "taken", "target")
+
+    def __init__(
+        self,
+        op: OpClass,
+        pc: int,
+        sources: tuple[int, ...] = (),
+        has_dest: bool = False,
+        address: int = -1,
+        size: int = 0,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.op = op
+        self.pc = pc
+        self.sources = sources
+        self.has_dest = has_dest
+        self.address = address
+        self.size = size
+        self.taken = taken
+        self.target = target
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores (scalar or vector)."""
+        return self.op in MEMORY_OPS
+
+    @property
+    def is_load(self) -> bool:
+        """True for scalar and vector loads."""
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        """True for scalar and vector stores."""
+        return self.op in STORE_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        """True for control transfer instructions."""
+        return self.op == OpClass.CTRL
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.is_memory:
+            extra = f" addr=0x{self.address:x} size={self.size}"
+        if self.is_branch:
+            extra = f" taken={self.taken} target=0x{self.target:x}"
+        return (
+            f"Instruction({self.op.name} pc=0x{self.pc:x} "
+            f"srcs={self.sources}{extra})"
+        )

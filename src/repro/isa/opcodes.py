@@ -1,0 +1,93 @@
+"""Abstract PowerPC/Altivec-like operation classes.
+
+The trace-driven simulator does not interpret real PowerPC encodings;
+it consumes *operation classes* — the same categories the paper's
+Figure 1 instruction breakdown uses — plus the functional-unit and
+issue-queue mapping of Table IV.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class OpClass(IntEnum):
+    """Dynamic instruction category (paper Fig. 1 legend)."""
+
+    IALU = 0      #: integer ALU (add/sub/logic/compare/shift)
+    ILOAD = 1     #: scalar load
+    ISTORE = 2    #: scalar store
+    CTRL = 3      #: branches and jumps
+    VLOAD = 4     #: vector load
+    VSTORE = 5    #: vector store
+    VSIMPLE = 6   #: vector simple integer (vec_adds/vec_subs/vec_max...)
+    VPERM = 7     #: vector permute / shift / select
+    VCMPLX = 8    #: vector complex integer (multiply-sum etc.)
+    FPU = 9       #: scalar floating point
+    OTHER = 10    #: everything else (system, moves to special registers)
+
+
+class FunctionalUnit(IntEnum):
+    """Execution unit pools of the modelled processor (Table IV)."""
+
+    LDST = 0   #: load/store unit (scalar and vector memory ops)
+    FX = 1     #: integer fixed-point units
+    FP = 2     #: scalar floating point units
+    BR = 3     #: branch units
+    VI = 4     #: vector simple integer units
+    VPER = 5   #: vector permute units
+    VCMPLX = 6 #: vector complex integer units
+    VFP = 7    #: vector floating point units
+
+
+#: Which functional unit (and issue queue) executes each op class.
+FU_OF_OPCLASS: dict[OpClass, FunctionalUnit] = {
+    OpClass.IALU: FunctionalUnit.FX,
+    OpClass.ILOAD: FunctionalUnit.LDST,
+    OpClass.ISTORE: FunctionalUnit.LDST,
+    OpClass.CTRL: FunctionalUnit.BR,
+    OpClass.VLOAD: FunctionalUnit.LDST,
+    OpClass.VSTORE: FunctionalUnit.LDST,
+    OpClass.VSIMPLE: FunctionalUnit.VI,
+    OpClass.VPERM: FunctionalUnit.VPER,
+    OpClass.VCMPLX: FunctionalUnit.VCMPLX,
+    OpClass.FPU: FunctionalUnit.FP,
+    OpClass.OTHER: FunctionalUnit.FX,
+}
+
+#: Execution latency (cycles) of each op class, excluding memory time;
+#: loads add the cache access latency on top of their pipeline cycle.
+LATENCY_OF_OPCLASS: dict[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.ILOAD: 0,     # memory time added by the load/store unit
+    OpClass.ISTORE: 1,
+    OpClass.CTRL: 1,
+    OpClass.VLOAD: 0,
+    OpClass.VSTORE: 1,
+    OpClass.VSIMPLE: 1,
+    OpClass.VPERM: 2,
+    OpClass.VCMPLX: 4,
+    OpClass.FPU: 4,
+    OpClass.OTHER: 1,
+}
+
+#: Memory operation classes.
+MEMORY_OPS = frozenset({OpClass.ILOAD, OpClass.ISTORE, OpClass.VLOAD, OpClass.VSTORE})
+LOAD_OPS = frozenset({OpClass.ILOAD, OpClass.VLOAD})
+STORE_OPS = frozenset({OpClass.ISTORE, OpClass.VSTORE})
+VECTOR_OPS = frozenset(
+    {OpClass.VLOAD, OpClass.VSTORE, OpClass.VSIMPLE, OpClass.VPERM, OpClass.VCMPLX}
+)
+
+#: Display order used by the paper's Figure 1 stacked bars.
+FIG1_ORDER: tuple[OpClass, ...] = (
+    OpClass.OTHER,
+    OpClass.CTRL,
+    OpClass.VPERM,
+    OpClass.VSIMPLE,
+    OpClass.VLOAD,
+    OpClass.VSTORE,
+    OpClass.ILOAD,
+    OpClass.ISTORE,
+    OpClass.IALU,
+)

@@ -1,0 +1,109 @@
+"""Trace container and per-class statistics.
+
+A :class:`Trace` is the unit of work the micro-architecture simulator
+consumes: an ordered list of dynamic instructions plus the bookkeeping
+needed for the paper's measurements (instruction breakdown for Fig. 1,
+instruction counts for Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FIG1_ORDER, OpClass
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Per-class instruction counts with convenience accessors."""
+
+    counts: tuple[int, ...]  # indexed by OpClass value
+
+    @property
+    def total(self) -> int:
+        """Total dynamic instructions."""
+        return sum(self.counts)
+
+    def count(self, op: OpClass) -> int:
+        """Dynamic count of one class."""
+        return self.counts[op]
+
+    def fraction(self, op: OpClass) -> float:
+        """Fraction of the trace in one class (0 when empty)."""
+        total = self.total
+        return self.counts[op] / total if total else 0.0
+
+    def control_fraction(self) -> float:
+        """Fraction of branches/jumps (paper: 25%/18%/16% vs ~2% SIMD)."""
+        return self.fraction(OpClass.CTRL)
+
+    def load_fraction(self) -> float:
+        """Fraction of loads, scalar plus vector."""
+        return self.fraction(OpClass.ILOAD) + self.fraction(OpClass.VLOAD)
+
+    def store_fraction(self) -> float:
+        """Fraction of stores, scalar plus vector."""
+        return self.fraction(OpClass.ISTORE) + self.fraction(OpClass.VSTORE)
+
+    def breakdown(self) -> dict[str, int]:
+        """Counts keyed by lower-case class name, in Fig. 1 order."""
+        return {op.name.lower(): self.counts[op] for op in FIG1_ORDER}
+
+
+class Trace:
+    """An ordered dynamic instruction stream with its mix statistics."""
+
+    def __init__(self, name: str, instructions: Sequence[Instruction]) -> None:
+        self.name = name
+        self.instructions = list(instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def mix(self) -> InstructionMix:
+        """Compute the per-class instruction breakdown."""
+        counts = [0] * len(OpClass)
+        for instruction in self.instructions:
+            counts[instruction.op] += 1
+        return InstructionMix(counts=tuple(counts))
+
+    def branch_count(self) -> int:
+        """Number of control instructions."""
+        return sum(1 for instruction in self.instructions if instruction.is_branch)
+
+    def slice(self, limit: int) -> "Trace":
+        """First ``limit`` instructions as a new trace.
+
+        Dependencies always point backwards, so any prefix of a trace is
+        itself a well-formed trace.
+        """
+        return Trace(f"{self.name}[:{limit}]", self.instructions[:limit])
+
+    def validate(self) -> None:
+        """Check well-formedness: producers precede consumers and have dests.
+
+        Raises ``ValueError`` on the first violation; used by tests and
+        by kernel development as a sanity gate.
+        """
+        for index, instruction in enumerate(self.instructions):
+            for source in instruction.sources:
+                if not 0 <= source < index:
+                    raise ValueError(
+                        f"instruction {index} depends on {source} which is "
+                        "not strictly earlier in the trace"
+                    )
+                if not self.instructions[source].has_dest:
+                    raise ValueError(
+                        f"instruction {index} depends on {source} which "
+                        "produces no register result"
+                    )
+            if instruction.is_memory and instruction.address < 0:
+                raise ValueError(f"memory instruction {index} has no address")

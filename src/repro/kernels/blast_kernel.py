@@ -1,0 +1,269 @@
+"""Traced NCBI-BLAST kernel: word scan, two-hit seeds, extensions.
+
+Mirrors paper listing 1's character: the scan loop reads packed
+database residues, probes a compact presence vector, and — on a hit —
+chases pointers through the big lookup-cell table, the per-diagonal
+last-hit array, and the query-offset buckets.  Those scattered accesses
+over a table that does not fit in small L1 caches are exactly the
+memory behaviour behind BLAST's mm_dl1/mm_dl2 traumas in the paper;
+the extension stages add matrix-lookup ALU chains (rg_fix).
+
+Scores equal :class:`repro.align.blast.engine.BlastEngine`'s (tested).
+"""
+
+from __future__ import annotations
+
+from repro.align.blast.engine import BlastOptions
+from repro.align.blast.wordfinder import LookupTable, word_index
+from repro.bio.database import SequenceDatabase
+from repro.bio.sequence import Sequence
+from repro.isa.builder import TraceBuilder
+from repro.kernels.base import TracedKernel
+from repro.kernels.dp_emit import banded_dp_traced
+
+
+class BlastKernel(TracedKernel):
+    """Instrumented BLASTP database scan."""
+
+    name = "blast"
+
+    def __init__(self, options: BlastOptions = BlastOptions()) -> None:
+        self.options = options
+
+    def execute(
+        self,
+        builder: TraceBuilder,
+        query: Sequence,
+        database: SequenceDatabase,
+        scores: dict[str, int],
+    ) -> None:
+        options = self.options
+        q = query.codes
+        m = len(q)
+        word_size = options.word_size
+        window = options.window
+
+        lookup_query = query
+        if options.mask_query:
+            from repro.bio.complexity import mask_sequence
+
+            lookup_query = mask_sequence(query)
+        lookup = LookupTable(
+            lookup_query.codes,
+            matrix=options.matrix,
+            word_size=word_size,
+            threshold=options.threshold,
+        )
+
+        # Data layout mirroring NCBI BLAST's structures: a compact
+        # presence vector (1 bit/word), the cell table (8 B/word), the
+        # bucket area holding query offsets, the matrix, the diagonal
+        # last-hit array, and the streamed database.
+        table_words = len(lookup)
+        pv_base = builder.alloc("presence", table_words // 8 + 8)
+        cells_base = builder.alloc("cells", table_words * 8)
+        buckets_base = builder.alloc("buckets", max(lookup.entry_count, 1) * 4)
+        matrix_base = builder.alloc("matrix", options.matrix.size**2 * 2)
+        query_base = builder.alloc("query", max(m, 1))
+        longest = max((len(s) for s in database), default=0)
+        diag_base = builder.alloc("diag", (m + longest) * 4)
+        profile_base = builder.alloc("profile", options.matrix.size * m * 2)
+        row_base = builder.alloc("dp_rows", (m + 1) * 8)
+        db_base = builder.alloc("db", database.residue_count)
+
+        # Bucket offsets per word index (for address generation).
+        bucket_offset: dict[int, int] = {}
+        cursor = 0
+        for index in range(table_words):
+            positions = lookup.lookup(index)
+            if positions:
+                bucket_offset[index] = cursor
+                cursor += len(positions)
+
+        db_cursor = db_base
+        for subject in database:
+            s = subject.codes
+            n = len(s)
+            subject_base = db_cursor
+            db_cursor += n
+
+            r_sub = builder.ialu("drv.subj.setup")
+            builder.other("drv.subj.misc", (r_sub,))
+
+            best = 0
+            bias = m - 1
+            last_hit = [-(10**9)] * (bias + max(n, 1))
+            extended_until: dict[int, int] = {}
+
+            r_ptr = r_sub
+            for so in range(max(0, n - word_size + 1)):
+                index = word_index(s, so, word_size)
+                positions = lookup.lookup(index)
+
+                # Scan step: packed residue read, word index update,
+                # presence-vector probe (paper listing 1 territory).
+                r_byte = builder.iload(
+                    "scan.readdb", subject_base + so, (r_ptr,), size=1
+                )
+                r_ptr = builder.ialu("scan.unpack1", (r_byte, r_ptr))
+                r_idx = builder.ialu("scan.unpack2", (r_byte,))
+                r_idx = builder.ialu("scan.unpack3", (r_idx,))
+                r_idx = builder.ialu("scan.index", (r_idx,))
+                r_pvaddr = builder.ialu("scan.pv_addr", (r_idx,))
+                r_pv = builder.iload(
+                    "scan.pv", pv_base + (max(index, 0) >> 3), (r_pvaddr,), size=4
+                )
+                r_bit = builder.ialu("scan.pv_test", (r_pv, r_idx))
+                builder.ctrl(
+                    "scan.br_hit", taken=bool(positions), sources=(r_bit,)
+                )
+                if so % 2 == 1:
+                    builder.ctrl("scan.loop", taken=so + 1 < n, backward=True)
+                if not positions:
+                    continue
+
+                # Hit: fetch the cell entry, then walk the bucket.
+                r_cell = builder.iload(
+                    "hit.cell", cells_base + index * 8, (r_idx,), size=8
+                )
+                base = bucket_offset[index]
+                r_walk = r_cell
+                for bucket_pos, qo in enumerate(positions):
+                    r_qo = builder.iload(
+                        "hit.bucket",
+                        buckets_base + (base + bucket_pos) * 4,
+                        (r_walk,),
+                        size=4,
+                    )
+                    r_diag = builder.ialu("hit.diag", (r_qo,))
+                    r_diag = builder.ialu("hit.diag_addr", (r_diag,))
+                    diagonal = so - qo + bias
+                    previous = last_hit[diagonal]
+                    distance = so - previous
+                    r_last = builder.iload(
+                        "hit.lasthit", diag_base + diagonal * 4, (r_diag,), size=4
+                    )
+                    r_dist = builder.ialu("hit.dist", (r_last,))
+                    two_hit = word_size <= distance <= window
+                    builder.ctrl("hit.br_two", taken=two_hit, sources=(r_dist,))
+                    if two_hit or distance > window:
+                        last_hit[diagonal] = so
+                        builder.istore(
+                            "hit.update", diag_base + diagonal * 4, (r_diag,), size=4
+                        )
+                    builder.ctrl(
+                        "hit.bucket_loop",
+                        taken=bucket_pos + 1 < len(positions),
+                        backward=True,
+                    )
+                    if not two_hit:
+                        continue
+                    real_diag = so - qo
+                    if extended_until.get(real_diag, -1) >= so:
+                        continue
+
+                    score, subject_end = self._extend_ungapped_traced(
+                        builder, q, s, qo, so, matrix_base, query_base,
+                        subject_base, r_diag
+                    )
+                    extended_until[real_diag] = subject_end
+                    if score >= options.gap_trigger:
+                        score = banded_dp_traced(
+                            builder,
+                            "gapx",
+                            q,
+                            s,
+                            center=real_diag,
+                            width=options.gapped_band,
+                            matrix=options.matrix,
+                            gaps=options.gaps,
+                            profile_base=profile_base,
+                            row_base=row_base,
+                            subject_base=subject_base,
+                            r_ctx=r_diag,
+                        )
+                    if score > best:
+                        best = score
+
+            r_hist = builder.ialu("drv.hist.bin", (r_sub,))
+            builder.istore("drv.hist.store", diag_base, (r_hist,), size=4)
+            scores[subject.identifier] = best
+
+    def _extend_ungapped_traced(
+        self,
+        builder: TraceBuilder,
+        q,
+        s,
+        query_offset: int,
+        subject_offset: int,
+        matrix_base: int,
+        query_base: int,
+        subject_base: int,
+        r_seed: int,
+    ) -> tuple[int, int]:
+        """X-drop ungapped extension with per-residue emission.
+
+        Returns (score, subject_end) like
+        :func:`repro.align.blast.extension.extend_ungapped`.
+        """
+        options = self.options
+        rows = options.matrix.rows
+        word_size = options.word_size
+        x_drop = options.x_drop_ungapped
+        msize = options.matrix.size
+
+        r_run = builder.ialu("ext.init", (r_seed,))
+
+        def emit_step(direction: str, q_pos: int, s_pos: int, stop: bool) -> None:
+            nonlocal r_run
+            r_s = builder.iload(
+                f"ext.{direction}.s", subject_base + s_pos, (r_run,), size=1
+            )
+            r_row = builder.ialu(f"ext.{direction}.row", (r_s,))
+            r_m = builder.iload(
+                f"ext.{direction}.m",
+                matrix_base + (q[q_pos] * msize + s[s_pos]) * 2,
+                (r_row,),
+                size=2,
+            )
+            r_run = builder.ialu(f"ext.{direction}.add", (r_run, r_m))
+            r_ptr2 = builder.ialu(f"ext.{direction}.ptr", (r_run,))
+            r_cmp = builder.ialu(f"ext.{direction}.cmp", (r_run, r_ptr2))
+            builder.ctrl(f"ext.{direction}.br", taken=not stop, sources=(r_cmp,))
+
+        # Seed word score.
+        score = 0
+        for offset in range(word_size):
+            score += rows[q[query_offset + offset]][s[subject_offset + offset]]
+            emit_step("seed", query_offset + offset, subject_offset + offset, False)
+
+        # Right extension.
+        best = score
+        right = 0
+        running = score
+        q0, s0 = query_offset + word_size, subject_offset + word_size
+        limit = min(len(q) - q0, len(s) - s0)
+        for step in range(limit):
+            running += rows[q[q0 + step]][s[s0 + step]]
+            stop = best - running > x_drop
+            if running > best:
+                best = running
+                right = step + 1
+            emit_step("right", q0 + step, s0 + step, stop)
+            if stop:
+                break
+
+        # Left extension.
+        total_best = best
+        running = best
+        limit = min(query_offset, subject_offset)
+        for step in range(1, limit + 1):
+            running += rows[q[query_offset - step]][s[subject_offset - step]]
+            stop = total_best - running > x_drop
+            if running > total_best:
+                total_best = running
+            emit_step("left", query_offset - step, subject_offset - step, stop)
+            if stop:
+                break
+
+        return total_best, subject_offset + word_size + right

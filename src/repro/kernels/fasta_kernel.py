@@ -1,0 +1,298 @@
+"""Traced FASTA34 kernel: k-tuple scan, region handling, banded opt.
+
+Follows the three-stage FASTA pipeline of
+:class:`repro.align.fasta.engine.FastaEngine` (scores are identical,
+tested).  Stage 1 streams the subject against the small (20^2-bucket)
+k-tuple table — unlike BLAST's 20^3-word table this fits comfortably in
+L1, which is why FASTA is *not* memory-bound in the paper.  Stages 2-3
+are branchy integer scanning and the banded DP, giving FASTA its
+SSEARCH-like dependence on branch prediction.
+"""
+
+from __future__ import annotations
+
+from repro.align.fasta.engine import FastaOptions, FastaScores
+from repro.align.fasta.chaining import chain_regions
+from repro.align.fasta.ktup import (
+    DiagonalRegion,
+    HIT_BONUS_PER_RESIDUE,
+    DISTANCE_PENALTY,
+    KtupleIndex,
+)
+from repro.bio.alphabet import STANDARD_AMINO_ACIDS
+from repro.bio.database import SequenceDatabase
+from repro.bio.sequence import Sequence
+from repro.isa.builder import TraceBuilder
+from repro.kernels.base import TracedKernel
+from repro.kernels.dp_emit import banded_dp_traced
+
+
+class FastaKernel(TracedKernel):
+    """Instrumented FASTA database scan."""
+
+    name = "fasta34"
+
+    def __init__(self, options: FastaOptions = FastaOptions()) -> None:
+        self.options = options
+
+    def execute(
+        self,
+        builder: TraceBuilder,
+        query: Sequence,
+        database: SequenceDatabase,
+        scores: dict[str, int],
+    ) -> None:
+        options = self.options
+        q = query.codes
+        m = len(q)
+        ktup = options.ktup
+        index = KtupleIndex(q, ktup=ktup)
+
+        ktab_base = builder.alloc("ktab", (STANDARD_AMINO_ACIDS**ktup) * 8)
+        buckets_base = builder.alloc("buckets", max(m, 1) * 4)
+        longest = max((len(s) for s in database), default=0)
+        hitlist_base = builder.alloc("hitlist", (m + longest) * 8)
+        profile_base = builder.alloc("profile", options.matrix.size * m * 2)
+        row_base = builder.alloc("dp_rows", (m + 1) * 8)
+        db_base = builder.alloc("db", database.residue_count)
+
+        db_cursor = db_base
+        for subject in database:
+            s = subject.codes
+            n = len(s)
+            subject_base = db_cursor
+            db_cursor += n
+
+            r_sub = builder.ialu("drv.subj.setup")
+            builder.other("drv.subj.misc", (r_sub,))
+
+            # ---------------- stage 1: k-tuple diagonal scan ----------
+            hits: dict[int, list[int]] = {}
+            r_ptr = r_sub
+            for so in range(max(0, n - ktup + 1)):
+                word = 0
+                valid = True
+                for offset in range(ktup):
+                    code = s[so + offset]
+                    if code >= STANDARD_AMINO_ACIDS:
+                        valid = False
+                        break
+                    word = word * STANDARD_AMINO_ACIDS + code
+                positions = index.positions(word) if valid else ()
+
+                r_byte = builder.iload(
+                    "scan.loads", subject_base + so, (r_ptr,), size=1
+                )
+                r_ptr = builder.ialu("scan.shift", (r_byte, r_ptr))
+                r_word = builder.ialu("scan.word", (r_byte,))
+                r_head = builder.iload(
+                    "scan.ktab", ktab_base + max(word, 0) * 8, (r_word,), size=8
+                )
+                r_test = builder.ialu("scan.test", (r_head,))
+                builder.ctrl("scan.br_hit", taken=bool(positions), sources=(r_test,))
+                if so % 2 == 1:
+                    builder.ctrl("scan.loop", taken=so + 1 < n, backward=True)
+
+                for bucket_pos, qo in enumerate(positions):
+                    diagonal = so - qo
+                    hits.setdefault(diagonal, []).append(so)
+                    r_qo = builder.iload(
+                        "scan.bucket", buckets_base + qo * 4, (r_head,), size=4
+                    )
+                    r_d = builder.ialu("scan.diag", (r_qo,))
+                    builder.istore(
+                        "scan.record",
+                        hitlist_base + (diagonal + m) * 8,
+                        (r_d,),
+                        size=8,
+                    )
+                    builder.ctrl(
+                        "scan.bucket_loop",
+                        taken=bucket_pos + 1 < len(positions),
+                        backward=True,
+                    )
+
+            # ---------------- stage 2: diagonal run scoring -----------
+            raw_regions: list[DiagonalRegion] = []
+            for diagonal in hits:
+                offsets = hits[diagonal]
+                r_dptr = builder.ialu("run.diag_setup", (r_sub,))
+                running = 0
+                best = 0
+                run_start = 0
+                best_end = 0
+                previous_end = None
+                r_run = r_dptr
+                for offset in offsets:
+                    bonus = HIT_BONUS_PER_RESIDUE * ktup
+                    if previous_end is None:
+                        gap_cost = 0
+                    else:
+                        distance = offset - previous_end
+                        if distance <= 0:
+                            bonus = HIT_BONUS_PER_RESIDUE * (ktup + distance)
+                            gap_cost = 0
+                        else:
+                            gap_cost = distance * DISTANCE_PENALTY
+
+                    r_off = builder.iload(
+                        "run.load",
+                        hitlist_base + (diagonal + m) * 8,
+                        (r_dptr,),
+                        size=4,
+                    )
+                    r_run = builder.ialu("run.score", (r_run, r_off))
+                    r_cmp = builder.ialu("run.cmp", (r_run,))
+
+                    if running == 0:
+                        run_start = offset
+                        running = max(0, bonus)
+                        best = running
+                        best_end = offset + ktup
+                        builder.ctrl("run.br_fresh", taken=True, sources=(r_cmp,))
+                    else:
+                        running = running - gap_cost + bonus
+                        if running <= 0:
+                            builder.ctrl(
+                                "run.br_reset", taken=True, sources=(r_cmp,)
+                            )
+                            if best > 0:
+                                raw_regions.append(
+                                    DiagonalRegion(
+                                        diagonal, run_start, best_end, best
+                                    )
+                                )
+                            # The triggering hit seeds a fresh run
+                            # (matching scan_diagonal()).
+                            run_start = offset
+                            running = HIT_BONUS_PER_RESIDUE * ktup
+                            best = running
+                            best_end = offset + ktup
+                            previous_end = offset + ktup
+                            continue
+                        builder.ctrl(
+                            "run.br_better",
+                            taken=running > best,
+                            sources=(r_cmp,),
+                        )
+                        if running > best:
+                            best = running
+                            best_end = offset + ktup
+                            r_run = builder.ialu("run.upd_best", (r_run,))
+                    previous_end = offset + ktup
+                if best > 0:
+                    raw_regions.append(
+                        DiagonalRegion(diagonal, run_start, best_end, best)
+                    )
+
+            raw_regions.sort(key=lambda region: (-region.score, region.diagonal))
+            raw_regions = raw_regions[: options.best_regions]
+
+            # ---------------- stage 3: rescoring + chaining -----------
+            rescored: list[DiagonalRegion] = []
+            for region in raw_regions:
+                rescored.append(
+                    self._rescore_traced(
+                        builder, region, q, s, profile_base, subject_base, r_sub
+                    )
+                )
+            rescored = [region for region in rescored if region.score > 0]
+            init1 = max((region.score for region in rescored), default=0)
+            initn = chain_regions(rescored, join_penalty=options.join_penalty)
+            for pair_index in range(len(rescored) * (len(rescored) - 1) // 2):
+                r_c = builder.ialu("chain.cmp", (r_sub,))
+                builder.ctrl(
+                    "chain.br", taken=pair_index % 2 == 0, sources=(r_c,)
+                )
+
+            # ---------------- stage 4: banded optimization ------------
+            opt = 0
+            r_thr = builder.ialu("drv.thr_cmp", (r_sub,))
+            builder.ctrl(
+                "drv.br_opt",
+                taken=initn >= options.opt_threshold and bool(rescored),
+                sources=(r_thr,),
+            )
+            if initn >= options.opt_threshold and rescored:
+                best_region = max(rescored, key=lambda region: region.score)
+                opt = banded_dp_traced(
+                    builder,
+                    "opt",
+                    q,
+                    s,
+                    center=best_region.diagonal,
+                    width=options.opt_band,
+                    matrix=options.matrix,
+                    gaps=options.gaps,
+                    profile_base=profile_base,
+                    row_base=row_base,
+                    subject_base=subject_base,
+                    r_ctx=r_thr,
+                )
+
+            stage_scores = FastaScores(init1=init1, initn=initn, opt=opt)
+            r_hist = builder.ialu("drv.hist.bin", (r_sub,))
+            builder.istore("drv.hist.store", hitlist_base, (r_hist,), size=4)
+            scores[subject.identifier] = stage_scores.reported
+
+    def _rescore_traced(
+        self,
+        builder: TraceBuilder,
+        region: DiagonalRegion,
+        q,
+        s,
+        profile_base: int,
+        subject_base: int,
+        r_ctx: int,
+    ) -> DiagonalRegion:
+        """Matrix rescoring of one region with per-residue emission.
+
+        Exactly mirrors :func:`repro.align.fasta.ktup.rescore_region`.
+        """
+        m = len(q)
+        matrix = self.options.matrix
+        best = 0
+        running = 0
+        best_start = region.subject_start
+        best_end = region.subject_start
+        run_start = region.subject_start
+        r_run = builder.ialu("resc.setup", (r_ctx,))
+        for subject_offset in range(region.subject_start, region.subject_end):
+            query_offset = subject_offset - region.diagonal
+            if not 0 <= query_offset < m:
+                continue
+            value = matrix.score(q[query_offset], s[subject_offset])
+            r_s = builder.iload(
+                "resc.loads", subject_base + subject_offset, (r_run,), size=1
+            )
+            r_v = builder.iload(
+                "resc.prof",
+                profile_base + (s[subject_offset] * m + query_offset) * 2,
+                (r_s,),
+                size=2,
+            )
+            r_run = builder.ialu("resc.add", (r_run, r_v))
+            if running == 0:
+                run_start = subject_offset
+            running += value
+            reset = running <= 0
+            r_cmp = builder.ialu("resc.cmp", (r_run,))
+            builder.ctrl("resc.br_reset", taken=reset, sources=(r_cmp,))
+            if reset:
+                running = 0
+            elif running > best:
+                best = running
+                best_start = run_start
+                best_end = subject_offset + 1
+                r_run = builder.ialu("resc.upd", (r_run,))
+            builder.ctrl(
+                "resc.loop",
+                taken=subject_offset + 1 < region.subject_end,
+                backward=True,
+            )
+        return DiagonalRegion(
+            diagonal=region.diagonal,
+            subject_start=best_start,
+            subject_end=best_end,
+            score=best,
+        )

@@ -1,0 +1,166 @@
+"""Traced star-MSA kernel — the paper's "future work" workload.
+
+The paper's conclusion names multiple-sequence analysis as the next
+workload to characterize; this kernel does exactly that for the
+progressive star MSA of :mod:`repro.align.msa`.  The dominant stage is
+the all-to-center global DP (a branchy scalar recurrence like
+SSEARCH's, but without the zero floor or the SWAT fast path), followed
+by the linear merge scan.
+
+Scores reported per sequence are the global alignment scores against
+the chosen center, identical to :func:`repro.align.needleman_wunsch.nw_score`
+(tested).
+"""
+
+from __future__ import annotations
+
+from repro.align.needleman_wunsch import nw_score
+from repro.align.types import GapPenalties, PAPER_GAPS
+from repro.bio.database import SequenceDatabase
+from repro.bio.matrices import BLOSUM62, ScoringMatrix
+from repro.bio.sequence import Sequence
+from repro.isa.builder import TraceBuilder
+from repro.kernels.base import TracedKernel
+
+_NEG_INF = -(10**9)
+
+
+class MsaKernel(TracedKernel):
+    """Instrumented star MSA over a database's sequences.
+
+    The ``query`` argument of :meth:`run` is used as the star center
+    (in a real run the center is chosen by all-pairs scoring; tracing
+    uses a fixed center so the traced work is the pairwise DP stage).
+    """
+
+    name = "msa_star"
+
+    def __init__(
+        self,
+        matrix: ScoringMatrix = BLOSUM62,
+        gaps: GapPenalties = PAPER_GAPS,
+    ) -> None:
+        self.matrix = matrix
+        self.gaps = gaps
+
+    def execute(
+        self,
+        builder: TraceBuilder,
+        query: Sequence,
+        database: SequenceDatabase,
+        scores: dict[str, int],
+    ) -> None:
+        center = query.codes
+        m = len(center)
+        gap_first = self.gaps.first_residue_cost
+        gap_extend = self.gaps.extend
+        rows = self.matrix.rows
+
+        profile_base = builder.alloc("profile", self.matrix.size * m * 2)
+        row_base = builder.alloc("dp_rows", (m + 1) * 8)
+        msa_base = builder.alloc("msa", (len(database) + 1) * (m * 4))
+        db_base = builder.alloc("db", database.residue_count)
+
+        db_cursor = db_base
+        for subject in database:
+            s = subject.codes
+            subject_base = db_cursor
+            db_cursor += len(s)
+
+            r_sub = builder.ialu("drv.subj.setup")
+            builder.other("drv.subj.misc", (r_sub,))
+
+            score = self._traced_nw(
+                builder, center, s, rows, gap_first, gap_extend,
+                profile_base, row_base, subject_base, r_sub,
+            )
+            scores[subject.identifier] = score
+
+            # Merge scan: walk the alignment columns, padding rows
+            # (linear in the alignment length).
+            r_ptr = r_sub
+            for column in range(max(m, len(s))):
+                r_char = builder.iload(
+                    "merge.load", msa_base + column * 4, (r_ptr,), size=4
+                )
+                r_ptr = builder.ialu("merge.advance", (r_char,))
+                builder.ctrl(
+                    "merge.br_gap",
+                    taken=(column * 7 + len(s)) % 3 == 0,
+                    sources=(r_ptr,),
+                )
+                builder.istore(
+                    "merge.store", msa_base + column * 4, (r_ptr,), size=4
+                )
+
+    def _traced_nw(
+        self,
+        builder: TraceBuilder,
+        q,
+        s,
+        rows,
+        gap_first: int,
+        gap_extend: int,
+        profile_base: int,
+        row_base: int,
+        subject_base: int,
+        r_ctx: int,
+    ) -> int:
+        """Global affine DP with per-cell emission; returns nw score."""
+        m = len(q)
+        h_row = [0] + [-(gap_first + gap_extend * (i - 1)) for i in range(1, m + 1)]
+        e_row = [_NEG_INF] * (m + 1)
+
+        r_ptr = builder.ialu("nw.setup", (r_ctx,))
+        for j, b_code in enumerate(s, start=1):
+            score_row = rows[b_code]
+            diag = h_row[0]
+            h_row[0] = -(gap_first + gap_extend * (j - 1))
+            f = _NEG_INF
+
+            r_b = builder.iload(
+                "nw.col.loadb", subject_base + j - 1, (r_ptr,), size=1
+            )
+            r_prof = builder.ialu("nw.col.prof", (r_b,))
+            r_h = builder.ialu("nw.col.h0")
+            r_diag = r_h
+            r_f = r_h
+            r_e = r_h
+
+            profile_row = profile_base + b_code * m * 2
+            for i in range(1, m + 1):
+                e = max(h_row[i] - gap_first, e_row[i] - gap_extend)
+                f = max(h_row[i - 1] - gap_first, f - gap_extend)
+                h = diag + score_row[q[i - 1]]
+                diag_wins = h >= e and h >= f
+                if e > h:
+                    h = e
+                if f > h:
+                    h = f
+
+                r_val = builder.iload(
+                    "nw.cell.prof", profile_row + i * 2, (r_prof,), size=2
+                )
+                r_hl = builder.iload(
+                    "nw.cell.loadH", row_base + i * 8, (r_ptr,), size=4
+                )
+                r_el = builder.iload(
+                    "nw.cell.loadE", row_base + i * 8 + 4, (r_ptr,), size=4
+                )
+                r_add = builder.ialu("nw.cell.add", (r_diag, r_val))
+                r_e = builder.ialu("nw.cell.e_upd", (r_hl, r_el))
+                r_f = builder.ialu("nw.cell.f_upd", (r_f, r_h))
+                r_h = builder.ialu("nw.cell.h_max", (r_add, r_e, r_f))
+                r_cmp = builder.ialu("nw.cell.cmp", (r_h,))
+                builder.ctrl("nw.cell.br_diag", taken=diag_wins, sources=(r_cmp,))
+                builder.istore(
+                    "nw.cell.store", row_base + i * 8, (r_h, r_e), size=8
+                )
+                builder.ctrl("nw.cell.loop", taken=i < m, backward=True)
+
+                diag = h_row[i]
+                h_row[i] = h
+                e_row[i] = e
+                r_diag = r_hl
+            builder.ctrl("nw.col.loop", taken=j < len(s), backward=True)
+        return h_row[m]

@@ -1,0 +1,21 @@
+"""Branch prediction: direction predictors and the NFA/BTB."""
+
+from repro.uarch.branch.btb import BranchTargetBuffer
+from repro.uarch.branch.predictors import (
+    BimodalPredictor,
+    CombinedPredictor,
+    DirectionPredictor,
+    GsharePredictor,
+    PerfectPredictor,
+    create_predictor,
+)
+
+__all__ = [
+    "BranchTargetBuffer",
+    "BimodalPredictor",
+    "CombinedPredictor",
+    "DirectionPredictor",
+    "GsharePredictor",
+    "PerfectPredictor",
+    "create_predictor",
+]

@@ -1,0 +1,54 @@
+"""Next-fetch-address table (BTB/NFA).
+
+Table VI gives a 4K-entry, 4-way associative NFA with a 2-cycle bubble
+on a miss for a taken branch: the frontend cannot produce the target
+address until the branch decodes, costing ``miss_penalty`` fetch
+cycles (charged as the ``if_nfa`` trauma).
+"""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """Set-associative pc -> target store with LRU replacement."""
+
+    def __init__(self, entries: int, associativity: int, miss_penalty: int) -> None:
+        if entries < associativity:
+            raise ValueError("BTB needs at least one set")
+        self.associativity = associativity
+        self.miss_penalty = miss_penalty
+        self.set_count = max(1, entries // associativity)
+        self._sets: list[list[tuple[int, int]]] = [
+            [] for _ in range(self.set_count)
+        ]
+        self.lookups = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the stored target for ``pc`` or None on a miss."""
+        self.lookups += 1
+        ways = self._sets[(pc >> 2) % self.set_count]
+        for position, (tag, target) in enumerate(ways):
+            if tag == pc:
+                if position:
+                    del ways[position]
+                    ways.insert(0, (tag, target))
+                return target
+        self.misses += 1
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Record a taken branch's target."""
+        ways = self._sets[(pc >> 2) % self.set_count]
+        for position, (tag, _) in enumerate(ways):
+            if tag == pc:
+                del ways[position]
+                break
+        ways.insert(0, (pc, target))
+        if len(ways) > self.associativity:
+            ways.pop()
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed."""
+        return self.misses / self.lookups if self.lookups else 0.0

@@ -1,0 +1,167 @@
+"""Direction predictors: bimodal, gshare, and the combined GP predictor.
+
+Table VI describes a combined predictor that selects between a gshare
+and a bimodal component with a chooser table (the classic McFarling
+arrangement the paper labels "GP").  Figure 11 compares all three as a
+function of table size, so each is available standalone.
+
+All tables hold 2-bit saturating counters; sizes are powers of two
+(non-powers are rounded down, matching hardware indexing).
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+def _floor_pow2(value: int) -> int:
+    if value < 1:
+        raise ValueError("table size must be positive")
+    return 1 << (value.bit_length() - 1)
+
+
+class DirectionPredictor(abc.ABC):
+    """Predict-then-update interface shared by all predictors."""
+
+    def __init__(self) -> None:
+        self.predictions = 0
+        self.correct = 0
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the actual outcome."""
+
+    def record(self, predicted: bool, taken: bool) -> bool:
+        """Track accuracy; returns True when the prediction was right."""
+        self.predictions += 1
+        hit = predicted == taken
+        if hit:
+            self.correct += 1
+        return hit
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions (1.0 before any prediction)."""
+        return self.correct / self.predictions if self.predictions else 1.0
+
+
+class PerfectPredictor(DirectionPredictor):
+    """Oracle predictor used for Fig. 9's ideal configuration."""
+
+    def predict(self, pc: int) -> bool:  # pragma: no cover - trivial
+        raise NotImplementedError("perfect prediction is handled by the core")
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Per-pc 2-bit saturating counters."""
+
+    def __init__(self, entries: int) -> None:
+        super().__init__()
+        self.entries = _floor_pow2(entries)
+        self._mask = self.entries - 1
+        self._counters = bytearray([2] * self.entries)  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+
+
+class GsharePredictor(DirectionPredictor):
+    """Global-history-xor-pc indexed 2-bit counters."""
+
+    def __init__(self, entries: int, history_bits: int | None = None) -> None:
+        super().__init__()
+        self.entries = _floor_pow2(entries)
+        self._mask = self.entries - 1
+        index_bits = self.entries.bit_length() - 1
+        self.history_bits = (
+            min(12, index_bits) if history_bits is None else history_bits
+        )
+        self._history = 0
+        self._history_mask = (1 << self.history_bits) - 1
+        self._counters = bytearray([2] * self.entries)
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class CombinedPredictor(DirectionPredictor):
+    """McFarling chooser between gshare and bimodal (the paper's GP).
+
+    The entry budget is split: half to each component and a chooser
+    array of the same size as a component.
+    """
+
+    def __init__(self, entries: int) -> None:
+        super().__init__()
+        component = max(2, _floor_pow2(entries) // 2)
+        self.gshare = GsharePredictor(component)
+        self.bimodal = BimodalPredictor(component)
+        self._chooser = bytearray([2] * component)  # prefer gshare
+        self._mask = component - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser[self._index(pc)] >= 2:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        gshare_right = self.gshare.predict(pc) == taken
+        bimodal_right = self.bimodal.predict(pc) == taken
+        index = self._index(pc)
+        if gshare_right != bimodal_right:
+            counter = self._chooser[index]
+            if gshare_right:
+                if counter < 3:
+                    self._chooser[index] = counter + 1
+            elif counter > 0:
+                self._chooser[index] = counter - 1
+        self.gshare.update(pc, taken)
+        self.bimodal.update(pc, taken)
+
+
+def create_predictor(kind: str, entries: int) -> DirectionPredictor:
+    """Factory for Fig. 11's three strategies plus the oracle."""
+    if kind == "bimodal":
+        return BimodalPredictor(entries)
+    if kind == "gshare":
+        return GsharePredictor(entries)
+    if kind in {"combined", "gp"}:
+        return CombinedPredictor(entries)
+    if kind == "perfect":
+        return PerfectPredictor()
+    raise ValueError(f"unknown predictor kind {kind!r}")

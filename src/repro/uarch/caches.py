@@ -1,0 +1,230 @@
+"""Set-associative caches and the two-level hierarchy of Table V.
+
+Caches are modelled at line granularity with true-LRU replacement.  An
+access returns which level served it, from which the pipeline derives
+both the latency and the trauma class (``mm_dl1`` for L1 misses served
+by L2, ``mm_dl2`` for L2 misses served by memory).  Ideal levels
+(``size_bytes=None``, the paper's "Inf" entries) always hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.uarch.config import CacheConfig, MemoryConfig, TlbConfig
+
+
+class ServiceLevel(IntEnum):
+    """Which level of the hierarchy served an access."""
+
+    L1 = 1
+    L2 = 2
+    MEMORY = 3
+
+
+@dataclass
+class CacheStats:
+    """Access/miss counters for one cache."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio (0.0 when the cache saw no accesses)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        if config.is_ideal:
+            self._sets: list[list[int]] = []
+            self.set_count = 0
+        else:
+            self.set_count = config.size_bytes // (
+                config.line_bytes * config.associativity
+            )
+            self._sets = [[] for _ in range(self.set_count)]
+        self._line_shift = config.line_bytes.bit_length() - 1
+
+    def line_of(self, address: int) -> int:
+        """Line number containing ``address``."""
+        return address >> self._line_shift
+
+    def access(self, address: int, record_stats: bool = True) -> bool:
+        """Access one line; returns True on hit.  Misses allocate.
+
+        ``record_stats=False`` performs the access without counting it
+        (prefetch fills, which would otherwise pollute demand-miss
+        statistics).
+        """
+        if record_stats:
+            self.stats.accesses += 1
+        if self.config.is_ideal:
+            return True
+        line = address >> self._line_shift
+        index = line % self.set_count
+        ways = self._sets[index]
+        try:
+            position = ways.index(line)
+        except ValueError:
+            if record_stats:
+                self.stats.misses += 1
+            ways.insert(0, line)
+            if len(ways) > self.config.associativity:
+                ways.pop()
+            return False
+        if position:
+            del ways[position]
+            ways.insert(0, line)
+        return True
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU or statistics."""
+        if self.config.is_ideal:
+            return True
+        line = address >> self._line_shift
+        return line in self._sets[line % self.set_count]
+
+
+class Tlb:
+    """A translation lookaside buffer (set-associative over page numbers)."""
+
+    def __init__(self, config: TlbConfig) -> None:
+        self.config = config
+        self.lookups = 0
+        self.misses = 0
+        self._page_shift = config.page_bytes.bit_length() - 1
+        if config.is_ideal:
+            self.set_count = 0
+            self._sets: list[list[int]] = []
+        else:
+            self.set_count = max(1, config.entries // config.associativity)
+            self._sets = [[] for _ in range(self.set_count)]
+
+    def access(self, address: int) -> bool:
+        """Translate; returns True on a TLB hit.  Misses install."""
+        self.lookups += 1
+        if self.config.is_ideal:
+            return True
+        page = address >> self._page_shift
+        ways = self._sets[page % self.set_count]
+        try:
+            position = ways.index(page)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, page)
+            if len(ways) > self.config.associativity:
+                ways.pop()
+            return False
+        if position:
+            del ways[position]
+            ways.insert(0, page)
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed."""
+        return self.misses / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class DataAccessResult:
+    """Outcome of one data access through the hierarchy."""
+
+    latency: int
+    level: ServiceLevel
+    tlb_missed: bool
+
+
+class MemoryHierarchy:
+    """TLBs + IL1 + DL1 + shared L2 + main memory (Table V arrangement)."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.il1 = Cache(config.il1)
+        self.dl1 = Cache(config.dl1)
+        self.l2 = Cache(config.l2)
+        self.itlb = Tlb(config.itlb)
+        self.dtlb = Tlb(config.dtlb)
+
+    def _lines_touched(self, cache: Cache, address: int, size: int) -> range:
+        first = cache.line_of(address)
+        last = cache.line_of(address + max(size, 1) - 1)
+        return range(first, last + 1)
+
+    def _fill_line(
+        self, line_address: int, record_stats: bool = True
+    ) -> ServiceLevel:
+        """Bring one line into DL1; returns where it was found."""
+        if self.dl1.access(line_address, record_stats):
+            return ServiceLevel.L1
+        if self.l2.access(line_address, record_stats):
+            return ServiceLevel.L2
+        return ServiceLevel.MEMORY
+
+    def data_access(self, address: int, size: int = 4) -> DataAccessResult:
+        """Access data; reports the deepest serving level and TLB outcome.
+
+        Multi-line accesses (vector loads crossing a boundary) probe
+        every touched line; the worst line determines the service
+        level.  With ``sequential_prefetch`` every DL1 miss also pulls
+        the next line into the hierarchy.
+        """
+        tlb_missed = not self.dtlb.access(address)
+        worst = ServiceLevel.L1
+        for line in self._lines_touched(self.dl1, address, size):
+            line_address = line * self.dl1.config.line_bytes
+            level = self._fill_line(line_address)
+            if level != ServiceLevel.L1:
+                worst = max(worst, level)
+                if self.config.sequential_prefetch:
+                    # Prefetch fills bypass the demand statistics.
+                    self._fill_line(
+                        line_address + self.dl1.config.line_bytes,
+                        record_stats=False,
+                    )
+        latency = self.data_latency(worst)
+        if tlb_missed:
+            latency += self.config.dtlb.miss_penalty
+        return DataAccessResult(latency=latency, level=worst,
+                                tlb_missed=tlb_missed)
+
+    def inst_access(self, address: int) -> DataAccessResult:
+        """Fetch one instruction line."""
+        tlb_missed = not self.itlb.access(address)
+        line_address = self.il1.line_of(address) * self.il1.config.line_bytes
+        if self.il1.access(line_address):
+            latency = self.config.il1.latency
+            level = ServiceLevel.L1
+        elif self.l2.access(line_address):
+            latency = self.config.il1.latency + self.config.l2.latency
+            level = ServiceLevel.L2
+        else:
+            latency = (
+                self.config.il1.latency
+                + self.config.l2.latency
+                + self.config.memory_latency
+            )
+            level = ServiceLevel.MEMORY
+        if tlb_missed:
+            latency += self.config.itlb.miss_penalty
+        return DataAccessResult(latency=latency, level=level,
+                                tlb_missed=tlb_missed)
+
+    def data_latency(self, level: ServiceLevel) -> int:
+        """Latency of a data access served at ``level``."""
+        if level == ServiceLevel.L1:
+            return self.config.dl1.latency
+        if level == ServiceLevel.L2:
+            return self.config.dl1.latency + self.config.l2.latency
+        return (
+            self.config.dl1.latency
+            + self.config.l2.latency
+            + self.config.memory_latency
+        )

@@ -1,0 +1,230 @@
+"""Processor, memory, and branch-predictor configurations.
+
+Encodes the paper's Tables IV (processor widths), V (memory
+hierarchies), and VI (branch predictor), plus constructors for the
+swept variants used by Figures 5-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.isa.opcodes import FunctionalUnit
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level.  ``size_bytes=None`` means ideal (always hits)."""
+
+    size_bytes: int | None
+    associativity: int
+    line_bytes: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes is not None:
+            if self.size_bytes <= 0:
+                raise ValueError("cache size must be positive")
+            if self.size_bytes % (self.line_bytes * self.associativity):
+                raise ValueError("size must be a multiple of line * assoc")
+        if self.associativity < 1 or self.line_bytes < 1 or self.latency < 0:
+            raise ValueError("invalid cache parameters")
+
+    @property
+    def is_ideal(self) -> bool:
+        """True for the paper's 'Inf' entries (perfect cache)."""
+        return self.size_bytes is None
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """One translation lookaside buffer.  ``entries=None`` is ideal."""
+
+    entries: int | None = 128
+    associativity: int = 2
+    page_bytes: int = 4096
+    miss_penalty: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries is not None and self.entries < self.associativity:
+            raise ValueError("TLB needs at least one set")
+        if self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when translation never misses."""
+        return self.entries is None
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Table V column: IL1 + DL1 + shared L2 + main memory."""
+
+    name: str
+    il1: CacheConfig
+    dl1: CacheConfig
+    l2: CacheConfig
+    memory_latency: int = 300
+    itlb: TlbConfig = TlbConfig()
+    dtlb: TlbConfig = TlbConfig()
+    #: Next-line prefetch on DL1 misses (a design-exploration option;
+    #: the paper's configurations do not prefetch).
+    sequential_prefetch: bool = False
+
+
+def _memory(
+    name: str,
+    l1_kb: int | None,
+    l2_mb: int | None,
+    l1_latency: int = 1,
+    dl1_assoc: int = 2,
+) -> MemoryConfig:
+    l1_bytes = None if l1_kb is None else l1_kb * KB
+    l2_bytes = None if l2_mb is None else l2_mb * MB
+    # Ideal-L1 configurations model ideal translation as well.
+    tlb = TlbConfig(entries=None) if l1_kb is None else TlbConfig()
+    return MemoryConfig(
+        name=name,
+        il1=CacheConfig(l1_bytes, 1, 128, l1_latency),
+        dl1=CacheConfig(l1_bytes, dl1_assoc, 128, l1_latency),
+        l2=CacheConfig(l2_bytes, 8, 128, 12),
+        itlb=tlb,
+        dtlb=tlb,
+    )
+
+
+#: Table V presets.
+ME1 = _memory("me1", 32, 1)
+ME2 = _memory("me2", 64, 2)
+ME3 = _memory("me3", 128, 4)
+ME4 = _memory("me4", 128, None)
+MEINF = _memory("meinf", None, None)
+MEMORY_PRESETS: tuple[MemoryConfig, ...] = (ME1, ME2, ME3, ME4, MEINF)
+
+
+def memory_with_dl1(
+    size_bytes: int | None,
+    associativity: int = 2,
+    latency: int = 1,
+    l2_mb: int | None = 2,
+) -> MemoryConfig:
+    """Fig 5/6/7 variants: custom DL1 over a 2M L2 (4-way processor)."""
+    size_kb = "inf" if size_bytes is None else size_bytes // KB
+    base = _memory(f"dl1-{size_kb}k-a{associativity}-l{latency}", 32, l2_mb)
+    dl1 = CacheConfig(size_bytes, associativity, 128, latency)
+    il1 = CacheConfig(32 * KB, 1, 128, latency)
+    return replace(base, dl1=dl1, il1=il1)
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Table VI: combined gshare+bimodal with an NFA/BTB."""
+
+    kind: str = "combined"      # combined | gshare | bimodal | perfect
+    table_entries: int = 16 * 1024
+    btb_entries: int = 4 * 1024
+    btb_associativity: int = 4
+    btb_miss_penalty: int = 2
+    max_predicted_branches: int = 12
+    mispredict_recovery: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"combined", "gshare", "bimodal", "perfect"}:
+            raise ValueError(f"unknown predictor kind {self.kind!r}")
+        if self.table_entries < 1 or self.btb_entries < 1:
+            raise ValueError("predictor tables must be non-empty")
+
+
+#: Table VI preset and its ideal counterpart.
+BP_REAL = BranchPredictorConfig()
+BP_PERFECT = BranchPredictorConfig(kind="perfect")
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Table IV column: widths, registers, units, queues."""
+
+    name: str
+    fetch_width: int
+    dispatch_width: int
+    retire_width: int
+    inflight: int
+    gpr: int
+    vpr: int
+    fpr: int
+    units: dict[FunctionalUnit, int]
+    issue_queue_size: int
+    ibuffer_size: int
+    retire_queue: int
+    dcache_read_ports: int
+    dcache_write_ports: int
+    max_outstanding_misses: int
+    store_queue_size: int = 20
+    memory: MemoryConfig = ME1
+    branch: BranchPredictorConfig = BP_REAL
+    #: Extra cycles added to every vector load's latency *and* port
+    #: occupancy — the Fig 8 "+1 lat" scenario where double-width loads
+    #: are pipelined over the same 128-bit memory path.
+    wide_load_extra_latency: int = 0
+
+    def with_memory(self, memory: MemoryConfig) -> "ProcessorConfig":
+        """Copy with a different memory hierarchy."""
+        return replace(self, memory=memory)
+
+    def with_branch(self, branch: BranchPredictorConfig) -> "ProcessorConfig":
+        """Copy with a different branch predictor."""
+        return replace(self, branch=branch)
+
+
+def _units(ldst, fx, fp, br, vi, vper, vcmplx, vfp) -> dict[FunctionalUnit, int]:
+    return {
+        FunctionalUnit.LDST: ldst,
+        FunctionalUnit.FX: fx,
+        FunctionalUnit.FP: fp,
+        FunctionalUnit.BR: br,
+        FunctionalUnit.VI: vi,
+        FunctionalUnit.VPER: vper,
+        FunctionalUnit.VCMPLX: vcmplx,
+        FunctionalUnit.VFP: vfp,
+    }
+
+
+#: Table IV presets (PowerPC 970 class, aggressive, and limit designs).
+PROC_4WAY = ProcessorConfig(
+    name="4-way", fetch_width=4, dispatch_width=4, retire_width=6,
+    inflight=160, gpr=96, vpr=96, fpr=96,
+    units=_units(2, 3, 2, 2, 1, 1, 1, 1),
+    issue_queue_size=20, ibuffer_size=18, retire_queue=128,
+    dcache_read_ports=2, dcache_write_ports=1, max_outstanding_misses=4,
+    store_queue_size=20,
+)
+PROC_8WAY = ProcessorConfig(
+    name="8-way", fetch_width=8, dispatch_width=8, retire_width=12,
+    inflight=255, gpr=128, vpr=128, fpr=128,
+    units=_units(4, 6, 4, 3, 2, 2, 2, 2),
+    issue_queue_size=40, ibuffer_size=36, retire_queue=180,
+    dcache_read_ports=3, dcache_write_ports=2, max_outstanding_misses=8,
+    store_queue_size=40,
+)
+PROC_12WAY = ProcessorConfig(
+    name="12-way", fetch_width=12, dispatch_width=12, retire_width=16,
+    inflight=255, gpr=128, vpr=128, fpr=128,
+    units=_units(6, 8, 6, 5, 4, 3, 3, 3),
+    issue_queue_size=60, ibuffer_size=54, retire_queue=180,
+    dcache_read_ports=5, dcache_write_ports=3, max_outstanding_misses=12,
+    store_queue_size=60,
+)
+PROC_16WAY = ProcessorConfig(
+    name="16-way", fetch_width=16, dispatch_width=16, retire_width=20,
+    inflight=255, gpr=128, vpr=128, fpr=128,
+    units=_units(8, 10, 8, 7, 6, 4, 4, 4),
+    issue_queue_size=80, ibuffer_size=72, retire_queue=180,
+    dcache_read_ports=7, dcache_write_ports=4, max_outstanding_misses=16,
+    store_queue_size=80,
+)
+
+WIDTH_PRESETS: tuple[ProcessorConfig, ...] = (PROC_4WAY, PROC_8WAY, PROC_16WAY)

@@ -1,0 +1,5 @@
+"""Out-of-order pipeline model."""
+
+from repro.uarch.pipeline.core import OutOfOrderCore
+
+__all__ = ["OutOfOrderCore"]

@@ -1,0 +1,574 @@
+"""Trace-driven out-of-order superscalar core (Turandot-style).
+
+One :class:`OutOfOrderCore` simulates one trace on one configuration.
+The pipeline models the structures Tables IV-VI parameterize:
+
+* frontend: I-cache, direction predictor + NFA/BTB, instruction buffer,
+  fetch-group breaks on taken branches, a cap on in-flight predicted
+  branches, and fetch stall on unresolved mispredictions;
+* dispatch: physical-register (GPR/VPR/FPR) allocation, per-unit issue
+  queues, in-flight and reorder-queue capacity;
+* issue/execute: per-class unit pools (fully pipelined), wakeup lists
+  driven by producer completion, D-cache read/write ports, MSHR-limited
+  outstanding misses, two-level data cache with memory behind it;
+* retire: in-order, bounded width.
+
+Wrong-path execution is not replayed (the trace has no wrong path);
+mispredictions stall fetch until the branch resolves plus the recovery
+time, which is the trace-driven Turandot approach.
+
+Stall accounting: each cycle dispatch moves fewer instructions than its
+width, one trauma is charged for the blocking reason, with blame
+forwarded to the head of whichever structure is stuck (see
+:mod:`repro.uarch.traumas`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.opcodes import FU_OF_OPCLASS, LATENCY_OF_OPCLASS, FunctionalUnit, OpClass
+from repro.isa.trace import Trace
+from repro.uarch.branch.btb import BranchTargetBuffer
+from repro.uarch.branch.predictors import create_predictor
+from repro.uarch.caches import MemoryHierarchy, ServiceLevel
+from repro.uarch.config import ProcessorConfig
+from repro.uarch.results import BranchResult, CacheResult, SimulationResult
+from repro.uarch.traumas import (
+    Trauma,
+    TraumaAccount,
+    diq_trauma,
+    ful_trauma,
+    rg_trauma,
+)
+
+#: Register file classes.
+_GPR, _VPR, _FPR = 0, 1, 2
+
+_REGFILE_OF_OP: dict[OpClass, int] = {
+    OpClass.IALU: _GPR,
+    OpClass.ILOAD: _GPR,
+    OpClass.OTHER: _GPR,
+    OpClass.VLOAD: _VPR,
+    OpClass.VSIMPLE: _VPR,
+    OpClass.VPERM: _VPR,
+    OpClass.VCMPLX: _VPR,
+    OpClass.FPU: _FPR,
+}
+
+#: Queues tracked for Fig. 10 occupancy histograms.
+_TRACKED_QUEUES: tuple[tuple[str, FunctionalUnit], ...] = (
+    ("FIX-Q", FunctionalUnit.FX),
+    ("MEM-Q", FunctionalUnit.LDST),
+    ("BR-Q", FunctionalUnit.BR),
+    ("VI-Q", FunctionalUnit.VI),
+    ("VPER-Q", FunctionalUnit.VPER),
+)
+
+
+def _claim_port(port_free: list[int], cycle: int, occupancy: int) -> int | None:
+    """Claim a cache port for ``occupancy`` cycles; None if all busy."""
+    for port, free_at in enumerate(port_free):
+        if free_at <= cycle:
+            port_free[port] = cycle + occupancy
+            return port
+    return None
+
+
+def _words_of(instruction) -> range:
+    """8-byte word numbers touched by a memory instruction."""
+    first = instruction.address >> 3
+    last = (instruction.address + max(instruction.size, 1) - 1) >> 3
+    return range(first, last + 1)
+
+
+class OutOfOrderCore:
+    """One simulation instance (single use: build, ``run()``, read result)."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: ProcessorConfig,
+        track_occupancy: bool = False,
+        warmup: Trace | None = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.track_occupancy = track_occupancy
+        self.warmup = warmup
+        self.hierarchy = MemoryHierarchy(config.memory)
+        self.traumas = TraumaAccount()
+        branch = config.branch
+        self.perfect_bp = branch.kind == "perfect"
+        self.predictor = (
+            None if self.perfect_bp else create_predictor(
+                branch.kind, branch.table_entries
+            )
+        )
+        self.btb = BranchTargetBuffer(
+            branch.btb_entries, branch.btb_associativity, branch.btb_miss_penalty
+        )
+        self.branch_predictions = 0
+        self.branch_correct = 0
+
+    # ------------------------------------------------------------------
+    def _functional_warmup(self) -> None:
+        """Replay a warmup trace through the long-lived structures.
+
+        Caches, TLBs, the direction predictor, and the BTB see the
+        warmup stream (SMARTS-style functional warming); statistics are
+        reset afterwards so results reflect only the measured trace.
+        """
+        hierarchy = self.hierarchy
+        last_line = -1
+        for instruction in self.warmup.instructions:
+            line = instruction.pc >> 7
+            if line != last_line:
+                hierarchy.inst_access(instruction.pc)
+                last_line = line
+            if instruction.is_memory:
+                hierarchy.data_access(instruction.address, instruction.size)
+            elif instruction.is_branch:
+                if not self.perfect_bp:
+                    self.predictor.update(instruction.pc, instruction.taken)
+                if instruction.taken:
+                    self.btb.install(instruction.pc, instruction.target)
+        # Reset statistics; state stays warm.
+        from repro.uarch.caches import CacheStats
+
+        for cache in (hierarchy.il1, hierarchy.dl1, hierarchy.l2):
+            cache.stats = CacheStats()
+        for tlb in (hierarchy.itlb, hierarchy.dtlb):
+            tlb.lookups = 0
+            tlb.misses = 0
+        self.btb.lookups = 0
+        self.btb.misses = 0
+
+    def run(self, max_cycles: int | None = None) -> SimulationResult:
+        """Simulate to completion; returns the aggregated result."""
+        if self.warmup is not None:
+            self._functional_warmup()
+        instrs = self.trace.instructions
+        n = len(instrs)
+        config = self.config
+        branch_config = config.branch
+        units = config.units
+        iq_capacity = config.issue_queue_size
+        hierarchy = self.hierarchy
+        memory_is_ideal = (
+            config.memory.dl1.is_ideal and config.memory.l2.is_ideal
+        )
+
+        # Per-instruction state.
+        done = bytearray(n)
+        issued = bytearray(n)
+        pending_sources = [0] * n
+        waiters: dict[int, list[int]] = {}
+        #: in-flight memory stall: index -> (trauma, uses an MSHR).
+        miss_info: dict[int, tuple[Trauma, bool]] = {}
+        #: 8-byte word -> youngest in-flight store writing it.
+        pending_store_words: dict[int, int] = {}
+        store_queue_used = 0
+
+        # Structures.
+        ibuffer: deque[int] = deque()
+        rob: deque[int] = deque()
+        iq: dict[FunctionalUnit, deque[int]] = {fu: deque() for fu in units}
+        iq_count: dict[FunctionalUnit, int] = {fu: 0 for fu in units}
+        ready: dict[FunctionalUnit, deque[int]] = {fu: deque() for fu in units}
+        complete_at: dict[int, list[int]] = {}
+        free_regs = [config.gpr, config.vpr, config.fpr]
+        outstanding_misses = 0
+        inflight = 0
+        predicted_branches = 0
+
+        # D-cache ports: each access occupies a port for the L1 access
+        # time (the array is not pipelined), so raising the hit latency
+        # also cuts load/store bandwidth — the effect behind Fig. 7's
+        # sensitivity of load-heavy SIMD code.
+        dl1_latency = max(1, config.memory.dl1.latency)
+        read_port_free = [0] * config.dcache_read_ports
+        write_port_free = [0] * config.dcache_write_ports
+
+        # Frontend state.
+        fetch_index = 0
+        fetch_stall_until = 0
+        fetch_reason = Trauma.DECODE
+        wait_branch = -1           # unresolved mispredicted branch index
+        last_fetch_line = -1
+
+        # Statistics.
+        occupancy: dict[str, dict[int, int]] = {
+            name: {} for name, _ in _TRACKED_QUEUES
+        }
+        occupancy["INFLIGHT"] = {}
+        occupancy["RETIREQ"] = {}
+
+        retired = 0
+        cycle = 0
+        recovery = branch_config.mispredict_recovery
+        wide_extra = config.wide_load_extra_latency
+
+        while retired < n:
+            cycle += 1
+            if max_cycles is not None and cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"({retired}/{n} retired)"
+                )
+
+            # ---------------- completion ----------------------------
+            finishing = complete_at.pop(cycle, None)
+            if finishing:
+                for index in finishing:
+                    done[index] = 1
+                    inflight -= 1
+                    instruction = instrs[index]
+                    info = miss_info.pop(index, None)
+                    if info is not None and info[1]:
+                        outstanding_misses -= 1
+                    if instruction.is_store:
+                        for word in _words_of(instruction):
+                            if pending_store_words.get(word) == index:
+                                del pending_store_words[word]
+                    if instruction.is_branch:
+                        predicted_branches -= 1
+                        if index == wait_branch:
+                            wait_branch = -1
+                            fetch_stall_until = max(
+                                fetch_stall_until, cycle + recovery
+                            )
+                            fetch_reason = Trauma.IF_PRED
+                    for waiter in waiters.pop(index, ()):
+                        pending_sources[waiter] -= 1
+                        if pending_sources[waiter] == 0 and not issued[waiter]:
+                            ready[FU_OF_OPCLASS[instrs[waiter].op]].append(waiter)
+
+            # ---------------- retire --------------------------------
+            retire_budget = config.retire_width
+            while rob and retire_budget and done[rob[0]]:
+                index = rob.popleft()
+                regfile = _REGFILE_OF_OP.get(instrs[index].op)
+                if regfile is not None:
+                    free_regs[regfile] += 1
+                if instrs[index].is_store:
+                    # The store-queue slot drains at retire.
+                    store_queue_used -= 1
+                retired += 1
+                retire_budget -= 1
+            if retired >= n:
+                if self.track_occupancy:
+                    self._record_occupancy(
+                        occupancy, iq_count, inflight, len(rob)
+                    )
+                break
+
+            # ---------------- issue / execute -----------------------
+            lsu_block: Trauma | None = None
+            for fu, ready_queue in ready.items():
+                capacity = units[fu]
+                issued_here = 0
+                deferred: list[int] = []
+                while ready_queue and issued_here < capacity:
+                    index = ready_queue.popleft()
+                    instruction = instrs[index]
+                    op = instruction.op
+                    latency = LATENCY_OF_OPCLASS[op]
+                    if instruction.is_load:
+                        # An older in-flight store to the same word
+                        # blocks the load (no speculative bypass).
+                        alias = -1
+                        for word in _words_of(instruction):
+                            store = pending_store_words.get(word, -1)
+                            if store >= 0 and store < index and not done[store]:
+                                alias = store
+                                break
+                        if alias >= 0:
+                            lsu_block = Trauma.ST_DATA
+                            deferred.append(index)
+                            continue
+                        is_wide = (
+                            wide_extra and instruction.op == OpClass.VLOAD
+                        )
+                        port_busy = dl1_latency + (wide_extra if is_wide else 0)
+                        port = _claim_port(read_port_free, cycle, port_busy)
+                        if port is None:
+                            deferred.append(index)
+                            break
+                        if (
+                            not memory_is_ideal
+                            and outstanding_misses >= config.max_outstanding_misses
+                            and not hierarchy.dl1.probe(instruction.address)
+                        ):
+                            lsu_block = Trauma.MM_DMQF
+                            read_port_free[port] = cycle  # release
+                            deferred.append(index)
+                            continue
+                        access = hierarchy.data_access(
+                            instruction.address, instruction.size
+                        )
+                        if access.level != ServiceLevel.L1:
+                            trauma = (
+                                Trauma.MM_DL1
+                                if access.level == ServiceLevel.L2
+                                else Trauma.MM_DL2
+                            )
+                            miss_info[index] = (trauma, True)
+                            outstanding_misses += 1
+                        elif access.tlb_missed:
+                            miss_info[index] = (Trauma.MM_TLB1, False)
+                        latency = 1 + access.latency
+                        if is_wide:
+                            latency += wide_extra
+                    elif instruction.is_store:
+                        port = _claim_port(write_port_free, cycle, dl1_latency)
+                        if port is None:
+                            deferred.append(index)
+                            break
+                        hierarchy.data_access(
+                            instruction.address, instruction.size
+                        )
+                        for word in _words_of(instruction):
+                            pending_store_words[word] = index
+                    issued[index] = 1
+                    iq_count[fu] -= 1
+                    issued_here += 1
+                    complete_at.setdefault(cycle + latency, []).append(index)
+                for index in reversed(deferred):
+                    ready_queue.appendleft(index)
+
+            # ---------------- dispatch ------------------------------
+            dispatch_budget = config.dispatch_width
+            dispatched = 0
+            block_reason: Trauma | None = None
+            while dispatched < dispatch_budget and ibuffer:
+                index = ibuffer[0]
+                instruction = instrs[index]
+                fu = FU_OF_OPCLASS[instruction.op]
+                if iq_count[fu] >= iq_capacity:
+                    block_reason = self._blame_queue(
+                        fu, iq[fu], instrs, issued, pending_sources,
+                        done, lsu_block,
+                    )
+                    break
+                regfile = _REGFILE_OF_OP.get(instruction.op)
+                if regfile is not None and free_regs[regfile] == 0:
+                    # Physical registers free at retire, so exhaustion
+                    # means the window is clogged: blame its head.
+                    block_reason = self._blame_rob(
+                        rob, instrs, issued, pending_sources, done, miss_info
+                    )
+                    if block_reason == Trauma.OTHER:
+                        block_reason = Trauma.RENAME
+                    break
+                if len(rob) >= config.retire_queue or inflight >= config.inflight:
+                    block_reason = self._blame_rob(
+                        rob, instrs, issued, pending_sources, done, miss_info
+                    )
+                    break
+                if instruction.is_store:
+                    # Store-queue slots are allocated in program order
+                    # at dispatch and drain at retire.
+                    if store_queue_used >= config.store_queue_size:
+                        block_reason = Trauma.MM_STQF
+                        break
+                    store_queue_used += 1
+                # All resources available: dispatch.
+                ibuffer.popleft()
+                if regfile is not None:
+                    free_regs[regfile] -= 1
+                rob.append(index)
+                inflight += 1
+                iq_count[fu] += 1
+                iq[fu].append(index)
+                pending = 0
+                for source in instruction.sources:
+                    if not done[source]:
+                        pending += 1
+                        waiters.setdefault(source, []).append(index)
+                pending_sources[index] = pending
+                if pending == 0:
+                    ready[fu].append(index)
+                dispatched += 1
+
+            if dispatched < dispatch_budget:
+                if block_reason is None:
+                    # Instruction buffer ran dry: frontend's fault.
+                    block_reason = fetch_reason
+                self.traumas.charge(block_reason)
+
+            # ---------------- fetch ---------------------------------
+            if (
+                wait_branch < 0
+                and cycle >= fetch_stall_until
+                and fetch_index < n
+            ):
+                fetch_budget = config.fetch_width
+                while fetch_budget and fetch_index < n:
+                    if len(ibuffer) >= config.ibuffer_size:
+                        fetch_reason = Trauma.IF_FULL
+                        break
+                    instruction = instrs[fetch_index]
+                    line = instruction.pc >> 7
+                    if line != last_fetch_line:
+                        fetch = hierarchy.inst_access(instruction.pc)
+                        last_fetch_line = line
+                        if fetch.level != ServiceLevel.L1 or fetch.tlb_missed:
+                            fetch_stall_until = cycle + fetch.latency
+                            if fetch.level == ServiceLevel.L1:
+                                fetch_reason = Trauma.IF_TLB1
+                            elif fetch.level == ServiceLevel.L2:
+                                fetch_reason = Trauma.IF_L1
+                            else:
+                                fetch_reason = Trauma.IF_L2
+                            break
+                    if instruction.is_branch:
+                        if predicted_branches >= branch_config.max_predicted_branches:
+                            fetch_reason = Trauma.IF_BRCH
+                            break
+                        taken = instruction.taken
+                        self.branch_predictions += 1
+                        if self.perfect_bp:
+                            predicted = taken
+                        else:
+                            predicted = self.predictor.predict(instruction.pc)
+                            self.predictor.update(instruction.pc, taken)
+                        correct = predicted == taken
+                        if correct:
+                            self.branch_correct += 1
+                        predicted_branches += 1
+                        ibuffer.append(fetch_index)
+                        fetch_index += 1
+                        fetch_budget -= 1
+                        if not correct:
+                            wait_branch = fetch_index - 1
+                            fetch_reason = Trauma.IF_PRED
+                            break
+                        if taken:
+                            # Fetch group breaks at taken branches; the
+                            # NFA provides (or misses) the target.
+                            target = self.btb.lookup(instruction.pc)
+                            if target is None:
+                                self.btb.install(
+                                    instruction.pc, instruction.target
+                                )
+                                fetch_stall_until = (
+                                    cycle + branch_config.btb_miss_penalty
+                                )
+                                fetch_reason = Trauma.IF_NFA
+                            break
+                        continue
+                    ibuffer.append(fetch_index)
+                    fetch_index += 1
+                    fetch_budget -= 1
+
+            # ---------------- statistics ----------------------------
+            if self.track_occupancy:
+                self._record_occupancy(occupancy, iq_count, inflight, len(rob))
+
+        return SimulationResult(
+            trace_name=self.trace.name,
+            config_name=config.name,
+            memory_name=config.memory.name,
+            instructions=n,
+            cycles=cycle,
+            traumas=self.traumas.as_histogram(),
+            branch=BranchResult(
+                predictions=self.branch_predictions,
+                correct=self.branch_correct,
+                btb_lookups=self.btb.lookups,
+                btb_misses=self.btb.misses,
+            ),
+            il1=CacheResult(
+                hierarchy.il1.stats.accesses, hierarchy.il1.stats.misses
+            ),
+            dl1=CacheResult(
+                hierarchy.dl1.stats.accesses, hierarchy.dl1.stats.misses
+            ),
+            l2=CacheResult(
+                hierarchy.l2.stats.accesses, hierarchy.l2.stats.misses
+            ),
+            itlb=CacheResult(hierarchy.itlb.lookups, hierarchy.itlb.misses),
+            dtlb=CacheResult(hierarchy.dtlb.lookups, hierarchy.dtlb.misses),
+            queue_occupancy=occupancy if self.track_occupancy else {},
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_occupancy(
+        occupancy: dict[str, dict[int, int]],
+        iq_count: dict[FunctionalUnit, int],
+        inflight: int,
+        rob_size: int,
+    ) -> None:
+        """Add one cycle's structure occupancies to the histograms."""
+        for name, fu in _TRACKED_QUEUES:
+            histogram = occupancy[name]
+            value = iq_count[fu]
+            histogram[value] = histogram.get(value, 0) + 1
+        histogram = occupancy["INFLIGHT"]
+        histogram[inflight] = histogram.get(inflight, 0) + 1
+        histogram = occupancy["RETIREQ"]
+        histogram[rob_size] = histogram.get(rob_size, 0) + 1
+
+    def _blame_queue(
+        self,
+        fu: FunctionalUnit,
+        queue: deque[int],
+        instrs,
+        issued: bytearray,
+        pending_sources,
+        done: bytearray,
+        lsu_block: Trauma | None,
+    ) -> Trauma:
+        """Why is this issue queue full?  Blame its oldest pending entry."""
+        while queue and issued[queue[0]]:
+            queue.popleft()
+        if not queue:
+            return diq_trauma(fu)
+        # Look at the oldest few pending entries: a dependence stall
+        # anywhere at the head means the queue is full because results
+        # are late (rg_*), not because the units are undersized.
+        examined = 0
+        for index in queue:
+            if issued[index]:
+                continue
+            if pending_sources[index] > 0:
+                return self._blame_sources(index, instrs, done)
+            examined += 1
+            if examined >= 4:
+                break
+        if fu == FunctionalUnit.LDST and lsu_block is not None:
+            return lsu_block
+        return ful_trauma(fu)
+
+    def _blame_rob(
+        self,
+        rob: deque[int],
+        instrs,
+        issued: bytearray,
+        pending_sources,
+        done: bytearray,
+        miss_info: dict[int, tuple[Trauma, bool]],
+    ) -> Trauma:
+        """Why is the reorder/in-flight window full?  Blame its head."""
+        if not rob:
+            return Trauma.MM_ROQF
+        head = rob[0]
+        if done[head]:
+            return Trauma.OTHER
+        info = miss_info.get(head)
+        if info is not None:
+            return info[0]
+        if issued[head]:
+            return rg_trauma(FU_OF_OPCLASS[instrs[head].op])
+        if pending_sources[head] > 0:
+            return self._blame_sources(head, instrs, done)
+        return ful_trauma(FU_OF_OPCLASS[instrs[head].op])
+
+    def _blame_sources(self, index: int, instrs, done: bytearray) -> Trauma:
+        """Blame the first unready producer of ``index``."""
+        for source in instrs[index].sources:
+            if not done[source]:
+                return rg_trauma(FU_OF_OPCLASS[instrs[source].op])
+        return Trauma.OTHER

@@ -1,0 +1,76 @@
+"""Simulation result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheResult:
+    """Access/miss counts for one cache level."""
+
+    accesses: int
+    misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio (0.0 with no accesses)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class BranchResult:
+    """Direction-prediction outcome counts."""
+
+    predictions: int
+    correct: int
+    btb_lookups: int = 0
+    btb_misses: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Prediction rate (1.0 with no branches)."""
+        return self.correct / self.predictions if self.predictions else 1.0
+
+    @property
+    def mispredictions(self) -> int:
+        """Number of wrong direction predictions."""
+        return self.predictions - self.correct
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one trace-driven pipeline simulation."""
+
+    trace_name: str
+    config_name: str
+    memory_name: str
+    instructions: int
+    cycles: int
+    traumas: dict[str, int]
+    branch: BranchResult
+    il1: CacheResult
+    dl1: CacheResult
+    l2: CacheResult
+    itlb: CacheResult = CacheResult(0, 0)
+    dtlb: CacheResult = CacheResult(0, 0)
+    #: queue name -> occupancy value -> cycles observed at that value.
+    queue_occupancy: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def trauma_top(self, count: int = 8) -> list[tuple[str, int]]:
+        """Largest stall classes, descending."""
+        ranked = sorted(self.traumas.items(), key=lambda item: -item[1])
+        return [(name, cycles) for name, cycles in ranked[:count] if cycles][:count]
+
+    def occupancy_mean(self, queue: str) -> float:
+        """Mean occupancy of one tracked queue."""
+        histogram = self.queue_occupancy.get(queue, {})
+        total = sum(histogram.values())
+        if not total:
+            return 0.0
+        return sum(value * cycles for value, cycles in histogram.items()) / total

@@ -1,0 +1,46 @@
+"""Fast standalone trace analyses: cache-only and predictor-only runs.
+
+Figure 5/6's miss-rate curves and Figure 11's prediction-rate curves do
+not need the full pipeline — only the memory reference stream or the
+branch outcome stream.  These helpers replay just that stream, which is
+one to two orders of magnitude faster than the cycle-level model, so
+wide parameter sweeps stay cheap.
+"""
+
+from __future__ import annotations
+
+from repro.isa.trace import Trace
+from repro.uarch.caches import MemoryHierarchy
+from repro.uarch.config import MemoryConfig
+from repro.uarch.branch.predictors import DirectionPredictor, create_predictor
+from repro.uarch.results import BranchResult, CacheResult
+
+
+def run_cache_only(trace: Trace, memory: MemoryConfig) -> tuple[CacheResult, CacheResult]:
+    """Replay the data reference stream; returns (DL1, L2) statistics."""
+    hierarchy = MemoryHierarchy(memory)
+    for instruction in trace.instructions:
+        if instruction.is_memory:
+            hierarchy.data_access(instruction.address, instruction.size)
+    return (
+        CacheResult(hierarchy.dl1.stats.accesses, hierarchy.dl1.stats.misses),
+        CacheResult(hierarchy.l2.stats.accesses, hierarchy.l2.stats.misses),
+    )
+
+
+def run_predictor_only(
+    trace: Trace, kind: str, entries: int
+) -> tuple[BranchResult, DirectionPredictor]:
+    """Replay the branch stream through one direction predictor."""
+    predictor = create_predictor(kind, entries)
+    for instruction in trace.instructions:
+        if instruction.is_branch:
+            predicted = predictor.predict(instruction.pc)
+            predictor.record(predicted, instruction.taken)
+            predictor.update(instruction.pc, instruction.taken)
+    return (
+        BranchResult(
+            predictions=predictor.predictions, correct=predictor.correct
+        ),
+        predictor,
+    )

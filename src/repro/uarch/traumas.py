@@ -1,0 +1,164 @@
+"""Trauma (pipeline stall reason) taxonomy and accounting.
+
+Turandot records, for every operation that cannot make forward
+progress, a *trauma* class; the paper's Figure 2 histograms group them
+into 56 classes (Table VII documents the important ones).  This module
+defines the same class names and the accounting helper the pipeline
+model uses.
+
+Blame model: every cycle in which the dispatch stage moves fewer
+instructions than its width, one trauma is charged describing why the
+*oldest blocked* instruction (or the frontend) could not proceed —
+forwarding blame through full queues to the stall at their head, which
+is how dependence stalls (``rg_*``) rather than queue-full symptoms
+surface as the dominant classes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.isa.opcodes import FunctionalUnit
+
+
+class Trauma(str, Enum):
+    """Stall reason classes (Fig. 2 x-axis, left to right)."""
+
+    ST_DATA = "st_data"
+    # Register dependency on a result from unit X.
+    RG_VFPU = "rg_vfpu"
+    RG_VCMPLX = "rg_vcmplx"
+    RG_VPER = "rg_vper"
+    RG_VI = "rg_vi"
+    RG_CMPLX = "rg_cmplx"
+    RG_LOG = "rg_log"
+    RG_BR = "rg_br"
+    RG_MEM = "rg_mem"
+    RG_FPU = "rg_fpu"
+    RG_FIX = "rg_fix"
+    # Memory subsystem.
+    MM_DL1 = "mm_dl1"
+    MM_DL2 = "mm_dl2"
+    MM_TLB2 = "mm_tlb2"
+    MM_TLB1 = "mm_tlb1"
+    MM_STND = "mm_stnd"
+    MM_DCQF = "mm_dcqf"
+    MM_DMQF = "mm_dmqf"
+    MM_ROQF = "mm_roqf"
+    MM_STQC = "mm_stqc"
+    MM_STQF = "mm_stqf"
+    # All units of a class busy.
+    FUL_VFPU = "ful_vfpu"
+    FUL_VCMPLX = "ful_vcmplx"
+    FUL_VPER = "ful_vper"
+    FUL_VI = "ful_vi"
+    FUL_CMPLX = "ful_cmplx"
+    FUL_LOG = "ful_log"
+    FUL_BR = "ful_br"
+    FUL_MEM = "ful_mem"
+    FUL_FPU = "ful_fpu"
+    FUL_FIX = "ful_fix"
+    # Dispatch/issue queue full.
+    DIQ_VFPU = "diq_vfpu"
+    DIQ_VCMPLX = "diq_vcmplx"
+    DIQ_VPER = "diq_vper"
+    DIQ_VI = "diq_vi"
+    DIQ_CMPLX = "diq_cmplx"
+    DIQ_LOG = "diq_log"
+    DIQ_BR = "diq_br"
+    DIQ_MEM = "diq_mem"
+    DIQ_FPU = "diq_fpu"
+    DIQ_FIX = "diq_fix"
+    # Rename/decode.
+    RENAME = "rename"
+    DECODE = "decode"
+    # Frontend.
+    IF_LDST = "if_ldst"
+    IF_BRCH = "if_brch"
+    IF_FLIT = "if_flit"
+    IF_FULL = "if_full"
+    IF_PRED = "if_pred"
+    IF_PREF = "if_pref"
+    IF_L1 = "if_l1"
+    IF_L15 = "if_l15"
+    IF_L2 = "if_l2"
+    IF_TLB2 = "if_tlb2"
+    IF_TLB1 = "if_tlb1"
+    IF_NFA = "if_nfa"
+    OTHER = "other"
+
+
+#: Figure 2 x-axis order.
+FIG2_ORDER: tuple[Trauma, ...] = tuple(Trauma)
+
+_RG_BY_UNIT: dict[FunctionalUnit, Trauma] = {
+    FunctionalUnit.LDST: Trauma.RG_MEM,
+    FunctionalUnit.FX: Trauma.RG_FIX,
+    FunctionalUnit.FP: Trauma.RG_FPU,
+    FunctionalUnit.BR: Trauma.RG_BR,
+    FunctionalUnit.VI: Trauma.RG_VI,
+    FunctionalUnit.VPER: Trauma.RG_VPER,
+    FunctionalUnit.VCMPLX: Trauma.RG_VCMPLX,
+    FunctionalUnit.VFP: Trauma.RG_VFPU,
+}
+
+_FUL_BY_UNIT: dict[FunctionalUnit, Trauma] = {
+    FunctionalUnit.LDST: Trauma.FUL_MEM,
+    FunctionalUnit.FX: Trauma.FUL_FIX,
+    FunctionalUnit.FP: Trauma.FUL_FPU,
+    FunctionalUnit.BR: Trauma.FUL_BR,
+    FunctionalUnit.VI: Trauma.FUL_VI,
+    FunctionalUnit.VPER: Trauma.FUL_VPER,
+    FunctionalUnit.VCMPLX: Trauma.FUL_VCMPLX,
+    FunctionalUnit.VFP: Trauma.FUL_VFPU,
+}
+
+_DIQ_BY_UNIT: dict[FunctionalUnit, Trauma] = {
+    FunctionalUnit.LDST: Trauma.DIQ_MEM,
+    FunctionalUnit.FX: Trauma.DIQ_FIX,
+    FunctionalUnit.FP: Trauma.DIQ_FPU,
+    FunctionalUnit.BR: Trauma.DIQ_BR,
+    FunctionalUnit.VI: Trauma.DIQ_VI,
+    FunctionalUnit.VPER: Trauma.DIQ_VPER,
+    FunctionalUnit.VCMPLX: Trauma.DIQ_VCMPLX,
+    FunctionalUnit.VFP: Trauma.DIQ_VFPU,
+}
+
+
+def rg_trauma(unit: FunctionalUnit) -> Trauma:
+    """Register-dependency trauma for a producer executed on ``unit``."""
+    return _RG_BY_UNIT[unit]
+
+
+def ful_trauma(unit: FunctionalUnit) -> Trauma:
+    """All-units-busy trauma for ``unit``."""
+    return _FUL_BY_UNIT[unit]
+
+
+def diq_trauma(unit: FunctionalUnit) -> Trauma:
+    """Issue-queue-full trauma for ``unit``."""
+    return _DIQ_BY_UNIT[unit]
+
+
+class TraumaAccount:
+    """Cycle counts per trauma class."""
+
+    def __init__(self) -> None:
+        self.cycles: dict[Trauma, int] = {}
+
+    def charge(self, trauma: Trauma, cycles: int = 1) -> None:
+        """Add stall cycles to one class."""
+        self.cycles[trauma] = self.cycles.get(trauma, 0) + cycles
+
+    def total(self) -> int:
+        """Total charged stall cycles."""
+        return sum(self.cycles.values())
+
+    def top(self, count: int = 8) -> list[tuple[Trauma, int]]:
+        """The ``count`` largest classes, descending."""
+        ranked = sorted(self.cycles.items(), key=lambda item: -item[1])
+        return ranked[:count]
+
+    def as_histogram(self) -> dict[str, int]:
+        """Full Fig. 2 histogram (zeros included), in axis order."""
+        return {trauma.value: self.cycles.get(trauma, 0) for trauma in FIG2_ORDER}

@@ -1,0 +1,19 @@
+"""Workload suite binding Table I applications to shared inputs."""
+
+from repro.workloads.spec import TABLE1_WORKLOADS, WorkloadSpec, spec_of
+from repro.workloads.suite import (
+    DEFAULT_DATABASE,
+    DEFAULT_TRACE_BUDGET,
+    WorkloadSuite,
+    scale_factor,
+)
+
+__all__ = [
+    "TABLE1_WORKLOADS",
+    "WorkloadSpec",
+    "spec_of",
+    "DEFAULT_DATABASE",
+    "DEFAULT_TRACE_BUDGET",
+    "WorkloadSuite",
+    "scale_factor",
+]

@@ -1,0 +1,61 @@
+"""Table I workload descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of the paper's Table I."""
+
+    name: str
+    description: str
+    input_parameters: str
+
+
+#: The paper's Table I, verbatim descriptions.
+TABLE1_WORKLOADS: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        name="ssearch34",
+        description=(
+            "Best known scalar implementation of the SW algorithm; part of "
+            "the SSEARCH program"
+        ),
+        input_parameters="-q -H -p -b 500 -d 0 -s BL62 -f 11 -g 1",
+    ),
+    WorkloadSpec(
+        name="sw_vmx128",
+        description=(
+            "Data-parallel SSEARCH implementation using the Altivec SIMD "
+            "extension (128-bit registers)"
+        ),
+        input_parameters="-q -H -p -b 500 -d 0 -s BL62 -f 11 -g 1",
+    ),
+    WorkloadSpec(
+        name="sw_vmx256",
+        description=(
+            "Data-parallel SSEARCH implementation using a futuristic "
+            "256-bit Altivec extension"
+        ),
+        input_parameters="-q -H -p -b 500 -d 0 -s BL62 -f 11 -g 1",
+    ),
+    WorkloadSpec(
+        name="fasta34",
+        description="FASTA program; heuristic strategies",
+        input_parameters="-q -H -p -b 500 -d 0 -s BL62 -f 11 -g 1",
+    ),
+    WorkloadSpec(
+        name="blast",
+        description="NCBI BLAST program (blastp); heuristic strategies",
+        input_parameters="blastp -d -G 10 -E 1 -b 0",
+    ),
+)
+
+
+def spec_of(name: str) -> WorkloadSpec:
+    """Look up a Table I row by workload name."""
+    for spec in TABLE1_WORKLOADS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown workload {name!r}")

@@ -1,0 +1,74 @@
+"""Shared fixtures: small deterministic inputs sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import ExperimentContext
+from repro.bio.database import SequenceDatabase
+from repro.bio.queries import default_query
+from repro.bio.sequence import Sequence
+from repro.bio.synthetic import SyntheticDatabaseConfig, generate_database
+from repro.workloads.suite import WorkloadSuite
+
+
+@pytest.fixture(scope="session")
+def small_database() -> SequenceDatabase:
+    """~25 sequences with two planted families."""
+    return generate_database(
+        SyntheticDatabaseConfig(
+            sequence_count=25,
+            family_count=2,
+            family_size=3,
+            seed=1234,
+            mean_length=220.0,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_database() -> SequenceDatabase:
+    """6 short sequences for per-kernel correctness checks."""
+    return generate_database(
+        SyntheticDatabaseConfig(
+            sequence_count=6,
+            family_count=1,
+            family_size=2,
+            seed=77,
+            mean_length=90.0,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def query() -> Sequence:
+    """The paper's default query stand-in (P14942, 222 aa)."""
+    return default_query()
+
+
+@pytest.fixture(scope="session")
+def short_query() -> Sequence:
+    """A short query for fast DP tests."""
+    full = default_query()
+    return full.subsequence(0, 60)
+
+
+@pytest.fixture(scope="session")
+def small_suite() -> WorkloadSuite:
+    """Scaled-down workload suite shared across integration tests."""
+    return WorkloadSuite(
+        database_config=SyntheticDatabaseConfig(
+            sequence_count=30,
+            family_count=2,
+            family_size=3,
+            seed=2006,
+            mean_length=200.0,
+        ),
+        trace_budget=50_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def context(small_suite: WorkloadSuite) -> ExperimentContext:
+    """Experiment context with a shared simulation cache."""
+    return ExperimentContext(suite=small_suite)

@@ -1,0 +1,106 @@
+"""Unit tests for alignment value types."""
+
+import pytest
+
+from repro.align.types import (
+    AlignmentResult,
+    GapPenalties,
+    PAPER_GAPS,
+    SearchHit,
+    SearchResult,
+)
+
+
+class TestGapPenalties:
+    def test_paper_values(self):
+        assert PAPER_GAPS.open == 10
+        assert PAPER_GAPS.extend == 1
+        assert PAPER_GAPS.first_residue_cost == 11
+
+    def test_cost_function(self):
+        gaps = GapPenalties(open=10, extend=1)
+        assert gaps.cost(0) == 0
+        assert gaps.cost(1) == 11
+        assert gaps.cost(5) == 15
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GapPenalties(open=-1, extend=1)
+        with pytest.raises(ValueError):
+            PAPER_GAPS.cost(-2)
+
+
+class TestAlignmentResult:
+    def make(self):
+        return AlignmentResult(
+            score=21,
+            query_start=0, query_end=6,
+            subject_start=0, subject_end=6,
+            aligned_query="CS-TTP",
+            aligned_subject="CSDT-N",
+        )
+
+    def test_length(self):
+        assert self.make().length == 6
+
+    def test_identities_exclude_gaps(self):
+        result = self.make()
+        assert result.identities == 3  # C, S, T
+        assert result.identity == pytest.approx(0.5)
+
+    def test_gaps_counted_both_sides(self):
+        assert self.make().gaps == 2
+
+    def test_midline(self):
+        assert self.make().midline() == "|| |  "
+
+    def test_pretty_contains_score(self):
+        assert "score=21" in self.make().pretty()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            AlignmentResult(1, 0, 1, 0, 2, "A", "AB")
+
+    def test_empty_alignment(self):
+        empty = AlignmentResult(0, 0, 0, 0, 0)
+        assert empty.identity == 0.0
+        assert empty.length == 0
+
+
+class TestSearchResult:
+    def make(self):
+        hits = tuple(
+            SearchHit(score=s, subject_id=f"S{i}", subject_index=i,
+                      subject_length=100)
+            for i, s in enumerate((50, 42, 42, 7))
+        )
+        return SearchResult(
+            query_id="q", database_name="db", hits=hits,
+            sequences_searched=10, residues_searched=1000,
+        )
+
+    def test_best(self):
+        assert self.make().best().score == 50
+
+    def test_top(self):
+        assert [h.score for h in self.make().top(2)] == [50, 42]
+
+    def test_histogram(self):
+        histogram = self.make().score_histogram(bin_width=4)
+        assert histogram[40] == 2
+        assert histogram[4] == 1
+        assert histogram[48] == 1
+
+    def test_histogram_bad_width(self):
+        with pytest.raises(ValueError):
+            self.make().score_histogram(bin_width=0)
+
+    def test_best_of_empty_raises(self):
+        empty = SearchResult("q", "db", (), 0, 0)
+        with pytest.raises(ValueError):
+            empty.best()
+
+    def test_hit_ordering_by_score(self):
+        low = SearchHit(score=5, subject_id="a", subject_index=0, subject_length=1)
+        high = SearchHit(score=9, subject_id="b", subject_index=1, subject_length=1)
+        assert low < high

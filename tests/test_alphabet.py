@@ -1,0 +1,79 @@
+"""Unit tests for residue alphabets and encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bio.alphabet import DNA, PROTEIN, Alphabet, AlphabetError
+
+
+class TestProteinAlphabet:
+    def test_has_23_symbols(self):
+        assert PROTEIN.size == 23
+
+    def test_twenty_standard_amino_acids_lead(self):
+        assert PROTEIN.symbols[:20] == "ARNDCQEGHILKMFPSTWYV"
+
+    def test_wildcard_is_x(self):
+        assert PROTEIN.wildcard == "X"
+        assert PROTEIN.wildcard_code == PROTEIN.code_of("X")
+
+    def test_code_roundtrip(self):
+        for code, symbol in enumerate(PROTEIN.symbols):
+            assert PROTEIN.code_of(symbol) == code
+            assert PROTEIN.symbol_of(code) == symbol
+
+    def test_lowercase_accepted(self):
+        assert PROTEIN.code_of("a") == PROTEIN.code_of("A")
+
+    def test_unknown_letter_maps_to_wildcard(self):
+        assert PROTEIN.code_of("J") == PROTEIN.wildcard_code
+        assert PROTEIN.code_of("O") == PROTEIN.wildcard_code
+
+    def test_non_letter_rejected(self):
+        with pytest.raises(AlphabetError):
+            PROTEIN.code_of("1")
+        with pytest.raises(AlphabetError):
+            PROTEIN.code_of("-")
+
+    def test_symbol_of_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            PROTEIN.symbol_of(23)
+        with pytest.raises(AlphabetError):
+            PROTEIN.symbol_of(-1)
+
+    def test_contains(self):
+        assert "A" in PROTEIN
+        assert "a" in PROTEIN
+        assert "-" not in PROTEIN
+
+    def test_encode_decode_roundtrip(self):
+        text = "ACDEFGHIKLMNPQRSTVWY"
+        assert PROTEIN.decode(PROTEIN.encode(text)) == text
+
+
+class TestDnaAlphabet:
+    def test_symbols(self):
+        assert DNA.symbols == "ACGTN"
+
+    def test_wildcard(self):
+        assert DNA.wildcard == "N"
+
+
+class TestAlphabetValidation:
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet(name="bad", symbols="AAB", wildcard="B")
+
+    def test_missing_wildcard_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet(name="bad", symbols="ABC", wildcard="Z")
+
+
+@given(st.text(alphabet="ARNDCQEGHILKMFPSTWYVBZX", max_size=200))
+def test_encode_decode_identity(text):
+    assert PROTEIN.decode(PROTEIN.encode(text)) == text.upper()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=22), max_size=100))
+def test_decode_encode_identity(codes):
+    assert PROTEIN.encode(PROTEIN.decode(codes)) == codes

@@ -1,0 +1,87 @@
+"""Unit and property tests for banded local alignment."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.banded import banded_sw_score
+from repro.align.smith_waterman import sw_score
+from repro.bio.synthetic import MutationModel, random_protein
+
+proteins = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=0, max_size=40)
+
+
+class TestBandedBasics:
+    def test_empty_inputs(self):
+        assert banded_sw_score("", "ACD", center=0, width=5) == 0
+        assert banded_sw_score("ACD", "", center=0, width=5) == 0
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            banded_sw_score("ACD", "ACD", center=0, width=-1)
+
+    def test_band_off_matrix_scores_zero(self):
+        # A band placed entirely past the sequences covers no cells.
+        assert banded_sw_score("ACD", "ACD", center=100, width=2) == 0
+
+    def test_diagonal_identity_alignment(self):
+        text = "ACDEFGHIKLMNPQRSTVWY"
+        assert banded_sw_score(text, text, center=0, width=0) == sw_score(
+            text, text
+        )
+
+    def test_narrow_band_misses_shifted_match(self):
+        # The match lies on diagonal +5; a width-1 band at 0 misses it.
+        query = "AAAAAWWWWWWWWWW"
+        subject = "CCCCCCCCCCWWWWWWWWWW"
+        wide = banded_sw_score(query, subject, center=5, width=10)
+        narrow = banded_sw_score(query, subject, center=0, width=1)
+        assert wide > narrow
+
+    def test_band_centered_on_true_diagonal_recovers_score(self):
+        rng = random.Random(5)
+        base = random_protein(60, rng)
+        related = MutationModel(
+            substitution_rate=0.2, indel_rate=0.0
+        ).mutate(base, rng)
+        full = sw_score(base, related)
+        banded = banded_sw_score(base, related, center=0, width=3)
+        assert banded == full
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=proteins, b=proteins)
+def test_full_band_equals_smith_waterman(a, b):
+    width = len(a) + len(b) + 1
+    assert banded_sw_score(a, b, center=0, width=width) == sw_score(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=proteins,
+    b=proteins,
+    center=st.integers(min_value=-10, max_value=10),
+    width=st.integers(min_value=0, max_value=12),
+)
+def test_band_never_exceeds_full_score(a, b, center, width):
+    assert banded_sw_score(a, b, center=center, width=width) <= sw_score(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=proteins,
+    b=proteins,
+    center=st.integers(min_value=-5, max_value=5),
+    width=st.integers(min_value=0, max_value=8),
+)
+def test_wider_band_never_worse(a, b, center, width):
+    narrow = banded_sw_score(a, b, center=center, width=width)
+    wide = banded_sw_score(a, b, center=center, width=width + 3)
+    assert wide >= narrow
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=proteins, b=proteins, width=st.integers(min_value=0, max_value=10))
+def test_band_score_non_negative(a, b, width):
+    assert banded_sw_score(a, b, center=0, width=width) >= 0

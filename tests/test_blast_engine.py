@@ -1,0 +1,71 @@
+"""Unit/integration tests for the BLAST engine."""
+
+from repro.align.blast.engine import BlastEngine, BlastOptions, blast_search
+from repro.align.smith_waterman import sw_score
+from repro.bio.synthetic import MutationModel, homolog_of
+
+
+class TestBlastEngine:
+    def test_finds_planted_homolog(self, query, small_database):
+        homolog = homolog_of(query, seed=1,
+                             mutation=MutationModel(substitution_rate=0.2))
+        small_database_plus = type(small_database)(
+            list(small_database) + [homolog], name="plus"
+        )
+        result = blast_search(query, small_database_plus)
+        assert result.best().subject_id == homolog.identifier
+
+    def test_scores_bounded_by_smith_waterman(self, query, tiny_database):
+        engine = BlastEngine(query)
+        for subject in tiny_database:
+            score = engine.score_subject(subject)
+            assert 0 <= score <= sw_score(query, subject)
+
+    def test_statistics_populated(self, query, tiny_database):
+        engine = BlastEngine(query)
+        engine.search(tiny_database)
+        stats = engine.statistics
+        assert stats.words_scanned > 0
+        assert stats.lookup_entries > 0
+        assert stats.single_hits >= stats.two_hits
+
+    def test_extension_counters_consistent(self, query, tiny_database):
+        engine = BlastEngine(query)
+        engine.search(tiny_database)
+        stats = engine.statistics
+        assert stats.gapped_extensions <= stats.ungapped_extensions
+        assert stats.ungapped_extensions <= stats.two_hits
+
+    def test_hits_annotated_with_evalues(self, query, small_database):
+        result = blast_search(query, small_database)
+        for hit in result.hits:
+            assert hit.evalue >= 0
+            # Higher scores always mean lower E-values.
+        scores = [hit.score for hit in result.hits]
+        evalues = [hit.evalue for hit in result.hits]
+        assert scores == sorted(scores, reverse=True)
+        assert evalues == sorted(evalues)
+
+    def test_zero_score_subjects_omitted(self, query, tiny_database):
+        result = blast_search(query, tiny_database)
+        assert all(hit.score > 0 for hit in result.hits)
+
+    def test_best_count_enforced(self, query, small_database):
+        options = BlastOptions(best_count=3)
+        result = blast_search(query, small_database, options)
+        assert len(result.hits) <= 3
+
+    def test_threshold_controls_sensitivity(self, query, small_database):
+        sensitive = BlastEngine(query, BlastOptions(threshold=9))
+        strict = BlastEngine(query, BlastOptions(threshold=13))
+        assert sensitive.lookup.entry_count > strict.lookup.entry_count
+
+    def test_high_identity_hit_recovers_sw_score(self, query, small_database):
+        homolog = homolog_of(query, seed=3,
+                             mutation=MutationModel(substitution_rate=0.1,
+                                                    indel_rate=0.01))
+        engine = BlastEngine(query)
+        blast_score = engine.score_subject(homolog)
+        full = sw_score(query, homolog)
+        # The banded gapped extension should recover most of the score.
+        assert blast_score >= 0.9 * full

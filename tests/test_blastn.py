@@ -1,0 +1,101 @@
+"""Tests for the nucleotide BLAST engine."""
+
+import random
+
+import pytest
+
+from repro.align.blast.nucleotide import (
+    BlastnEngine,
+    BlastnOptions,
+    NucleotideLookup,
+)
+from repro.bio.alphabet import DNA
+from repro.bio.database import SequenceDatabase
+from repro.bio.packed import PackedSequence
+from repro.bio.sequence import Sequence
+
+
+def rand_dna(rng, length):
+    return "".join(rng.choice("ACGT") for _ in range(length))
+
+
+def dna_seq(identifier, text):
+    return Sequence(identifier, text, alphabet=DNA)
+
+
+class TestNucleotideLookup:
+    def test_exact_words_found(self):
+        lookup = NucleotideLookup(dna_seq("q", "ACGTACGT"), word_size=4)
+        acgt = 0b00_01_10_11
+        assert lookup.lookup(acgt) == (0, 4)
+
+    def test_ambiguous_bases_break_words(self):
+        lookup = NucleotideLookup(dna_seq("q", "ACGNTACG"), word_size=4)
+        # No 4-mer fully inside either side of the N except TACG.
+        assert len(lookup) == 1
+
+    def test_short_query_empty(self):
+        lookup = NucleotideLookup(dna_seq("q", "ACG"), word_size=8)
+        assert len(lookup) == 0
+
+
+class TestBlastnOptions:
+    def test_word_size_bounds(self):
+        with pytest.raises(ValueError):
+            BlastnOptions(word_size=2)
+        with pytest.raises(ValueError):
+            BlastnOptions(word_size=20)
+
+    def test_scoring_signs(self):
+        with pytest.raises(ValueError):
+            BlastnOptions(match=-1)
+        with pytest.raises(ValueError):
+            BlastnOptions(mismatch=1)
+
+
+class TestBlastnEngine:
+    def test_finds_planted_match(self):
+        rng = random.Random(3)
+        query = rand_dna(rng, 80)
+        subject_text = rand_dna(rng, 150) + query[20:60] + rand_dna(rng, 150)
+        database = SequenceDatabase(
+            [
+                dna_seq("PLANTED", subject_text),
+                dna_seq("NOISE", rand_dna(rng, 400)),
+            ],
+            alphabet=DNA,
+        )
+        engine = BlastnEngine(dna_seq("q", query))
+        result = engine.search(database)
+        assert result.best().subject_id == "PLANTED"
+        assert result.best().score >= 40 * engine.options.match - 10
+
+    def test_identical_sequence_scores_full_match(self):
+        rng = random.Random(4)
+        text = rand_dna(rng, 120)
+        engine = BlastnEngine(dna_seq("q", text))
+        packed = PackedSequence.from_sequence(dna_seq("s", text))
+        assert engine.score_subject(packed) == 120 * engine.options.match
+
+    def test_statistics_counted(self):
+        rng = random.Random(5)
+        engine = BlastnEngine(dna_seq("q", rand_dna(rng, 60)))
+        packed = PackedSequence.from_sequence(
+            dna_seq("s", rand_dna(rng, 300))
+        )
+        engine.score_subject(packed)
+        assert engine.words_scanned >= 300 - 8
+        assert engine.extensions <= max(engine.word_hits, 1)
+
+    def test_ambiguous_subject_handled(self):
+        rng = random.Random(6)
+        query = rand_dna(rng, 40)
+        subject = dna_seq("s", "N" * 10 + query + "N" * 10)
+        engine = BlastnEngine(dna_seq("q", query))
+        packed = PackedSequence.from_sequence(subject)
+        assert engine.score_subject(packed) == 40 * engine.options.match
+
+    def test_no_hits_scores_zero(self):
+        engine = BlastnEngine(dna_seq("q", "A" * 30))
+        packed = PackedSequence.from_sequence(dna_seq("s", "C" * 300))
+        assert engine.score_subject(packed) == 0

@@ -1,0 +1,67 @@
+"""Tests for the traced blastn kernel (paper listing 1 code path)."""
+
+import random
+
+import pytest
+
+from repro.align.blast.nucleotide import BlastnEngine
+from repro.bio.alphabet import DNA
+from repro.bio.database import SequenceDatabase
+from repro.bio.packed import PackedSequence
+from repro.bio.sequence import Sequence
+from repro.bio.synthetic import random_dna
+from repro.isa.opcodes import OpClass
+from repro.kernels.blastn_kernel import BlastnKernel
+
+
+@pytest.fixture(scope="module")
+def dna_database():
+    rng = random.Random(8)
+    query_text = random_dna(80, rng)
+    subjects = []
+    for index in range(6):
+        text = random_dna(300, rng)
+        if index % 3 == 0:
+            text = text[:80] + query_text[10:60] + text[130:]
+        subjects.append(Sequence(f"S{index}", text, alphabet=DNA))
+    return Sequence("q", query_text, alphabet=DNA), SequenceDatabase(
+        subjects, alphabet=DNA, name="dna-db"
+    )
+
+
+class TestBlastnKernel:
+    def test_scores_match_engine(self, dna_database):
+        query, database = dna_database
+        run = BlastnKernel().run(query, database, record=True)
+        engine = BlastnEngine(query)
+        for sid, score in run.scores.items():
+            packed = PackedSequence.from_sequence(database.get(sid))
+            assert score == engine.score_subject(packed), sid
+
+    def test_trace_wellformed(self, dna_database):
+        query, database = dna_database
+        run = BlastnKernel().run(query, database, record=True)
+        run.trace.validate()
+
+    def test_unpack_heavy_mix(self, dna_database):
+        query, database = dna_database
+        run = BlastnKernel().run(query, database, record=True)
+        mix = run.mix
+        # The unpack shift/mask chain makes this the most ALU-heavy
+        # kernel of all; no vector work.
+        assert mix.fraction(OpClass.IALU) > 0.45
+        assert mix.count(OpClass.VSIMPLE) == 0
+        assert 0.10 < mix.control_fraction() < 0.30
+
+    def test_packed_scan_is_compact(self, dna_database):
+        query, database = dna_database
+        run = BlastnKernel().run(query, database, record=False)
+        # Four bases per byte load: far fewer instructions per residue
+        # than the protein scan.
+        assert run.mix.total / database.residue_count < 20
+
+    def test_budget_truncation(self, dna_database):
+        query, database = dna_database
+        run = BlastnKernel().run(query, database, record=True, limit=3000)
+        assert run.truncated
+        run.trace.validate()

@@ -1,0 +1,46 @@
+"""Unit tests for the branch target buffer (NFA)."""
+
+import pytest
+
+from repro.uarch.branch.btb import BranchTargetBuffer
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 4, miss_penalty=2)
+        assert btb.lookup(0x40) is None
+        btb.install(0x40, 0x100)
+        assert btb.lookup(0x40) == 0x100
+
+    def test_reinstall_updates_target(self):
+        btb = BranchTargetBuffer(64, 4, miss_penalty=2)
+        btb.install(0x40, 0x100)
+        btb.install(0x40, 0x200)
+        assert btb.lookup(0x40) == 0x200
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(2, 2, miss_penalty=2)  # one set, 2 ways
+        btb.install(0x10, 0x1)
+        btb.install(0x20, 0x2)
+        btb.lookup(0x10)            # 0x10 MRU
+        btb.install(0x30, 0x3)      # evicts 0x20
+        assert btb.lookup(0x10) == 0x1
+        assert btb.lookup(0x20) is None
+
+    def test_miss_rate(self):
+        btb = BranchTargetBuffer(64, 4, miss_penalty=2)
+        btb.lookup(0x40)
+        btb.install(0x40, 0x80)
+        btb.lookup(0x40)
+        assert btb.miss_rate == pytest.approx(0.5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(2, 4, miss_penalty=2)
+
+    def test_different_sets_do_not_conflict(self):
+        btb = BranchTargetBuffer(8, 1, miss_penalty=2)  # 8 direct sets
+        for i in range(8):
+            btb.install(0x40 + 4 * i, i)
+        for i in range(8):
+            assert btb.lookup(0x40 + 4 * i) == i

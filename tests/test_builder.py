@@ -1,0 +1,128 @@
+"""Unit tests for the trace builder."""
+
+import pytest
+
+from repro.isa.builder import (
+    DATA_BASE,
+    TraceBudgetExceededError,
+    TraceBuilder,
+)
+from repro.isa.opcodes import OpClass
+
+
+class TestAllocation:
+    def test_regions_do_not_overlap(self):
+        builder = TraceBuilder("t")
+        first = builder.alloc("a", 1000)
+        second = builder.alloc("b", 1000)
+        assert second >= first + 1000
+
+    def test_alignment(self):
+        builder = TraceBuilder("t")
+        builder.alloc("a", 130)
+        second = builder.alloc("b", 10, align=128)
+        assert second % 128 == 0
+
+    def test_starts_in_data_segment(self):
+        builder = TraceBuilder("t")
+        assert builder.alloc("a", 8) >= DATA_BASE
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder("t").alloc("a", -1)
+
+
+class TestSitePcs:
+    def test_same_site_same_pc(self):
+        builder = TraceBuilder("t")
+        assert builder.pc_of("loop.body") == builder.pc_of("loop.body")
+
+    def test_different_sites_different_pcs(self):
+        builder = TraceBuilder("t")
+        assert builder.pc_of("a") != builder.pc_of("b")
+
+    def test_branch_site_pc_stable_across_emissions(self):
+        builder = TraceBuilder("t")
+        builder.ctrl("br", taken=True)
+        builder.ctrl("br", taken=False)
+        trace = builder.build()
+        assert trace[0].pc == trace[1].pc
+        assert trace[0].taken != trace[1].taken
+
+
+class TestEmission:
+    def test_indices_are_sequential(self):
+        builder = TraceBuilder("t")
+        first = builder.ialu("a")
+        second = builder.ialu("b", (first,))
+        assert (first, second) == (0, 1)
+
+    def test_dependencies_recorded(self):
+        builder = TraceBuilder("t")
+        value = builder.ialu("a")
+        builder.istore("st", 0x1000, (value,), size=4)
+        trace = builder.build()
+        assert trace[1].sources == (value,)
+
+    def test_memory_fields(self):
+        builder = TraceBuilder("t")
+        builder.vload("vl", 0x2000, size=32)
+        instr = builder.build()[0]
+        assert instr.address == 0x2000
+        assert instr.size == 32
+        assert instr.op == OpClass.VLOAD
+
+    def test_backward_branch_target(self):
+        builder = TraceBuilder("t")
+        builder.ctrl("fwd", taken=True)
+        builder.ctrl("bwd", taken=True, backward=True)
+        trace = builder.build()
+        assert trace[0].target > trace[0].pc
+        assert trace[1].target < trace[1].pc
+
+    def test_counts_match_emissions(self):
+        builder = TraceBuilder("t")
+        builder.ialu("a")
+        builder.ialu("b")
+        builder.vperm("c")
+        mix = builder.mix()
+        assert mix.count(OpClass.IALU) == 2
+        assert mix.count(OpClass.VPERM) == 1
+
+    def test_trace_is_wellformed(self):
+        builder = TraceBuilder("t")
+        a = builder.ialu("a")
+        b = builder.iload("l", 0x100, (a,))
+        builder.ctrl("c", taken=False, sources=(b,))
+        builder.build().validate()
+
+
+class TestCountOnlyMode:
+    def test_counts_without_instructions(self):
+        builder = TraceBuilder("t", record=False)
+        builder.ialu("a")
+        builder.ialu("b")
+        assert builder.mix().total == 2
+        assert builder.instructions == []
+
+    def test_build_rejected(self):
+        builder = TraceBuilder("t", record=False)
+        with pytest.raises(ValueError):
+            builder.build()
+
+
+class TestBudget:
+    def test_limit_raises(self):
+        builder = TraceBuilder("t", limit=3)
+        builder.ialu("a")
+        builder.ialu("b")
+        builder.ialu("c")
+        with pytest.raises(TraceBudgetExceededError):
+            builder.ialu("d")
+
+    def test_limit_in_count_mode(self):
+        builder = TraceBuilder("t", record=False, limit=2)
+        builder.ialu("a")
+        builder.ialu("b")
+        with pytest.raises(TraceBudgetExceededError):
+            builder.ialu("c")

@@ -1,0 +1,171 @@
+"""Unit and property tests for the cache models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.caches import Cache, MemoryHierarchy, ServiceLevel
+from repro.uarch.config import KB, CacheConfig, MemoryConfig, ME1, MEINF, _memory
+
+
+def small_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheConfig(size, assoc, line, 1))
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x103F)
+        assert not cache.access(0x1040)
+
+    def test_lru_eviction(self):
+        # 2-way set: fill both ways, touch first, insert third.
+        cache = small_cache(size=128, assoc=2, line=64)  # one set
+        cache.access(0x0000)
+        cache.access(0x1000)
+        cache.access(0x0000)          # 0x0000 now MRU
+        cache.access(0x2000)          # evicts 0x1000
+        assert cache.access(0x0000)
+        assert not cache.access(0x1000)
+
+    def test_direct_mapped_conflict(self):
+        cache = Cache(CacheConfig(128, 1, 64, 1))  # 2 sets
+        assert not cache.access(0x0000)
+        assert not cache.access(0x0080)  # same set, conflicts
+        assert not cache.access(0x0000)
+
+    def test_ideal_cache_always_hits(self):
+        cache = Cache(CacheConfig(None, 1, 128, 1))
+        assert cache.access(0xDEADBEEF)
+        assert cache.stats.misses == 0
+
+    def test_probe_does_not_update(self):
+        cache = small_cache()
+        assert not cache.probe(0x1000)
+        assert cache.stats.accesses == 0
+        cache.access(0x1000)
+        assert cache.probe(0x1000)
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(100, 3, 64, 1)  # size not multiple of line*assoc
+        with pytest.raises(ValueError):
+            CacheConfig(-4, 1, 64, 1)
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        hierarchy = MemoryHierarchy(ME1)
+        hierarchy.data_access(0x1000)
+        access = hierarchy.data_access(0x1000)
+        assert access.level == ServiceLevel.L1
+        assert access.latency == ME1.dl1.latency
+        assert not access.tlb_missed
+
+    def test_memory_miss_latency(self):
+        hierarchy = MemoryHierarchy(ME1)
+        access = hierarchy.data_access(0x1000)
+        assert access.level == ServiceLevel.MEMORY
+        assert access.tlb_missed  # first touch of the page
+        assert access.latency == (
+            ME1.dl1.latency + ME1.l2.latency + ME1.memory_latency
+            + ME1.dtlb.miss_penalty
+        )
+
+    def test_l2_serves_after_l1_eviction(self):
+        hierarchy = MemoryHierarchy(ME1)
+        hierarchy.data_access(0x100000)
+        # Evict line from 32K 2-way DL1 by touching conflicting lines.
+        for way in range(4):
+            hierarchy.data_access(0x100000 + (way + 1) * 32 * KB)
+        access = hierarchy.data_access(0x100000)
+        assert access.level == ServiceLevel.L2
+        assert access.latency == ME1.dl1.latency + ME1.l2.latency
+
+    def test_multi_line_access_worst_level(self):
+        hierarchy = MemoryHierarchy(ME1)
+        hierarchy.data_access(0x1000, size=4)
+        # 32-byte access spanning into an untouched line.
+        access = hierarchy.data_access(0x107F, size=32)
+        assert access.level == ServiceLevel.MEMORY
+
+    def test_ideal_hierarchy(self):
+        hierarchy = MemoryHierarchy(MEINF)
+        access = hierarchy.data_access(0x123456)
+        assert access.level == ServiceLevel.L1
+        assert access.latency == MEINF.dl1.latency
+        assert not access.tlb_missed  # ideal configs never TLB-miss
+
+    def test_instruction_fetch_path(self):
+        hierarchy = MemoryHierarchy(ME1)
+        access = hierarchy.inst_access(0x400)
+        assert access.level == ServiceLevel.MEMORY
+        access = hierarchy.inst_access(0x400)
+        assert access.level == ServiceLevel.L1
+
+    def test_tlb_hits_within_page(self):
+        hierarchy = MemoryHierarchy(ME1)
+        hierarchy.data_access(0x4000)
+        access = hierarchy.data_access(0x4F00)  # same 4K page
+        assert not access.tlb_missed
+
+    def test_prefetch_hides_next_line(self):
+        from dataclasses import replace
+
+        prefetching = replace(ME1, sequential_prefetch=True)
+        hierarchy = MemoryHierarchy(prefetching)
+        hierarchy.data_access(0x20000)            # miss, prefetches next
+        access = hierarchy.data_access(0x20080)   # next line: now resident
+        assert access.level == ServiceLevel.L1
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(
+    st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300
+))
+def test_repeat_of_recent_access_hits(addresses):
+    cache = small_cache(size=4096, assoc=4, line=64)
+    for address in addresses:
+        cache.access(address)
+        assert cache.access(address)  # immediate re-access always hits
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(
+    st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200
+))
+def test_miss_count_bounded_by_distinct_lines(addresses):
+    # A big-enough cache has only compulsory misses.
+    cache = small_cache(size=64 * KB, assoc=4, line=64)
+    for address in addresses:
+        cache.access(address)
+    distinct = len({a >> 6 for a in addresses})
+    assert cache.stats.misses == distinct
+
+
+@settings(max_examples=25, deadline=None)
+@given(addresses=st.lists(
+    st.integers(min_value=0, max_value=1 << 18), min_size=1, max_size=200
+))
+def test_lru_inclusion_with_higher_associativity(addresses):
+    # Same set mapping, larger associativity: LRU's stack property
+    # guarantees the bigger cache never misses more.
+    small = small_cache(size=512, assoc=2, line=64)    # 4 sets
+    large = small_cache(size=2048, assoc=8, line=64)   # 4 sets
+    for address in addresses:
+        small.access(address)
+        large.access(address)
+    assert small.stats.misses >= large.stats.misses

@@ -1,0 +1,46 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+import repro.__main__ as cli
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig5" in output
+        assert "table3" in output
+
+    def test_help(self, capsys):
+        assert cli.main([]) == 0
+        assert "python -m repro" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli.main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_static_table(self, capsys, monkeypatch):
+        # table1 needs no simulation, so it is fast enough for a test.
+        assert cli.main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "ssearch34" in output
+        assert "completed" in output
+
+    def test_trace_usage_errors(self, capsys):
+        assert cli.main(["trace"]) == 2
+        assert "usage" in capsys.readouterr().err
+        assert cli.main(["trace", "hmmer", "x.npz"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_trace_export(self, tmp_path, capsys, monkeypatch):
+        # Keep the export fast: tiny scale.
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        path = tmp_path / "blast.npz"
+        assert cli.main(["trace", "blast", str(path)]) == 0
+        assert path.exists()
+        from repro.isa.serialize import load_trace
+
+        trace = load_trace(path)
+        assert len(trace) > 0
+        trace.validate()

@@ -1,0 +1,125 @@
+"""Tests for the SEG-style low-complexity filter."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bio.complexity import (
+    find_low_complexity,
+    mask_sequence,
+    masked_fraction,
+    window_entropy,
+)
+from repro.bio.sequence import Sequence
+from repro.bio.synthetic import random_protein
+
+proteins = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=0, max_size=120)
+
+
+class TestEntropy:
+    def test_single_residue_run_zero_entropy(self):
+        assert window_entropy("AAAAAAAA") == 0.0
+
+    def test_two_equal_residues_one_bit(self):
+        assert window_entropy("ABABABAB") == pytest.approx(1.0)
+
+    def test_uniform_window_max_entropy(self):
+        text = "ARNDCQEGHILK"  # 12 distinct residues
+        assert window_entropy(text) == pytest.approx(math.log2(12))
+
+    def test_empty(self):
+        assert window_entropy("") == 0.0
+
+
+class TestFinding:
+    def test_homopolymer_masked(self):
+        text = random_protein(40, random.Random(1)) + "Q" * 25 + \
+            random_protein(40, random.Random(2))
+        regions = find_low_complexity(text)
+        assert regions
+        merged = regions[0]
+        assert merged.start <= 45
+        assert merged.end >= 60
+
+    def test_random_protein_mostly_unmasked(self):
+        text = random_protein(400, random.Random(3))
+        fraction = masked_fraction(Sequence("s", text))
+        assert fraction < 0.1
+
+    def test_short_sequence_no_regions(self):
+        assert find_low_complexity("ACD") == []
+
+    def test_dipeptide_repeat_masked(self):
+        text = random_protein(30, random.Random(4)) + "PQ" * 15 + \
+            random_protein(30, random.Random(5))
+        assert find_low_complexity(text)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            find_low_complexity("ACDEF" * 10, window=1)
+        with pytest.raises(ValueError):
+            find_low_complexity("ACDEF" * 10, trigger=3.0, extension=2.0)
+
+    def test_regions_sorted_and_disjoint(self):
+        text = ("A" * 20 + random_protein(50, random.Random(6))
+                + "S" * 20 + random_protein(50, random.Random(7)))
+        regions = find_low_complexity(text)
+        for first, second in zip(regions, regions[1:]):
+            assert first.end < second.start
+
+
+class TestMasking:
+    def test_masked_positions_become_x(self):
+        text = random_protein(40, random.Random(8)) + "E" * 30 + \
+            random_protein(40, random.Random(9))
+        sequence = Sequence("s", text)
+        masked = mask_sequence(sequence)
+        assert "X" in masked.text
+        assert len(masked) == len(sequence)
+
+    def test_random_sequence_mostly_untouched(self):
+        sequence = Sequence("s", random_protein(100, random.Random(10)))
+        masked = mask_sequence(sequence)
+        # A random window can dip below the trigger by chance, but
+        # never a large share of the sequence.
+        assert masked.text.count("X") <= 25
+
+    def test_masked_query_shrinks_blast_table(self):
+        from repro.align.blast.engine import BlastEngine, BlastOptions
+
+        text = random_protein(80, random.Random(11)) + "K" * 40
+        raw = BlastEngine(Sequence("q", text), BlastOptions(mask_query=False))
+        filtered = BlastEngine(Sequence("q", text), BlastOptions(mask_query=True))
+        assert filtered.lookup.entry_count < raw.lookup.entry_count
+
+    def test_kernel_matches_engine_with_masking(self, tiny_database):
+        from repro.align.blast.engine import BlastEngine, BlastOptions
+        from repro.kernels.blast_kernel import BlastKernel
+        from repro.bio.queries import default_query
+
+        text = default_query().text[:60] + "D" * 30
+        query = Sequence("q", text)
+        options = BlastOptions(mask_query=True, threshold=10)
+        run = BlastKernel(options).run(query, tiny_database, record=True)
+        engine = BlastEngine(query, options)
+        for sid, score in run.scores.items():
+            assert score == engine.score_subject(tiny_database.get(sid)), sid
+
+
+@settings(max_examples=40, deadline=None)
+@given(text=proteins)
+def test_masking_preserves_length_and_unmasked_residues(text):
+    sequence = Sequence("s", text)
+    masked = mask_sequence(sequence)
+    assert len(masked) == len(sequence)
+    for original, replaced in zip(sequence.text, masked.text):
+        assert replaced == original or replaced == "X"
+
+
+@settings(max_examples=40, deadline=None)
+@given(text=proteins)
+def test_regions_within_bounds(text):
+    for region in find_low_complexity(text):
+        assert 0 <= region.start < region.end <= len(text)

@@ -1,0 +1,111 @@
+"""Tests for the CPI-stack and design-space analysis tools."""
+
+import pytest
+
+from repro.analysis.cpi_stack import (
+    FAMILIES,
+    CpiStack,
+    classify_trauma,
+    cpi_stack_from_result,
+    cpi_stack_report,
+    cpi_stacks,
+)
+from repro.analysis.design_space import (
+    unit_scaling_report,
+    unit_scaling_study,
+    with_unit_count,
+)
+from repro.isa.opcodes import FunctionalUnit
+from repro.uarch.config import PROC_4WAY
+from repro.uarch.results import BranchResult, CacheResult, SimulationResult
+
+
+class TestClassification:
+    def test_families(self):
+        assert classify_trauma("if_pred") == "branch"
+        assert classify_trauma("if_nfa") == "branch"
+        assert classify_trauma("mm_dl2") == "memory"
+        assert classify_trauma("rg_mem") == "memory"
+        assert classify_trauma("rg_vi") == "dependence"
+        assert classify_trauma("rg_fix") == "dependence"
+        assert classify_trauma("ful_vi") == "resource"
+        assert classify_trauma("diq_fix") == "resource"
+        assert classify_trauma("rename") == "resource"
+        assert classify_trauma("if_l2") == "frontend"
+        assert classify_trauma("other") == "other"
+
+
+class TestStackConstruction:
+    def _result(self, cycles, traumas):
+        return SimulationResult(
+            trace_name="t", config_name="c", memory_name="m",
+            instructions=1000, cycles=cycles, traumas=traumas,
+            branch=BranchResult(10, 9),
+            il1=CacheResult(1, 0), dl1=CacheResult(1, 0), l2=CacheResult(1, 0),
+        )
+
+    def test_slices_sum_to_cpi(self):
+        result = self._result(2000, {"if_pred": 500, "mm_dl2": 300})
+        stack = cpi_stack_from_result("app", result)
+        assert sum(stack.slices.values()) == pytest.approx(stack.cpi)
+
+    def test_base_is_uncharged_cycles(self):
+        result = self._result(2000, {"if_pred": 500})
+        stack = cpi_stack_from_result("app", result)
+        assert stack.base == pytest.approx(1.5)
+        assert stack.slices["branch"] == pytest.approx(0.5)
+
+    def test_dominant_family(self):
+        result = self._result(2000, {"if_pred": 100, "mm_dl2": 700})
+        assert cpi_stack_from_result("app", result).dominant_family() == "memory"
+
+    def test_all_families_present(self):
+        stack = cpi_stack_from_result("app", self._result(100, {}))
+        assert set(stack.slices) == set(FAMILIES)
+
+
+class TestSuiteStacks:
+    def test_dominant_families_match_paper(self, context):
+        stacks = {s.application: s for s in cpi_stacks(context)}
+        assert stacks["ssearch34"].dominant_family() == "branch"
+        assert stacks["sw_vmx128"].dominant_family() == "dependence"
+        assert stacks["blast"].dominant_family() in ("memory", "branch")
+
+    def test_report_renders(self, context):
+        report = cpi_stack_report(cpi_stacks(context))
+        assert "ssearch34" in report
+        assert "dominant stall" in report
+
+
+class TestUnitScaling:
+    def test_with_unit_count(self):
+        config = with_unit_count(PROC_4WAY, FunctionalUnit.VI, 4)
+        assert config.units[FunctionalUnit.VI] == 4
+        assert PROC_4WAY.units[FunctionalUnit.VI] == 1  # original intact
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            with_unit_count(PROC_4WAY, FunctionalUnit.VI, 0)
+
+    def test_vi_units_help_simd_not_scalar(self, context):
+        result = unit_scaling_study(
+            context, FunctionalUnit.VI, counts=(1, 4),
+            apps=("sw_vmx128", "ssearch34"),
+        )
+        assert result.gain("sw_vmx128") > 0.05
+        assert result.gain("ssearch34") == pytest.approx(0.0, abs=0.02)
+
+    def test_more_units_never_hurt(self, context):
+        result = unit_scaling_study(
+            context, FunctionalUnit.FX, counts=(1, 3),
+            apps=("blast",),
+        )
+        values = result.ipc["blast"]
+        assert values[1] >= values[0] - 1e-9
+
+    def test_report_renders(self, context):
+        result = unit_scaling_study(
+            context, FunctionalUnit.VI, counts=(1, 2),
+            apps=("sw_vmx128",),
+        )
+        assert "VI unit count" in unit_scaling_report(result)

@@ -1,0 +1,78 @@
+"""Unit tests for the sequence database container."""
+
+import pytest
+
+from repro.bio.alphabet import DNA
+from repro.bio.database import SequenceDatabase
+from repro.bio.sequence import Sequence
+
+
+def make_db():
+    return SequenceDatabase(
+        [Sequence("A", "ACDE"), Sequence("B", "FGHIK"), Sequence("C", "LM")],
+        name="test-db",
+    )
+
+
+class TestDatabase:
+    def test_len_and_iteration_order(self):
+        db = make_db()
+        assert len(db) == 3
+        assert [s.identifier for s in db] == ["A", "B", "C"]
+
+    def test_indexing(self):
+        db = make_db()
+        assert db[1].identifier == "B"
+
+    def test_get_by_identifier(self):
+        db = make_db()
+        assert db.get("C").text == "LM"
+        with pytest.raises(KeyError):
+            db.get("Z")
+
+    def test_contains(self):
+        db = make_db()
+        assert "A" in db
+        assert "Z" not in db
+
+    def test_duplicate_identifier_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.add(Sequence("A", "ACD"))
+
+    def test_alphabet_mismatch_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.add(Sequence("D", "ACGT", alphabet=DNA))
+
+    def test_residue_count(self):
+        assert make_db().residue_count == 4 + 5 + 2
+
+    def test_slice_preserves_order(self):
+        db = make_db()
+        sliced = db.slice(2)
+        assert [s.identifier for s in sliced] == ["A", "B"]
+        assert "test-db" in sliced.name
+
+    def test_slice_larger_than_db(self):
+        assert len(make_db().slice(10)) == 3
+
+    def test_stats(self):
+        stats = make_db().stats()
+        assert stats.sequence_count == 3
+        assert stats.residue_count == 11
+        assert stats.shortest == 2
+        assert stats.longest == 5
+        assert stats.mean_length == pytest.approx(11 / 3)
+
+    def test_empty_stats(self):
+        stats = SequenceDatabase().stats()
+        assert stats.sequence_count == 0
+        assert stats.mean_length == 0.0
+
+    def test_fasta_roundtrip(self, tmp_path):
+        db = make_db()
+        path = tmp_path / "db.fa"
+        db.to_fasta(path)
+        loaded = SequenceDatabase.from_fasta(path, name="loaded")
+        assert [s.text for s in loaded] == [s.text for s in db]

@@ -1,0 +1,252 @@
+"""Integration tests: every experiment runs and the paper's qualitative
+shape holds at test scale.
+
+These use a scaled-down suite (shared session fixture), so assertions
+are about *shape* — orderings, dominant classes, direction of effects —
+not absolute values.
+"""
+
+import pytest
+
+from repro.analysis.bp_study import fig11_predictor_accuracy
+from repro.analysis.breakdown import fig1_breakdown
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.queues import fig10_queue_occupancy
+from repro.analysis.stalls import fig2_stalls
+from repro.analysis.sweeps import (
+    fig3_fig4_memory_sweep,
+    fig5_cache_size,
+    fig6_associativity,
+    fig7_l1_latency,
+    fig8_vmx_speedup,
+    fig9_branch_prediction,
+)
+from repro.analysis.tables import table3_trace_sizes
+from repro.uarch.config import KB
+
+
+class TestRegistry:
+    def test_all_fourteen_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11",
+        }
+
+    def test_unknown_experiment(self, context):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", context)
+
+    def test_static_tables_render(self, context):
+        for identifier in ("table1", "table2"):
+            _, report = run_experiment(identifier, context)
+            assert report
+
+
+class TestTable3Shape:
+    def test_ordering_matches_paper(self, context):
+        result = table3_trace_sizes(context, residues=800)
+        assert result.ordering_matches_paper()
+
+    def test_simd_reduction(self, context):
+        result = table3_trace_sizes(context, residues=800)
+        relative = result.normalized()
+        # vmx128 is several times smaller than scalar; vmx256 smaller still.
+        assert relative["sw_vmx128"] < 0.5
+        assert relative["sw_vmx256"] < relative["sw_vmx128"]
+        # Heuristics are the smallest traces.
+        assert relative["blast"] < relative["fasta34"] < relative["sw_vmx256"]
+
+
+class TestFig1Shape:
+    def test_control_fractions(self, context):
+        result = fig1_breakdown(context)
+        ssearch = result.fractions("ssearch34")
+        vmx = result.fractions("sw_vmx128")
+        blast = result.fractions("blast")
+        assert ssearch["ctrl"] > 0.18
+        assert blast["ctrl"] > 0.10
+        assert vmx["ctrl"] < 0.05
+
+    def test_alu_dominates_scalar_codes(self, context):
+        result = fig1_breakdown(context)
+        for name in ("ssearch34", "fasta34", "blast"):
+            fractions = result.fractions(name)
+            assert fractions["ialu"] == max(fractions.values()), name
+
+
+class TestFig2Shape:
+    def test_ssearch_dominated_by_branch_misprediction(self, context):
+        result = fig2_stalls(context)
+        top = result.top("ssearch34", 1)[0][0]
+        assert top == "if_pred"
+
+    def test_simd_dominated_by_vector_dependencies(self, context):
+        result = fig2_stalls(context)
+        for name in ("sw_vmx128", "sw_vmx256"):
+            top_classes = [trauma for trauma, _ in result.top(name, 3)]
+            assert "rg_vi" in top_classes or "rg_vper" in top_classes, name
+
+    def test_blast_has_large_memory_component(self, context):
+        result = fig2_stalls(context)
+        histogram = result.histograms["blast"]
+        memory = histogram["mm_dl1"] + histogram["mm_dl2"] + histogram["rg_mem"]
+        assert memory > 0.15 * result.cycles["blast"]
+
+    def test_vmx256_memory_stalls_grow_relative(self, context):
+        result = fig2_stalls(context)
+
+        def memory_share(name):
+            histogram = result.histograms[name]
+            memory = (histogram["mm_dl1"] + histogram["mm_dl2"]
+                      + histogram["rg_mem"])
+            total = sum(histogram.values()) or 1
+            return memory / total
+
+        assert memory_share("sw_vmx256") > memory_share("sw_vmx128")
+
+
+class TestFig3Fig4Shape:
+    def test_simd_ipc_exceeds_scalar(self, context):
+        sweep = fig3_fig4_memory_sweep(context)
+        vmx = sweep.ipc[("sw_vmx128", "4-way", "me1")]
+        ssearch = sweep.ipc[("ssearch34", "4-way", "me1")]
+        fasta = sweep.ipc[("fasta34", "4-way", "me1")]
+        assert vmx > ssearch
+        assert vmx > fasta
+
+    def test_blast_most_memory_sensitive(self, context):
+        sweep = fig3_fig4_memory_sweep(context)
+
+        def sensitivity(app):
+            small = sweep.cycles[(app, "4-way", "me1")]
+            ideal = sweep.cycles[(app, "4-way", "meinf")]
+            return (small - ideal) / small
+
+        assert sensitivity("blast") > 0.3  # paper: 52% slowdown
+        assert sensitivity("blast") > sensitivity("fasta34")
+        assert sensitivity("blast") > sensitivity("ssearch34")
+
+    def test_width_scaling_modest(self, context):
+        sweep = fig3_fig4_memory_sweep(context)
+        for app in context.suite.names:
+            narrow = sweep.cycles[(app, "4-way", "me1")]
+            wide = sweep.cycles[(app, "16-way", "me1")]
+            # Wider machines help somewhat but never linearly.
+            assert wide <= narrow
+            assert wide > narrow / 3
+
+    def test_ipc_cycles_consistent(self, context):
+        sweep = fig3_fig4_memory_sweep(context)
+        for (app, width, memory), cycles in sweep.cycles.items():
+            ipc = sweep.ipc[(app, width, memory)]
+            trace_len = len(context.suite.trace(app))
+            assert ipc == pytest.approx(trace_len / cycles, rel=1e-6)
+
+
+class TestFig5Fig6Shape:
+    def test_blast_worst_miss_rate_at_32k(self, context):
+        result = fig5_cache_size(context, sizes=(4 * KB, 32 * KB, 256 * KB),
+                                 with_ipc=False)
+        at_32k = {name: rates[1] for name, rates in result.miss_rate.items()}
+        assert at_32k["blast"] == max(at_32k.values())
+
+    def test_miss_rates_fall_with_size(self, context):
+        result = fig5_cache_size(context, sizes=(2 * KB, 16 * KB, 128 * KB),
+                                 with_ipc=False)
+        for name, rates in result.miss_rate.items():
+            assert rates[0] >= rates[-1], name
+
+    def test_ipc_grows_with_cache_for_blast(self, context):
+        result = fig5_cache_size(context, sizes=(2 * KB, 128 * KB))
+        assert result.ipc["blast"][1] > result.ipc["blast"][0]
+
+    def test_associativity_mainly_helps_blast_misses(self, context):
+        result = fig6_associativity(context, with_ipc=False)
+        blast_gain = (result.miss_rate["blast"][0]
+                      - result.miss_rate["blast"][-1])
+        ssearch_gain = abs(result.miss_rate["ssearch34"][0]
+                           - result.miss_rate["ssearch34"][-1])
+        assert blast_gain >= ssearch_gain
+
+
+class TestFig7Fig8Shape:
+    def test_simd_most_latency_sensitive(self, context):
+        result = fig7_l1_latency(context, latencies=(1, 10))
+        sensitivities = {
+            name: result.sensitivity(name) for name in context.suite.names
+        }
+        # The widest SIMD code is hit hardest.
+        assert max(sensitivities, key=sensitivities.get) == "sw_vmx256"
+
+    def test_latency_monotone(self, context):
+        result = fig7_l1_latency(context, latencies=(1, 4, 8))
+        for name, values in result.ipc.items():
+            assert values[0] >= values[-1], name
+
+    def test_vmx256_faster_and_handicap_shrinks_gain(self, context):
+        result = fig8_vmx_speedup(context)
+        for index in range(len(result.widths)):
+            fast = result.speedup["sw_vmx256"][index]
+            slow = result.speedup["sw_vmx256+1lat"][index]
+            assert fast > 1.0
+            assert slow <= fast
+            assert slow > 0.95  # still competitive (paper: +5%)
+
+
+class TestFig9Shape:
+    def test_perfect_bp_helps_branchy_codes_most(self, context):
+        result = fig9_branch_prediction(context)
+        assert result.gain("ssearch34") > 0.15
+        assert result.gain("fasta34") > 0.10
+        assert result.gain("sw_vmx128") < 0.05
+
+    def test_perfect_never_slower(self, context):
+        result = fig9_branch_prediction(context)
+        for name in context.suite.names:
+            for index in range(len(result.widths)):
+                assert (result.perfect[name][index]
+                        >= result.real[name][index] - 1e-9)
+
+
+class TestFig10Shape:
+    def test_fasta_queues_lightly_occupied(self, context):
+        result = fig10_queue_occupancy(context)
+        fasta = result.histograms["fasta34"]
+        total = sum(fasta["FIX-Q"].values())
+        near_empty = sum(v for k, v in fasta["FIX-Q"].items() if k <= 2)
+        # Pipeline flushes keep the queues drained a large share of the
+        # time, and mean occupancy stays well under capacity.
+        assert near_empty > 0.3 * total
+        assert result.mean("fasta34", "FIX-Q") < 10
+
+    def test_vmx_vector_queue_busier_than_fasta_fix_queue(self, context):
+        result = fig10_queue_occupancy(context)
+        assert (result.mean("sw_vmx128", "VI-Q")
+                > result.mean("fasta34", "FIX-Q"))
+
+    def test_vmx_sustains_more_inflight(self, context):
+        result = fig10_queue_occupancy(context)
+        assert (result.mean("sw_vmx128", "INFLIGHT")
+                > result.mean("fasta34", "INFLIGHT"))
+
+
+class TestFig11Shape:
+    def test_strategies_converge(self, context):
+        result = fig11_predictor_accuracy(
+            context, sizes=(64, 1024, 16_384)
+        )
+        for app, strategies in result.accuracy.items():
+            plateaus = [values[-1] for values in strategies.values()]
+            assert max(plateaus) - min(plateaus) < 0.08, app
+
+    def test_saturation_early(self, context):
+        result = fig11_predictor_accuracy(
+            context, sizes=(16, 64, 256, 1024, 4096, 16_384)
+        )
+        for app in result.accuracy:
+            assert result.saturation_size(app, "bimodal", 0.01) <= 4096, app
+
+    def test_simd_branches_nearly_perfectly_predicted(self, context):
+        result = fig11_predictor_accuracy(context, sizes=(1024,))
+        assert result.accuracy["sw_vmx128"]["gp"][0] > 0.95

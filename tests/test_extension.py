@@ -1,0 +1,80 @@
+"""Unit tests for BLAST extension stages."""
+
+from repro.align.blast.extension import (
+    UngappedExtension,
+    extend_gapped,
+    extend_ungapped,
+)
+from repro.align.smith_waterman import sw_score
+from repro.align.types import PAPER_GAPS
+from repro.bio.alphabet import PROTEIN
+from repro.bio.matrices import BLOSUM62
+from repro.bio.sequence import Sequence
+
+
+def encode(text: str):
+    return PROTEIN.encode(text)
+
+
+class TestUngappedExtension:
+    def test_identical_sequences_extend_fully(self):
+        text = "ARNDCQEGHILKMFPSTVWY"
+        codes = encode(text)
+        result = extend_ungapped(codes, codes, 8, 8, 3, BLOSUM62)
+        assert result.query_start == 0
+        assert result.query_end == len(codes)
+        assert result.score == sum(BLOSUM62.score(c, c) for c in codes)
+
+    def test_extension_stays_on_diagonal(self):
+        text = "ARNDCQEGHILKMFPSTVWY"
+        codes = encode(text)
+        result = extend_ungapped(codes, codes, 5, 5, 3, BLOSUM62)
+        assert result.query_start == result.subject_start
+        assert result.query_end == result.subject_end
+
+    def test_xdrop_stops_extension(self):
+        # Identical word in the middle of hostile context.
+        query = encode("PPPPPP" + "WWWW" + "PPPPPP")
+        subject = encode("GGGGGG" + "WWWW" + "GGGGGG")
+        result = extend_ungapped(query, subject, 6, 6, 4, BLOSUM62, x_drop=5)
+        assert result.query_start >= 4
+        assert result.query_end <= len(query) - 4
+        word_score = 4 * BLOSUM62.score_symbols("W", "W")
+        assert result.score == word_score
+
+    def test_score_at_least_word_score(self):
+        codes = encode("ARNDCQEGHILKMFPSTVWY")
+        word_score = sum(BLOSUM62.score(c, c) for c in codes[4:7])
+        result = extend_ungapped(codes, codes, 4, 4, 3, BLOSUM62)
+        assert result.score >= word_score
+
+    def test_length_property(self):
+        ext = UngappedExtension(10, 2, 8, 4, 10)
+        assert ext.length == 6
+
+
+class TestGappedExtension:
+    def test_gapped_at_least_ungapped(self):
+        query = Sequence("q", "ARNDCQEGHILKMFPSTVWY" * 2)
+        subject = Sequence("s", "ARNDCQEGHILKMFPSTVWY" * 2)
+        seed = extend_ungapped(query.codes, subject.codes, 10, 10, 3, BLOSUM62)
+        gapped = extend_gapped(query, subject, seed, BLOSUM62, PAPER_GAPS)
+        assert gapped >= seed.score
+
+    def test_gapped_bounded_by_full_sw(self):
+        query = Sequence("q", "ARNDCQEGHILKMFPSTVWYACDEFGHIK")
+        subject = Sequence("s", "ARNDCQEGHWWWILKMFPSTVWYACDEF")
+        seed = extend_ungapped(query.codes, subject.codes, 0, 0, 3, BLOSUM62)
+        gapped = extend_gapped(query, subject, seed, BLOSUM62, PAPER_GAPS)
+        assert gapped <= sw_score(query, subject)
+
+    def test_gapped_recovers_gapped_alignment(self):
+        # An insertion splits the match; only the gapped stage spans it.
+        left = "ARNDCQEGHILKMFPSTVWY"
+        right = "ACDEFGHIKLMNPQRSTVWY"
+        query = Sequence("q", left + right)
+        subject = Sequence("s", left + "W" + right)
+        seed = extend_ungapped(query.codes, subject.codes, 2, 2, 3, BLOSUM62)
+        gapped = extend_gapped(query, subject, seed, BLOSUM62, PAPER_GAPS)
+        assert gapped > seed.score
+        assert gapped == sw_score(query, subject)

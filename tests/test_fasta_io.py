@@ -1,0 +1,80 @@
+"""Unit tests for FASTA reading/writing."""
+
+import pytest
+
+from repro.bio.fasta_io import (
+    FastaFormatError,
+    format_fasta,
+    parse_fasta_text,
+    read_fasta,
+    write_fasta,
+)
+from repro.bio.sequence import Sequence
+
+
+SAMPLE = """>P1 first protein
+ACDEFG
+HIKLMN
+>P2
+PQRST
+"""
+
+
+class TestParsing:
+    def test_parses_records(self):
+        records = parse_fasta_text(SAMPLE)
+        assert [r.identifier for r in records] == ["P1", "P2"]
+
+    def test_joins_wrapped_lines(self):
+        records = parse_fasta_text(SAMPLE)
+        assert records[0].text == "ACDEFGHIKLMN"
+
+    def test_description(self):
+        records = parse_fasta_text(SAMPLE)
+        assert records[0].description == "first protein"
+        assert records[1].description == ""
+
+    def test_blank_lines_ignored(self):
+        records = parse_fasta_text(">A x\n\nACD\n\nEFG\n")
+        assert records[0].text == "ACDEFG"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(FastaFormatError):
+            parse_fasta_text("ACDEFG\n>A\nACD\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaFormatError):
+            parse_fasta_text(">\nACD\n")
+
+    def test_empty_input(self):
+        assert parse_fasta_text("") == []
+
+
+class TestFormatting:
+    def test_wraps_lines(self):
+        seq = Sequence("S", "A" * 130)
+        text = format_fasta([seq], line_width=60)
+        lines = text.strip().splitlines()
+        assert lines[0] == ">S"
+        assert [len(line) for line in lines[1:]] == [60, 60, 10]
+
+    def test_header_includes_description(self):
+        seq = Sequence("S", "ACD", description="some protein")
+        assert format_fasta([seq]).startswith(">S some protein\n")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            format_fasta([Sequence("S", "ACD")], line_width=0)
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path):
+        sequences = [
+            Sequence("A1", "ACDEFGHIKLMNPQRSTVWY" * 5, description="alpha"),
+            Sequence("B2", "WYVA"),
+        ]
+        path = tmp_path / "db.fasta"
+        write_fasta(sequences, path)
+        loaded = read_fasta(path)
+        assert loaded == sequences
+        assert loaded[0].description == "alpha"

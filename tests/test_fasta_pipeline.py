@@ -1,0 +1,158 @@
+"""Unit tests for the FASTA pipeline stages and engine."""
+
+import pytest
+
+from repro.align.fasta.chaining import chain_regions
+from repro.align.fasta.engine import FastaEngine, FastaOptions, fasta_search
+from repro.align.fasta.ktup import (
+    DiagonalRegion,
+    KtupleIndex,
+    find_initial_regions,
+    rescore_region,
+    scan_diagonal,
+)
+from repro.align.smith_waterman import sw_score
+from repro.bio.alphabet import PROTEIN
+from repro.bio.matrices import BLOSUM62
+from repro.bio.synthetic import MutationModel, homolog_of
+
+
+def encode(text: str):
+    return PROTEIN.encode(text)
+
+
+class TestKtupleIndex:
+    def test_positions_recorded(self):
+        index = KtupleIndex(encode("ARNAR"), ktup=2)
+        ar = 0 * 20 + 1
+        assert index.positions(ar) == (0, 3)
+
+    def test_ambiguous_words_skipped(self):
+        index = KtupleIndex(encode("AXA"), ktup=2)
+        assert all(
+            not index.positions(i) for i in range(len(index))
+        )
+
+    def test_diagonal_hits_self_scan(self):
+        codes = encode("ARNDCQEGHILK")
+        index = KtupleIndex(codes, ktup=2)
+        hits = index.diagonal_hits(codes)
+        # The main diagonal carries every position of a self-scan.
+        assert 0 in hits
+        assert hits[0] == list(range(len(codes) - 1))
+
+    def test_invalid_ktup(self):
+        with pytest.raises(ValueError):
+            KtupleIndex(encode("ARN"), ktup=0)
+
+
+class TestScanDiagonal:
+    def test_single_run(self):
+        runs = scan_diagonal([0, 2, 4, 6], ktup=2)
+        assert len(runs) == 1
+        start, end, score = runs[0]
+        assert start == 0
+        assert end == 8
+        assert score > 0
+
+    def test_distant_hits_split_runs(self):
+        runs = scan_diagonal([0, 500], ktup=2)
+        assert len(runs) == 2
+
+    def test_empty(self):
+        assert scan_diagonal([], ktup=2) == []
+
+
+class TestRescoring:
+    def test_rescore_uses_matrix(self):
+        codes = encode("WWWWWW")
+        region = DiagonalRegion(diagonal=0, subject_start=0, subject_end=6,
+                                score=10)
+        rescored = rescore_region(region, codes, codes, BLOSUM62)
+        assert rescored.score == 6 * BLOSUM62.score_symbols("W", "W")
+
+    def test_rescore_trims_to_best_subrun(self):
+        query = encode("WWWPPP")
+        subject = encode("WWWGGG")
+        region = DiagonalRegion(diagonal=0, subject_start=0, subject_end=6,
+                                score=10)
+        rescored = rescore_region(region, query, subject, BLOSUM62)
+        assert rescored.subject_start == 0
+        assert rescored.subject_end == 3
+
+
+class TestChaining:
+    def test_empty(self):
+        assert chain_regions([]) == 0
+
+    def test_single_region(self):
+        region = DiagonalRegion(0, 0, 10, 42)
+        assert chain_regions([region]) == 42
+
+    def test_compatible_regions_chain_with_penalty(self):
+        first = DiagonalRegion(diagonal=0, subject_start=0, subject_end=10,
+                               score=50)
+        second = DiagonalRegion(diagonal=5, subject_start=20, subject_end=30,
+                                score=40)
+        assert chain_regions([first, second], join_penalty=20) == 70
+
+    def test_overlapping_regions_do_not_chain(self):
+        first = DiagonalRegion(diagonal=0, subject_start=0, subject_end=10,
+                               score=50)
+        second = DiagonalRegion(diagonal=2, subject_start=5, subject_end=15,
+                                score=40)
+        assert chain_regions([first, second], join_penalty=0) == 50
+
+    def test_unprofitable_join_skipped(self):
+        first = DiagonalRegion(diagonal=0, subject_start=0, subject_end=10,
+                               score=50)
+        second = DiagonalRegion(diagonal=5, subject_start=20, subject_end=30,
+                                score=5)
+        assert chain_regions([first, second], join_penalty=20) == 50
+
+
+class TestFastaEngine:
+    def test_stage_scores_ordered(self, query, tiny_database):
+        engine = FastaEngine(query)
+        for subject in tiny_database:
+            stages = engine.score_subject(subject)
+            assert stages.init1 <= stages.initn or stages.initn == 0
+
+    def test_reported_prefers_opt(self):
+        from repro.align.fasta.engine import FastaScores
+
+        assert FastaScores(init1=10, initn=12, opt=30).reported == 30
+        assert FastaScores(init1=10, initn=12, opt=0).reported == 12
+
+    def test_scores_bounded_by_sw(self, query, tiny_database):
+        engine = FastaEngine(query)
+        for subject in tiny_database:
+            stages = engine.score_subject(subject)
+            assert stages.opt <= sw_score(query, subject)
+
+    def test_finds_planted_homolog(self, query, small_database):
+        homolog = homolog_of(query, seed=8,
+                             mutation=MutationModel(substitution_rate=0.2))
+        database = type(small_database)(
+            list(small_database) + [homolog], name="plus"
+        )
+        result = fasta_search(query, database)
+        assert result.best().subject_id == homolog.identifier
+
+    def test_identical_sequence_recovers_near_full_score(self, query):
+        engine = FastaEngine(query, FastaOptions(opt_threshold=1))
+        stages = engine.score_subject(query)
+        assert stages.opt >= 0.95 * sw_score(query, query)
+
+    def test_best_count_enforced(self, query, small_database):
+        result = fasta_search(
+            query, small_database, FastaOptions(best_count=4)
+        )
+        assert len(result.hits) <= 4
+
+    def test_region_invariants(self, query, tiny_database):
+        index = KtupleIndex(query.codes)
+        for subject in tiny_database:
+            for region in find_initial_regions(index, subject.codes):
+                assert region.subject_start <= region.subject_end
+                assert region.query_end - region.query_start == region.length

@@ -1,0 +1,98 @@
+"""Tests for FASTA's length-regressed significance statistics."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.fasta.engine import fasta_search
+from repro.align.fasta.stats import (
+    LengthRegression,
+    expectation,
+    fit_length_regression,
+    normal_tail,
+)
+from repro.bio.synthetic import MutationModel, homolog_of
+
+
+class TestNormalTail:
+    def test_symmetry(self):
+        assert normal_tail(0.0) == pytest.approx(0.5)
+
+    def test_known_values(self):
+        assert normal_tail(1.6449) == pytest.approx(0.05, abs=1e-3)
+        assert normal_tail(2.3263) == pytest.approx(0.01, abs=1e-3)
+
+    def test_monotone(self):
+        assert normal_tail(1.0) > normal_tail(2.0) > normal_tail(3.0)
+
+    def test_expectation_scales_with_database(self):
+        assert expectation(2.0, 1000) == pytest.approx(
+            expectation(2.0, 100) * 10
+        )
+
+
+class TestRegression:
+    def test_recovers_synthetic_trend(self):
+        rng = random.Random(1)
+        lengths = [rng.randint(50, 2000) for _ in range(300)]
+        scores = [
+            int(10 + 6 * math.log(length) + rng.gauss(0, 2))
+            for length in lengths
+        ]
+        fit = fit_length_regression(scores, lengths)
+        assert fit.slope == pytest.approx(6, abs=1.0)
+        assert fit.intercept == pytest.approx(10, abs=5.0)
+        assert fit.residual_sd == pytest.approx(2, abs=0.7)
+
+    def test_outlier_does_not_pollute_fit(self):
+        rng = random.Random(2)
+        lengths = [rng.randint(50, 2000) for _ in range(200)]
+        scores = [
+            int(10 + 6 * math.log(length) + rng.gauss(0, 2))
+            for length in lengths
+        ]
+        lengths.append(400)
+        scores.append(5000)  # a true homolog
+        fit = fit_length_regression(scores, lengths)
+        assert fit.zscore(5000, 400) > 100
+
+    def test_constant_lengths_flat_fit(self):
+        fit = fit_length_regression([10, 12, 11, 13], [100, 100, 100, 100])
+        assert fit.slope == 0.0
+
+    def test_needs_three_samples(self):
+        with pytest.raises(ValueError):
+            fit_length_regression([1, 2], [10, 20])
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            fit_length_regression([1, 2, 3], [10, 20])
+
+    def test_zscore_zero_at_baseline(self):
+        fit = LengthRegression(intercept=5, slope=2, residual_sd=1.5,
+                               samples=10)
+        length = 300
+        baseline = fit.expected_score(length)
+        assert fit.zscore(int(baseline), length) == pytest.approx(0.0, abs=0.7)
+
+
+class TestEngineAnnotation:
+    def test_homolog_gets_extreme_zscore(self, query, small_database):
+        homolog = homolog_of(query, seed=2,
+                             mutation=MutationModel(substitution_rate=0.2))
+        database = type(small_database)(
+            list(small_database) + [homolog], name="plus"
+        )
+        result = fasta_search(query, database)
+        best = result.best()
+        assert best.subject_id == homolog.identifier
+        assert best.bit_score > 5.0      # z-score far beyond background
+        assert best.evalue < 0.001
+
+    def test_background_hits_near_zero_z(self, query, small_database):
+        result = fasta_search(query, small_database)
+        background = [hit.bit_score for hit in result.hits[5:]]
+        if background:
+            assert all(z < 4.0 for z in background)

@@ -1,0 +1,92 @@
+"""Tests for Hirschberg linear-space global alignment."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.hirschberg import hirschberg, nw_linear_score
+from repro.bio.matrices import BLOSUM62
+from repro.bio.synthetic import MutationModel, random_protein
+
+proteins = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=0, max_size=45)
+gaps = st.integers(min_value=1, max_value=12)
+
+
+def quadratic_reference(a: str, b: str, gap: int) -> int:
+    """Straightforward quadratic-space linear-gap global DP."""
+    from repro.bio.alphabet import PROTEIN
+
+    ca, cb = PROTEIN.encode(a), PROTEIN.encode(b)
+    rows = BLOSUM62.rows
+    table = [[0] * (len(cb) + 1) for _ in range(len(ca) + 1)]
+    for i in range(1, len(ca) + 1):
+        table[i][0] = -gap * i
+    for j in range(1, len(cb) + 1):
+        table[0][j] = -gap * j
+    for i in range(1, len(ca) + 1):
+        for j in range(1, len(cb) + 1):
+            table[i][j] = max(
+                table[i - 1][j - 1] + rows[ca[i - 1]][cb[j - 1]],
+                table[i - 1][j] - gap,
+                table[i][j - 1] - gap,
+            )
+    return table[len(ca)][len(cb)]
+
+
+class TestLinearScore:
+    def test_identical(self):
+        text = "ACDEFGHIKLMNPQRSTVWY"
+        expected = sum(BLOSUM62.score_symbols(c, c) for c in text)
+        assert nw_linear_score(text, text) == expected
+
+    def test_empty(self):
+        assert nw_linear_score("", "ACD", gap=8) == -24
+        assert nw_linear_score("ACD", "", gap=8) == -24
+
+    def test_against_quadratic_reference(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            a = random_protein(rng.randint(1, 40), rng)
+            b = random_protein(rng.randint(1, 40), rng)
+            assert nw_linear_score(a, b) == quadratic_reference(a, b, 8)
+
+
+class TestHirschberg:
+    def test_alignment_strips_to_inputs(self):
+        rng = random.Random(2)
+        a = random_protein(60, rng)
+        b = MutationModel().mutate(a, rng)
+        result = hirschberg(a, b)
+        assert result.aligned_query.replace("-", "") == a
+        assert result.aligned_subject.replace("-", "") == b
+
+    def test_score_matches_linear_dp(self):
+        rng = random.Random(3)
+        for _ in range(8):
+            a = random_protein(rng.randint(1, 50), rng)
+            b = random_protein(rng.randint(1, 50), rng)
+            result = hirschberg(a, b)
+            assert result.score == nw_linear_score(a, b)
+
+    def test_related_sequences_align_tightly(self):
+        rng = random.Random(4)
+        a = random_protein(80, rng)
+        b = MutationModel(substitution_rate=0.1, indel_rate=0.01).mutate(a, rng)
+        result = hirschberg(a, b)
+        assert result.identity > 0.7
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=proteins, b=proteins, gap=gaps)
+def test_hirschberg_score_optimal(a, b, gap):
+    result = hirschberg(a, b, gap=gap)
+    assert result.score == nw_linear_score(a, b, gap=gap)
+    assert result.aligned_query.replace("-", "") == a
+    assert result.aligned_subject.replace("-", "") == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=proteins, b=proteins, gap=gaps)
+def test_linear_score_symmetric(a, b, gap):
+    assert nw_linear_score(a, b, gap=gap) == nw_linear_score(b, a, gap=gap)

@@ -1,0 +1,131 @@
+"""Unit tests for the abstract ISA layer: opcodes, instructions, traces."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    FIG1_ORDER,
+    FU_OF_OPCLASS,
+    LATENCY_OF_OPCLASS,
+    LOAD_OPS,
+    MEMORY_OPS,
+    STORE_OPS,
+    FunctionalUnit,
+    OpClass,
+)
+from repro.isa.trace import Trace
+
+
+class TestOpcodes:
+    def test_every_class_has_unit_and_latency(self):
+        for op in OpClass:
+            assert op in FU_OF_OPCLASS
+            assert op in LATENCY_OF_OPCLASS
+
+    def test_memory_class_partition(self):
+        assert LOAD_OPS | STORE_OPS == MEMORY_OPS
+        assert not (LOAD_OPS & STORE_OPS)
+
+    def test_vector_ops_use_vector_units(self):
+        assert FU_OF_OPCLASS[OpClass.VSIMPLE] == FunctionalUnit.VI
+        assert FU_OF_OPCLASS[OpClass.VPERM] == FunctionalUnit.VPER
+        assert FU_OF_OPCLASS[OpClass.VCMPLX] == FunctionalUnit.VCMPLX
+
+    def test_memory_ops_share_lsu(self):
+        for op in MEMORY_OPS:
+            assert FU_OF_OPCLASS[op] == FunctionalUnit.LDST
+
+    def test_fig1_order_covers_main_classes(self):
+        assert OpClass.IALU in FIG1_ORDER
+        assert OpClass.CTRL in FIG1_ORDER
+        assert len(set(FIG1_ORDER)) == len(FIG1_ORDER)
+
+
+class TestInstruction:
+    def test_load_properties(self):
+        load = Instruction(OpClass.ILOAD, pc=0x100, address=0x2000, size=8,
+                           has_dest=True)
+        assert load.is_load and load.is_memory and not load.is_store
+        assert not load.is_branch
+
+    def test_store_properties(self):
+        store = Instruction(OpClass.VSTORE, pc=0x104, address=0x3000, size=16)
+        assert store.is_store and store.is_memory and not store.is_load
+
+    def test_branch_properties(self):
+        branch = Instruction(OpClass.CTRL, pc=0x108, taken=True, target=0x80)
+        assert branch.is_branch and not branch.is_memory
+
+    def test_repr_contains_class(self):
+        alu = Instruction(OpClass.IALU, pc=0x10, has_dest=True)
+        assert "IALU" in repr(alu)
+
+
+def _make_trace():
+    return Trace("t", [
+        Instruction(OpClass.IALU, pc=0x10, has_dest=True),
+        Instruction(OpClass.ILOAD, pc=0x14, sources=(0,), has_dest=True,
+                    address=0x1000, size=8),
+        Instruction(OpClass.CTRL, pc=0x18, sources=(1,), taken=True,
+                    target=0x40),
+    ])
+
+
+class TestTrace:
+    def test_len_iter_getitem(self):
+        trace = _make_trace()
+        assert len(trace) == 3
+        assert trace[0].op == OpClass.IALU
+        assert [i.op for i in trace] == [OpClass.IALU, OpClass.ILOAD,
+                                         OpClass.CTRL]
+
+    def test_mix(self):
+        mix = _make_trace().mix()
+        assert mix.total == 3
+        assert mix.count(OpClass.IALU) == 1
+        assert mix.control_fraction() == pytest.approx(1 / 3)
+        assert mix.load_fraction() == pytest.approx(1 / 3)
+        assert mix.store_fraction() == 0.0
+
+    def test_branch_count(self):
+        assert _make_trace().branch_count() == 1
+
+    def test_slice_is_wellformed(self):
+        sliced = _make_trace().slice(2)
+        assert len(sliced) == 2
+        sliced.validate()
+
+    def test_validate_accepts_wellformed(self):
+        _make_trace().validate()
+
+    def test_validate_rejects_forward_dependency(self):
+        bad = Trace("bad", [
+            Instruction(OpClass.IALU, pc=0x10, sources=(1,), has_dest=True),
+            Instruction(OpClass.IALU, pc=0x14, has_dest=True),
+        ])
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_rejects_destless_producer(self):
+        bad = Trace("bad", [
+            Instruction(OpClass.ISTORE, pc=0x10, address=0x100, size=4),
+            Instruction(OpClass.IALU, pc=0x14, sources=(0,), has_dest=True),
+        ])
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_rejects_addressless_memory_op(self):
+        bad = Trace("bad", [
+            Instruction(OpClass.ILOAD, pc=0x10, has_dest=True),
+        ])
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_empty_mix(self):
+        mix = Trace("empty", []).mix()
+        assert mix.total == 0
+        assert mix.fraction(OpClass.IALU) == 0.0
+
+    def test_breakdown_keys(self):
+        breakdown = _make_trace().mix().breakdown()
+        assert set(breakdown) == {op.name.lower() for op in FIG1_ORDER}

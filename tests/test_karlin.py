@@ -1,0 +1,77 @@
+"""Unit tests for Karlin-Altschul statistics."""
+
+import math
+
+import pytest
+
+from repro.align.blast.karlin import (
+    InvalidScoringSystemError,
+    estimate_parameters,
+    expected_score,
+    relative_entropy,
+    solve_lambda,
+)
+from repro.bio.alphabet import PROTEIN
+from repro.bio.matrices import BLOSUM50, BLOSUM62, PAM250, ScoringMatrix
+
+
+class TestLambda:
+    def test_expected_score_negative(self):
+        # Required for local-alignment statistics to exist.
+        assert expected_score(BLOSUM62) < 0
+        assert expected_score(BLOSUM50) < 0
+        assert expected_score(PAM250) < 0
+
+    def test_lambda_positive(self):
+        assert solve_lambda(BLOSUM62) > 0
+
+    def test_blosum62_lambda_near_published(self):
+        # Published ungapped lambda for BLOSUM62 is ~0.318 (natural log
+        # units, Robinson frequencies); composition differences allow
+        # some slack.
+        lam = solve_lambda(BLOSUM62)
+        assert 0.25 < lam < 0.40
+
+    def test_lambda_solves_restriction(self):
+        from repro.align.blast.karlin import _background_frequencies, _restriction_sum
+
+        lam = solve_lambda(BLOSUM62)
+        freqs = _background_frequencies(BLOSUM62)
+        assert _restriction_sum(BLOSUM62, freqs, lam) == pytest.approx(1.0, abs=1e-6)
+
+    def test_all_positive_matrix_rejected(self):
+        rows = tuple(tuple(1 for _ in range(23)) for _ in range(23))
+        bad = ScoringMatrix(name="allpos", alphabet=PROTEIN, rows=rows)
+        with pytest.raises(InvalidScoringSystemError):
+            solve_lambda(bad)
+
+    def test_relative_entropy_positive(self):
+        lam = solve_lambda(BLOSUM62)
+        assert relative_entropy(BLOSUM62, lam) > 0
+
+
+class TestParameters:
+    def test_k_in_sane_range(self):
+        params = estimate_parameters(BLOSUM62)
+        assert 1e-3 <= params.k <= 0.5
+
+    def test_bit_score_monotone_in_raw_score(self):
+        params = estimate_parameters(BLOSUM62)
+        assert params.bit_score(100) > params.bit_score(50)
+
+    def test_evalue_decreases_with_score(self):
+        params = estimate_parameters(BLOSUM62)
+        high = params.evalue(200, 200, 100_000)
+        low = params.evalue(50, 200, 100_000)
+        assert high < low
+
+    def test_evalue_scales_with_search_space(self):
+        params = estimate_parameters(BLOSUM62)
+        small = params.evalue(100, 200, 10_000)
+        large = params.evalue(100, 200, 1_000_000)
+        assert large == pytest.approx(small * 100)
+
+    def test_evalue_formula(self):
+        params = estimate_parameters(BLOSUM62)
+        expected = params.k * 10 * 20 * math.exp(-params.lam * 30)
+        assert params.evalue(30, 10, 20) == pytest.approx(expected)

@@ -1,0 +1,125 @@
+"""Behavioural tests for the LSU details: store queue, aliasing, TLBs,
+and the optional sequential prefetcher."""
+
+from dataclasses import replace
+
+from repro.isa.builder import TraceBuilder
+from repro.uarch.config import ME1, PROC_4WAY, TlbConfig
+from repro.uarch.simulator import simulate
+
+
+class TestStoreQueue:
+    def _store_burst(self, count):
+        builder = TraceBuilder("stores")
+        value = builder.ialu("v")
+        # A long-latency load clogs the ROB head so stores cannot
+        # retire and the store queue must absorb them.
+        blocker = builder.iload("blocker", 0x900000)
+        for index in range(count):
+            builder.istore("st", 0x10000 + index * 8, (value,), size=8)
+        builder.ialu("tail", (blocker,))
+        return builder.build()
+
+    def test_small_store_queue_slower(self):
+        trace = self._store_burst(60)
+        small = replace(PROC_4WAY, store_queue_size=2).with_memory(ME1)
+        large = replace(PROC_4WAY, store_queue_size=64).with_memory(ME1)
+        slow = simulate(self._store_burst(60), small)
+        fast = simulate(trace, large)
+        assert slow.cycles > fast.cycles
+
+    def test_store_queue_full_trauma_charged(self):
+        config = replace(PROC_4WAY, store_queue_size=2).with_memory(ME1)
+        result = simulate(self._store_burst(60), config)
+        assert result.traumas["mm_stqf"] > 0
+
+
+class TestStoreLoadAliasing:
+    def test_dependent_load_waits_for_store(self):
+        builder = TraceBuilder("alias")
+        value = builder.ialu("v")
+        builder.istore("st", 0x5000, (value,), size=8)
+        load = builder.iload("ld", 0x5000)
+        builder.ialu("use", (load,))
+        result = simulate(builder.build(), PROC_4WAY.with_memory(ME1))
+        assert result.instructions == 4
+
+    def _ping_pong(self, load_offset):
+        builder = TraceBuilder(f"pingpong-{load_offset}")
+        value = builder.ialu("v")
+        for index in range(40):
+            value = builder.ialu("work", (value,))
+            builder.istore("st", 0x6000, (value,), size=8)
+            load = builder.iload("ld", 0x6000 + load_offset)
+            value = builder.ialu("use", (load,))
+        return builder.build()
+
+    def test_alias_stall_costs_cycles(self):
+        # Same cache line either way; only the word overlap differs.
+        aliased = simulate(self._ping_pong(0), PROC_4WAY.with_memory(ME1))
+        disjoint = simulate(self._ping_pong(8), PROC_4WAY.with_memory(ME1))
+        assert aliased.cycles >= disjoint.cycles
+
+    def test_different_words_do_not_alias(self):
+        builder = TraceBuilder("no-alias")
+        value = builder.ialu("v")
+        builder.istore("st", 0x7000, (value,), size=8)
+        builder.iload("ld", 0x7008)
+        result = simulate(builder.build(), PROC_4WAY.with_memory(ME1))
+        assert result.instructions == 3
+
+
+class TestTlb:
+    def _page_walk_trace(self, pages, stride=4096):
+        builder = TraceBuilder("pages")
+        for index in range(pages):
+            builder.iload("ld", 0x100000 + index * stride, size=4)
+            builder.ialu("op")
+        return builder.build()
+
+    def test_tiny_tlb_slower_than_large(self):
+        trace = self._page_walk_trace(200)
+        tiny = replace(
+            ME1, dtlb=TlbConfig(entries=4, associativity=2, miss_penalty=30)
+        )
+        result_tiny = simulate(
+            self._page_walk_trace(400), PROC_4WAY.with_memory(tiny)
+        )
+        result_big = simulate(trace, PROC_4WAY.with_memory(ME1))
+        # Per-access cost is strictly higher with the tiny TLB.
+        assert (result_tiny.cycles / 400) > (result_big.cycles / 200) * 0.9
+
+    def test_within_page_locality_no_extra_misses(self):
+        builder = TraceBuilder("one-page")
+        for index in range(100):
+            builder.iload("ld", 0x200000 + (index % 500) * 8, size=8)
+        result = simulate(builder.build(), PROC_4WAY.with_memory(ME1))
+        # All accesses in one page: at most one dtlb miss worth of cost.
+        assert result.cycles < 1500
+
+
+class TestPrefetch:
+    def _stream(self, lines):
+        builder = TraceBuilder("stream")
+        register = builder.ialu("base")
+        for index in range(lines):
+            load = builder.iload("ld", 0x300000 + index * 128, (register,))
+            register = builder.ialu("use", (load,))
+        return builder.build()
+
+    def test_prefetch_speeds_streaming(self):
+        baseline = simulate(self._stream(128), PROC_4WAY.with_memory(ME1))
+        prefetching = replace(ME1, sequential_prefetch=True)
+        accelerated = simulate(
+            self._stream(128), PROC_4WAY.with_memory(prefetching)
+        )
+        assert accelerated.cycles < baseline.cycles
+
+    def test_prefetch_halves_demand_misses(self):
+        prefetching = replace(ME1, sequential_prefetch=True)
+        result = simulate(
+            self._stream(128), PROC_4WAY.with_memory(prefetching)
+        )
+        # Every other line comes from the prefetcher.
+        demand_misses = result.dl1.misses
+        assert demand_misses <= 128

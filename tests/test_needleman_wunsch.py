@@ -1,0 +1,81 @@
+"""Unit and property tests for global alignment."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.align.needleman_wunsch import needleman_wunsch, nw_score
+from repro.align.smith_waterman import sw_score
+from repro.align.types import GapPenalties
+from repro.bio.matrices import BLOSUM62
+from repro.bio.synthetic import random_protein
+
+proteins = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=40)
+
+
+class TestGlobalAlignment:
+    def test_identical_sequences(self):
+        text = "ACDEFGHIKLMNPQ"
+        expected = sum(BLOSUM62.score_symbols(c, c) for c in text)
+        assert nw_score(text, text) == expected
+
+    def test_single_insertion_costs_one_gap(self):
+        a = "ACDEFGHIKL"
+        b = "ACDEFWGHIKL"
+        gaps = GapPenalties()
+        assert nw_score(a, b) == nw_score(a, a) - gaps.cost(1)
+
+    def test_all_gap_alignment(self):
+        gaps = GapPenalties()
+        assert nw_score("", "ACDE") == -gaps.cost(4)
+        assert nw_score("ACDE", "") == -gaps.cost(4)
+
+    def test_traceback_spans_both_sequences(self):
+        rng = random.Random(1)
+        a = random_protein(30, rng)
+        b = random_protein(25, rng)
+        result = needleman_wunsch(a, b)
+        assert result.aligned_query.replace("-", "") == a
+        assert result.aligned_subject.replace("-", "") == b
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=proteins, b=proteins)
+def test_traceback_agrees_with_score(a, b):
+    assert needleman_wunsch(a, b).score == nw_score(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=proteins, b=proteins)
+def test_global_score_symmetric(a, b):
+    assert nw_score(a, b) == nw_score(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=proteins, b=proteins)
+def test_local_dominates_global(a, b):
+    # A local alignment can only drop unfavourable prefixes/suffixes.
+    assert sw_score(a, b) >= nw_score(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=proteins, b=proteins)
+def test_traceback_rebuilds_global_score(a, b):
+    result = needleman_wunsch(a, b)
+    gaps = GapPenalties()
+    score = 0
+    column = 0
+    pairs = list(zip(result.aligned_query, result.aligned_subject))
+    while column < len(pairs):
+        qa, sb = pairs[column]
+        if qa == "-" or sb == "-":
+            side = 0 if qa == "-" else 1
+            length = 0
+            while column < len(pairs) and pairs[column][side] == "-":
+                length += 1
+                column += 1
+            score -= gaps.cost(length)
+        else:
+            score += BLOSUM62.score_symbols(qa, sb)
+            column += 1
+    assert score == result.score

@@ -1,0 +1,98 @@
+"""Tests for the 2-bit packed DNA storage (paper listing 1 substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bio.alphabet import DNA
+from repro.bio.packed import (
+    BASES_PER_BYTE,
+    PackedSequence,
+    pack_dna,
+    unpack_base,
+    unpack_dna,
+)
+from repro.bio.sequence import Sequence
+
+dna_text = st.text(alphabet="ACGT", min_size=0, max_size=120)
+dna_with_n = st.text(alphabet="ACGTN", min_size=0, max_size=120)
+
+
+class TestPacking:
+    def test_four_bases_per_byte(self):
+        packed, _ = pack_dna("ACGT")
+        assert len(packed) == 1
+        assert packed[0] == 0b00_01_10_11
+
+    def test_partial_byte_zero_padded(self):
+        packed, _ = pack_dna("TT")
+        assert len(packed) == 1
+        assert packed[0] == 0b11_11_00_00
+
+    def test_unpack_base_macro(self):
+        byte = 0b00_01_10_11  # A C G T
+        assert [unpack_base(byte, slot) for slot in range(4)] == list("ACGT")
+
+    def test_unpack_base_slot_range(self):
+        with pytest.raises(ValueError):
+            unpack_base(0, 4)
+
+    def test_ambiguity_positions_recorded(self):
+        packed, ambiguous = pack_dna("ACNNGT")
+        assert ambiguous == (2, 3)
+        assert unpack_dna(packed, 6, ambiguous) == "ACNNGT"
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            pack_dna("ACGU")
+
+    def test_length_check(self):
+        packed, _ = pack_dna("ACGT")
+        with pytest.raises(ValueError):
+            unpack_dna(packed, 5)
+
+
+class TestPackedSequence:
+    def test_roundtrip(self):
+        sequence = Sequence("chr", "ACGTACGTNNACGT", alphabet=DNA)
+        packed = PackedSequence.from_sequence(sequence)
+        assert packed.unpack().text == sequence.text
+        assert packed.length == len(sequence)
+
+    def test_compression_ratio(self):
+        sequence = Sequence("chr", "ACGT" * 100, alphabet=DNA)
+        packed = PackedSequence.from_sequence(sequence)
+        assert packed.packed_bytes == 100
+
+    def test_base_at(self):
+        sequence = Sequence("chr", "ACGTN", alphabet=DNA)
+        packed = PackedSequence.from_sequence(sequence)
+        assert [packed.base_at(i) for i in range(5)] == list("ACGTN")
+        with pytest.raises(IndexError):
+            packed.base_at(5)
+
+    def test_protein_rejected(self):
+        with pytest.raises(ValueError):
+            PackedSequence.from_sequence(Sequence("p", "ACDEF"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=dna_with_n)
+def test_pack_unpack_roundtrip(text):
+    packed, ambiguous = pack_dna(text)
+    assert unpack_dna(packed, len(text), ambiguous) == text
+    assert len(packed) == (len(text) + BASES_PER_BYTE - 1) // BASES_PER_BYTE
+
+
+@settings(max_examples=40, deadline=None)
+@given(text=dna_text)
+def test_random_access_matches_sequential(text):
+    if not text:
+        return
+    sequence = Sequence("s", text, alphabet=DNA)
+    packed = PackedSequence.from_sequence(sequence)
+    rng = random.Random(0)
+    for _ in range(10):
+        position = rng.randrange(len(text))
+        assert packed.base_at(position) == text[position]

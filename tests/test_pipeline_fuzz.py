@@ -1,0 +1,98 @@
+"""Property-based fuzzing of the out-of-order core.
+
+Random (but well-formed) traces are generated through the TraceBuilder
+and pushed through several configurations; the conservation laws must
+hold for every trace: everything retires, IPC never exceeds the
+dispatch width, charged stall cycles never exceed total cycles, and a
+strictly better machine is never slower.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.builder import TraceBuilder
+from repro.uarch.config import BP_PERFECT, ME1, MEINF, PROC_4WAY, PROC_8WAY
+from repro.uarch.simulator import simulate
+
+
+def random_trace(seed: int, length: int):
+    """A random well-formed trace mixing all op classes."""
+    rng = random.Random(seed)
+    builder = TraceBuilder(f"fuzz-{seed}")
+    region = builder.alloc("data", 1 << 16)
+    live: list[int] = []
+
+    def sources():
+        count = rng.randint(0, 2)
+        if not live or count == 0:
+            return ()
+        return tuple(rng.choice(live) for _ in range(count))
+
+    for index in range(length):
+        kind = rng.random()
+        site = f"s{rng.randint(0, 30)}"
+        if kind < 0.45:
+            live.append(builder.ialu(site, sources()))
+        elif kind < 0.60:
+            address = region + rng.randrange(0, 1 << 16, 8)
+            live.append(builder.iload(site, address, sources()))
+        elif kind < 0.68:
+            address = region + rng.randrange(0, 1 << 16, 8)
+            builder.istore(site, address, sources())
+        elif kind < 0.80:
+            builder.ctrl(site, taken=rng.random() < 0.7, sources=sources(),
+                         backward=rng.random() < 0.5)
+        elif kind < 0.90:
+            live.append(builder.vsimple(site, sources()))
+        elif kind < 0.95:
+            live.append(builder.vperm(site, sources()))
+        else:
+            address = region + rng.randrange(0, 1 << 16, 16)
+            live.append(builder.vload(site, address, sources()))
+        if len(live) > 40:
+            live = live[-40:]
+    return builder.build()
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_conservation_laws(seed):
+    trace = random_trace(seed, 400)
+    trace.validate()
+    result = simulate(trace, PROC_4WAY.with_memory(ME1), max_cycles=500_000)
+    assert result.instructions == len(trace)
+    assert result.ipc <= PROC_4WAY.dispatch_width + 1e-9
+    assert sum(result.traumas.values()) <= result.cycles
+    assert result.cycles >= len(trace) / PROC_4WAY.retire_width - 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_ideal_memory_never_slower(seed):
+    trace = random_trace(seed, 400)
+    real = simulate(trace, PROC_4WAY.with_memory(ME1), max_cycles=500_000)
+    ideal = simulate(trace, PROC_4WAY.with_memory(MEINF), max_cycles=500_000)
+    assert ideal.cycles <= real.cycles
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_perfect_bp_never_slower(seed):
+    trace = random_trace(seed, 400)
+    real = simulate(trace, PROC_4WAY.with_memory(MEINF), max_cycles=500_000)
+    perfect = simulate(
+        trace, PROC_4WAY.with_memory(MEINF).with_branch(BP_PERFECT),
+        max_cycles=500_000,
+    )
+    assert perfect.cycles <= real.cycles
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_determinism(seed):
+    trace = random_trace(seed, 300)
+    first = simulate(trace, PROC_8WAY.with_memory(ME1), max_cycles=500_000)
+    second = simulate(trace, PROC_8WAY.with_memory(ME1), max_cycles=500_000)
+    assert first.cycles == second.cycles
+    assert first.traumas == second.traumas

@@ -1,0 +1,131 @@
+"""Unit and property tests for branch direction predictors."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.branch.predictors import (
+    BimodalPredictor,
+    CombinedPredictor,
+    GsharePredictor,
+    PerfectPredictor,
+    create_predictor,
+)
+
+STRATEGIES = ("bimodal", "gshare", "gp")
+
+
+def train(predictor, stream):
+    """Run a (pc, taken) stream; return accuracy."""
+    correct = 0
+    for pc, taken in stream:
+        predicted = predictor.predict(pc)
+        predictor.record(predicted, taken)
+        predictor.update(pc, taken)
+        if predicted == taken:
+            correct += 1
+    return correct / len(stream) if stream else 1.0
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        predictor = BimodalPredictor(256)
+        stream = [(0x40, True)] * 100
+        accuracy = train(predictor, stream)
+        assert accuracy > 0.95
+
+    def test_learns_always_not_taken(self):
+        predictor = BimodalPredictor(256)
+        accuracy = train(predictor, [(0x40, False)] * 100)
+        assert accuracy > 0.9
+
+    def test_alternating_pattern_defeats_bimodal(self):
+        predictor = BimodalPredictor(256)
+        stream = [(0x40, i % 2 == 0) for i in range(200)]
+        accuracy = train(predictor, stream)
+        assert accuracy < 0.7
+
+    def test_size_rounds_to_power_of_two(self):
+        assert BimodalPredictor(100).entries == 64
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(0)
+
+
+class TestGshare:
+    def test_learns_history_pattern(self):
+        # Period-2 pattern: gshare's history disambiguates it.
+        predictor = GsharePredictor(1024)
+        stream = [(0x40, i % 2 == 0) for i in range(400)]
+        accuracy = train(predictor, stream)
+        assert accuracy > 0.9
+
+    def test_learns_longer_pattern(self):
+        predictor = GsharePredictor(4096)
+        pattern = [True, True, False, True, False, False]
+        stream = [(0x40, pattern[i % len(pattern)]) for i in range(1200)]
+        accuracy = train(predictor, stream)
+        assert accuracy > 0.85
+
+
+class TestCombined:
+    def test_beats_or_matches_components_on_mixed_load(self):
+        rng = random.Random(1)
+        # Two branches: one statically biased, one history-driven.
+        stream = []
+        for i in range(1500):
+            stream.append((0x40, i % 2 == 0))
+            stream.append((0x80, rng.random() < 0.9))
+        combined = train(CombinedPredictor(4096), list(stream))
+        bimodal = train(BimodalPredictor(4096), list(stream))
+        assert combined >= bimodal - 0.02
+
+    def test_accuracy_property(self):
+        predictor = CombinedPredictor(64)
+        assert predictor.accuracy == 1.0
+        predictor.record(True, False)
+        assert predictor.accuracy == 0.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", STRATEGIES)
+    def test_create(self, kind):
+        predictor = create_predictor(kind, 128)
+        predictor.update(0x10, True)
+        assert predictor.predict(0x10) in (True, False)
+
+    def test_perfect(self):
+        assert isinstance(create_predictor("perfect", 1), PerfectPredictor)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            create_predictor("tage", 128)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=300),
+    kind=st.sampled_from(STRATEGIES),
+)
+def test_accuracy_bookkeeping_consistent(outcomes, kind):
+    predictor = create_predictor(kind, 256)
+    correct = 0
+    for taken in outcomes:
+        predicted = predictor.predict(0x40)
+        if predictor.record(predicted, taken):
+            correct += 1
+        predictor.update(0x40, taken)
+    assert predictor.predictions == len(outcomes)
+    assert predictor.correct == correct
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_biased_stream_learned_by_all(seed):
+    rng = random.Random(seed)
+    stream = [(0x100, rng.random() < 0.95) for _ in range(400)]
+    for kind in STRATEGIES:
+        accuracy = train(create_predictor(kind, 1024), list(stream))
+        assert accuracy > 0.8, kind

@@ -1,0 +1,53 @@
+"""Unit tests for the Table II query set."""
+
+import pytest
+
+from repro.bio.queries import (
+    DEFAULT_QUERY_ACCESSION,
+    TABLE2_QUERIES,
+    all_queries,
+    default_query,
+    make_query,
+    query_by_accession,
+)
+
+
+class TestTable2:
+    def test_row_count(self):
+        assert len(TABLE2_QUERIES) == 10
+
+    def test_lengths_match_paper(self):
+        lengths = {d.accession: d.length for d in TABLE2_QUERIES}
+        assert lengths["P02232"] == 143
+        assert lengths["P14942"] == 222
+        assert lengths["P03435"] == 567
+
+    def test_length_range(self):
+        assert min(d.length for d in TABLE2_QUERIES) == 143
+        assert max(d.length for d in TABLE2_QUERIES) == 567
+
+
+class TestQueryGeneration:
+    def test_default_query_is_glutathione(self):
+        query = default_query()
+        assert query.identifier == DEFAULT_QUERY_ACCESSION == "P14942"
+        assert len(query) == 222
+
+    def test_deterministic(self):
+        assert default_query().text == default_query().text
+
+    def test_all_queries_lengths(self):
+        queries = all_queries()
+        assert [len(q) for q in queries] == [d.length for d in TABLE2_QUERIES]
+
+    def test_distinct_sequences(self):
+        texts = {q.text for q in all_queries()}
+        assert len(texts) == len(TABLE2_QUERIES)
+
+    def test_unknown_accession(self):
+        with pytest.raises(KeyError):
+            query_by_accession("P99999")
+
+    def test_make_query_matches_lookup(self):
+        descriptor = TABLE2_QUERIES[0]
+        assert make_query(descriptor) == query_by_accession(descriptor.accession)

@@ -1,0 +1,54 @@
+"""Unit tests for the plain-text report renderers."""
+
+from repro.analysis.reporting import render_histogram, render_series, render_table
+
+
+class TestRenderTable:
+    def test_contains_everything(self):
+        text = render_table("Title", ["a", "b"], [(1, "xy"), (22, "z")])
+        assert "Title" in text
+        assert "22" in text
+        assert "xy" in text
+
+    def test_column_alignment(self):
+        text = render_table("T", ["col"], [("longvalue",), ("s",)])
+        lines = text.splitlines()
+        assert len(lines[2]) == len("longvalue")  # separator width
+
+    def test_empty_rows(self):
+        text = render_table("T", ["a"], [])
+        assert "T" in text
+
+
+class TestRenderSeries:
+    def test_layout(self):
+        text = render_series(
+            "S", "x", [1, 2, 3], {"app": [0.5, 1.0, 1.5]}
+        )
+        assert "0.500" in text
+        assert "app" in text
+
+    def test_custom_format(self):
+        text = render_series("S", "x", [1], {"app": [1234.0]},
+                             value_format="{:.0f}")
+        assert "1234" in text
+
+
+class TestRenderHistogram:
+    def test_sorted_and_limited(self):
+        histogram = {f"k{i}": i for i in range(20)}
+        text = render_histogram("H", histogram, limit=3)
+        lines = text.splitlines()
+        assert len(lines) == 4  # title + 3 entries
+        assert "k19" in lines[1]
+
+    def test_zero_entries_skipped(self):
+        text = render_histogram("H", {"a": 0, "b": 5})
+        assert "a" not in text.replace("H", "")
+        assert "b" in text
+
+    def test_bars_proportional(self):
+        text = render_histogram("H", {"big": 100, "small": 10}, bar_width=10)
+        big_line = next(line for line in text.splitlines() if "big" in line)
+        small_line = next(line for line in text.splitlines() if "small" in line)
+        assert big_line.count("#") > small_line.count("#")

@@ -1,0 +1,60 @@
+"""Unit tests for result containers."""
+
+import pytest
+
+from repro.uarch.results import BranchResult, CacheResult, SimulationResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        trace_name="t",
+        config_name="4-way",
+        memory_name="me1",
+        instructions=1000,
+        cycles=500,
+        traumas={"if_pred": 100, "rg_fix": 50, "mm_dl2": 0},
+        branch=BranchResult(predictions=100, correct=90),
+        il1=CacheResult(accesses=10, misses=1),
+        dl1=CacheResult(accesses=300, misses=30),
+        l2=CacheResult(accesses=30, misses=3),
+        queue_occupancy={"FIX-Q": {0: 250, 2: 250}},
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_ipc(self):
+        assert make_result().ipc == pytest.approx(2.0)
+
+    def test_ipc_zero_cycles(self):
+        assert make_result(cycles=0).ipc == 0.0
+
+    def test_trauma_top_skips_zeros(self):
+        top = make_result().trauma_top(5)
+        assert top == [("if_pred", 100), ("rg_fix", 50)]
+
+    def test_occupancy_mean(self):
+        assert make_result().occupancy_mean("FIX-Q") == pytest.approx(1.0)
+
+    def test_occupancy_mean_missing_queue(self):
+        assert make_result().occupancy_mean("nope") == 0.0
+
+
+class TestCacheResult:
+    def test_miss_rate(self):
+        assert CacheResult(accesses=100, misses=5).miss_rate == 0.05
+
+    def test_miss_rate_no_accesses(self):
+        assert CacheResult(accesses=0, misses=0).miss_rate == 0.0
+
+
+class TestBranchResult:
+    def test_accuracy(self):
+        assert BranchResult(predictions=100, correct=90).accuracy == 0.9
+
+    def test_accuracy_no_branches(self):
+        assert BranchResult(predictions=0, correct=0).accuracy == 1.0
+
+    def test_mispredictions(self):
+        assert BranchResult(predictions=100, correct=90).mispredictions == 10

@@ -1,0 +1,106 @@
+"""Tests for trace-window sampling."""
+
+import pytest
+
+from repro.analysis.sampling import extract_window, sampled_simulation
+from repro.isa.builder import TraceBuilder
+from repro.isa.trace import Trace
+from repro.uarch.config import ME1, PROC_4WAY
+from repro.uarch.simulator import simulate
+
+
+def steady_trace(iterations=600):
+    """A homogeneous loop: alu chain + load + biased branch."""
+    builder = TraceBuilder("steady")
+    register = builder.ialu("init")
+    for index in range(iterations):
+        load = builder.iload("ld", 0x10000 + (index % 64) * 8, (register,))
+        register = builder.ialu("add", (register, load))
+        builder.ialu("cmp", (register,))
+        builder.ctrl("loop", taken=index % 16 != 15, backward=True)
+    return builder.build()
+
+
+class TestExtractWindow:
+    def test_rebases_sources(self):
+        trace = steady_trace(50)
+        window = extract_window(trace, 40, 30)
+        window.validate()
+        assert len(window) == 30
+
+    def test_drops_out_of_window_dependencies(self):
+        builder = TraceBuilder("deps")
+        first = builder.ialu("a")
+        for _ in range(10):
+            builder.ialu("b", (first,))
+        trace = builder.build()
+        window = extract_window(trace, 5, 5)
+        assert all(not instr.sources for instr in window)
+
+    def test_window_past_end_clamped(self):
+        trace = steady_trace(20)
+        window = extract_window(trace, len(trace) - 3, 100)
+        assert len(window) == 3
+
+    def test_invalid_parameters(self):
+        trace = steady_trace(10)
+        with pytest.raises(ValueError):
+            extract_window(trace, -1, 5)
+        with pytest.raises(ValueError):
+            extract_window(trace, 0, 0)
+
+
+class TestSampledSimulation:
+    def test_warmed_windows_match_steady_state(self):
+        trace = steady_trace(800)
+        config = PROC_4WAY.with_memory(ME1)
+        # Steady-state reference: the full trace with fully warm
+        # structures (functional warmup over itself).
+        steady = simulate(trace, config, warmup=trace)
+        sampled = sampled_simulation(trace, config, windows=4)
+        for ipc in sampled.per_window_ipc[1:]:  # window 0 is cold
+            assert ipc == pytest.approx(steady.ipc, rel=0.15)
+
+    def test_cold_window_slower_than_steady(self):
+        trace = steady_trace(800)
+        config = PROC_4WAY.with_memory(ME1)
+        steady = simulate(trace, config, warmup=trace)
+        sampled = sampled_simulation(trace, config, windows=4)
+        assert sampled.per_window_ipc[0] < steady.ipc
+
+    def test_homogeneous_trace_small_spread_once_warm(self):
+        trace = steady_trace(800)
+        sampled = sampled_simulation(
+            trace, PROC_4WAY.with_memory(ME1), windows=4
+        )
+        warmed = sampled.per_window_ipc[1:]
+        assert max(warmed) - min(warmed) < 0.2
+
+    def test_fewer_instructions_simulated(self):
+        trace = steady_trace(600)
+        sampled = sampled_simulation(
+            trace, PROC_4WAY.with_memory(ME1), windows=3
+        )
+        assert sampled.instructions < len(trace)
+
+    def test_empty_trace(self):
+        sampled = sampled_simulation(
+            Trace("empty", []), PROC_4WAY.with_memory(ME1)
+        )
+        assert sampled.ipc == 0.0
+
+    def test_workload_sampling_matches_trend(self, small_suite):
+        """The paper's claim at miniature scale: a sampled run shows the
+        same per-application trend as the full trace."""
+        config = PROC_4WAY.with_memory(ME1)
+        full_ipcs = {}
+        sampled_ipcs = {}
+        for name in ("ssearch34", "sw_vmx128"):
+            trace = small_suite.trace(name)
+            full_ipcs[name] = simulate(trace, config).ipc
+            sampled_ipcs[name] = sampled_simulation(
+                trace, config, windows=3
+            ).ipc
+        assert (full_ipcs["sw_vmx128"] > full_ipcs["ssearch34"]) == (
+            sampled_ipcs["sw_vmx128"] > sampled_ipcs["ssearch34"]
+        )

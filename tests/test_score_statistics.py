@@ -1,0 +1,81 @@
+"""Tests validating empirical score statistics against theory."""
+
+import math
+import random
+
+import pytest
+
+from repro.align.blast.karlin import solve_lambda
+from repro.align.statistics import (
+    EULER_GAMMA,
+    UNGAPPED,
+    empirical_lambda,
+    empirical_score_survey,
+    fit_gumbel,
+)
+from repro.align.types import PAPER_GAPS
+from repro.bio.matrices import BLOSUM62
+
+
+class TestGumbelFit:
+    def test_recovers_known_parameters(self):
+        # Sample from a known Gumbel and refit.
+        rng = random.Random(1)
+        mu, beta = 20.0, 4.0
+        sample = [
+            mu - beta * math.log(-math.log(rng.random()))
+            for _ in range(20_000)
+        ]
+        fit = fit_gumbel(sample)
+        assert fit.location == pytest.approx(mu, abs=0.4)
+        assert fit.scale == pytest.approx(beta, abs=0.3)
+
+    def test_survival_function(self):
+        fit = fit_gumbel([10, 12, 14, 11, 13, 15, 12, 13, 11, 14, 12, 13])
+        assert fit.survival(-100) == pytest.approx(1.0)
+        assert fit.survival(1000) == pytest.approx(0.0, abs=1e-9)
+        assert fit.survival(12) > fit.survival(14)
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gumbel([1, 2, 3])
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gumbel([5] * 50)
+
+    def test_gamma_constant(self):
+        assert EULER_GAMMA == pytest.approx(0.57722, abs=1e-5)
+
+
+class TestEmpiricalLambda:
+    def test_ungapped_scores_match_karlin_lambda(self):
+        """The headline validation: the empirically fitted decay rate of
+        ungapped local scores matches the analytic Karlin-Altschul
+        lambda of BLOSUM62 within sampling error."""
+        fit = empirical_lambda(pair_count=150, sequence_length=120, seed=7)
+        analytic = solve_lambda(BLOSUM62)
+        assert fit.decay_rate == pytest.approx(analytic, rel=0.30)
+
+    def test_gapped_lambda_smaller_than_ungapped(self):
+        # Allowing gaps fattens the score tail: decay rate drops.
+        scores_gapped = empirical_score_survey(
+            100, 100, seed=3, gaps=PAPER_GAPS
+        )
+        scores_ungapped = empirical_score_survey(
+            100, 100, seed=3, gaps=UNGAPPED
+        )
+        gapped = fit_gumbel(scores_gapped)
+        ungapped = fit_gumbel(scores_ungapped)
+        assert gapped.decay_rate < ungapped.decay_rate
+
+    def test_scores_grow_with_length(self):
+        short = empirical_score_survey(60, 60, seed=4)
+        long = empirical_score_survey(60, 240, seed=4)
+        assert sum(long) / len(long) > sum(short) / len(short)
+
+    def test_invalid_survey_parameters(self):
+        with pytest.raises(ValueError):
+            empirical_score_survey(0, 100)
+        with pytest.raises(ValueError):
+            empirical_score_survey(10, 1)

@@ -1,0 +1,58 @@
+"""Tests for search-result output formats."""
+
+from repro.align.report import (
+    TABULAR_COLUMNS,
+    format_alignments,
+    format_hit_list,
+    format_tabular,
+)
+from repro.align.ssearch import search
+from repro.align.blast.engine import blast_search
+
+
+class TestTabular:
+    def test_header_and_rows(self, query, tiny_database):
+        result = search(query, tiny_database)
+        text = format_tabular(result, top=3)
+        lines = text.splitlines()
+        assert lines[0] == "#" + "\t".join(TABULAR_COLUMNS)
+        assert len(lines) == 4
+        first = lines[1].split("\t")
+        assert first[0] == result.query_id
+        assert first[1] == result.best().subject_id
+
+    def test_infinite_evalue_blank(self, query, tiny_database):
+        result = search(query, tiny_database)  # ssearch sets no E-values
+        text = format_tabular(result, top=1)
+        assert text.splitlines()[1].split("\t")[4] == ""
+
+    def test_blast_evalues_present(self, query, tiny_database):
+        result = blast_search(query, tiny_database)
+        if result.hits:
+            row = format_tabular(result, top=1).splitlines()[1].split("\t")
+            assert row[4] != ""
+
+
+class TestHitList:
+    def test_contains_metadata_and_ranks(self, query, tiny_database):
+        result = search(query, tiny_database)
+        text = format_hit_list(result, top=4)
+        assert result.query_id in text
+        assert tiny_database.name in text
+        assert "   1  " in text
+
+    def test_top_limits_rows(self, query, tiny_database):
+        result = search(query, tiny_database)
+        body = format_hit_list(result, top=2).splitlines()[3:]
+        assert len(body) == 2
+
+
+class TestAlignments:
+    def test_alignments_rendered_with_scores(self, query, tiny_database):
+        result = search(query, tiny_database)
+        text = format_alignments(query, tiny_database, result, top=2)
+        best = result.best()
+        assert f">{best.subject_id}" in text
+        assert f"s-w score={best.score}" in text
+        # The rendered alignment's score line matches the hit score.
+        assert f"score={best.score}" in text

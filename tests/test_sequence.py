@@ -1,0 +1,63 @@
+"""Unit tests for the Sequence value type."""
+
+import pytest
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.sequence import Sequence, as_sequence
+
+
+class TestSequence:
+    def test_uppercases_text(self):
+        seq = Sequence("s1", "acde")
+        assert seq.text == "ACDE"
+
+    def test_codes_match_alphabet(self):
+        seq = Sequence("s1", "ARN")
+        assert list(seq.codes) == [0, 1, 2]
+
+    def test_len_and_residue_count(self):
+        seq = Sequence("s1", "ACDEF")
+        assert len(seq) == 5
+        assert seq.residue_count == 5
+
+    def test_indexing_and_iteration(self):
+        seq = Sequence("s1", "ACDEF")
+        assert seq[0] == "A"
+        assert seq[1:3] == "CD"
+        assert "".join(seq) == "ACDEF"
+
+    def test_subsequence(self):
+        seq = Sequence("s1", "ACDEFGH")
+        sub = seq.subsequence(2, 5)
+        assert sub.text == "DEF"
+        assert "s1" in sub.identifier
+
+    def test_composition(self):
+        seq = Sequence("s1", "AABC")
+        assert seq.composition() == {"A": 2, "B": 1, "C": 1}
+
+    def test_empty_sequence_allowed(self):
+        seq = Sequence("empty", "")
+        assert len(seq) == 0
+        assert seq.codes == ()
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(Exception):
+            Sequence("bad", "AC-DE")
+
+    def test_equality_ignores_codes(self):
+        assert Sequence("s", "ACD") == Sequence("s", "acd")
+
+    def test_alphabet_attached(self):
+        assert Sequence("s", "ACD").alphabet is PROTEIN
+
+
+class TestAsSequence:
+    def test_passthrough(self):
+        seq = Sequence("s1", "ACD")
+        assert as_sequence(seq) is seq
+
+    def test_string_coercion(self):
+        seq = as_sequence("ACD", identifier="q")
+        assert seq.identifier == "q"
+        assert seq.text == "ACD"

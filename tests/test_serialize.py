@@ -1,0 +1,82 @@
+"""Tests for trace save/load."""
+
+import pytest
+
+from repro.isa.builder import TraceBuilder
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.isa.serialize import load_trace, save_trace
+from repro.isa.trace import Trace
+from repro.uarch.config import ME1, PROC_4WAY
+from repro.uarch.simulator import simulate
+
+
+def build_mixed_trace():
+    builder = TraceBuilder("mixed")
+    register = builder.ialu("a")
+    load = builder.iload("ld", 0x1000, (register,), size=8)
+    builder.vload("vl", 0x2000, (register,), size=32)
+    builder.vsimple("vs", (2,))
+    builder.ctrl("br", taken=True, sources=(load,), backward=True)
+    builder.istore("st", 0x3000, (register, load), size=4)
+    return builder.build()
+
+
+class TestRoundTrip:
+    def test_fields_preserved(self, tmp_path):
+        trace = build_mixed_trace()
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace.instructions, loaded.instructions):
+            assert restored.op == original.op
+            assert restored.pc == original.pc
+            assert restored.sources == original.sources
+            assert restored.has_dest == original.has_dest
+            assert restored.address == original.address
+            assert restored.size == original.size
+            assert restored.taken == original.taken
+            assert restored.target == original.target
+
+    def test_loaded_trace_validates(self, tmp_path):
+        trace = build_mixed_trace()
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        load_trace(path).validate()
+
+    def test_simulation_identical(self, tmp_path, small_suite):
+        trace = small_suite.trace("blast").slice(5000)
+        path = tmp_path / "blast.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        config = PROC_4WAY.with_memory(ME1)
+        original = simulate(trace, config)
+        restored = simulate(loaded, config)
+        assert original.cycles == restored.cycles
+        assert original.traumas == restored.traumas
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(Trace("empty", []), path)
+        assert len(load_trace(path)) == 0
+
+    def test_too_many_sources_rejected(self, tmp_path):
+        trace = Trace("bad", [
+            Instruction(OpClass.IALU, pc=0x10, has_dest=True),
+            Instruction(OpClass.IALU, pc=0x14, has_dest=True),
+            Instruction(OpClass.IALU, pc=0x18, has_dest=True),
+            Instruction(OpClass.IALU, pc=0x1C, has_dest=True),
+            Instruction(OpClass.IALU, pc=0x20, sources=(0, 1, 2, 3),
+                        has_dest=True),
+        ])
+        with pytest.raises(ValueError):
+            save_trace(trace, tmp_path / "bad.npz")
+
+    def test_compression_is_compact(self, tmp_path, small_suite):
+        trace = small_suite.trace("ssearch34").slice(20_000)
+        path = tmp_path / "s.npz"
+        save_trace(trace, path)
+        # Far below a naive 60+ bytes/instruction text encoding.
+        assert path.stat().st_size < 25 * len(trace)

@@ -1,0 +1,147 @@
+"""Unit and property tests for the Altivec-style vector emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.simd.vector import (
+    INT16_MAX,
+    INT16_MIN,
+    VMX128,
+    VMX256,
+    VectorConfig,
+    VectorUnit,
+)
+
+lane_values = st.integers(min_value=INT16_MIN, max_value=INT16_MAX)
+
+
+class TestVectorConfig:
+    def test_lane_counts(self):
+        assert VMX128.lanes == 8
+        assert VMX256.lanes == 16
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            VectorConfig(width_bits=100)
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ValueError):
+            VectorConfig(width_bits=16)
+
+    def test_non_16bit_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            VectorConfig(width_bits=128, element_bits=8)
+
+
+class TestBasicOps:
+    def setup_method(self):
+        self.unit = VectorUnit(VMX128)
+
+    def test_splat(self):
+        register = self.unit.splat(7)
+        assert register.tolist() == [7] * 8
+
+    def test_splat_saturates(self):
+        assert self.unit.splat(100_000).tolist() == [INT16_MAX] * 8
+        assert self.unit.splat(-100_000).tolist() == [INT16_MIN] * 8
+
+    def test_zero(self):
+        assert self.unit.zero().tolist() == [0] * 8
+
+    def test_load_checks_length(self):
+        with pytest.raises(ValueError):
+            self.unit.load([1, 2, 3])
+
+    def test_adds_saturates_positive(self):
+        a = self.unit.splat(INT16_MAX)
+        b = self.unit.splat(10)
+        assert self.unit.adds(a, b).tolist() == [INT16_MAX] * 8
+
+    def test_subs_saturates_negative(self):
+        a = self.unit.splat(INT16_MIN)
+        b = self.unit.splat(10)
+        assert self.unit.subs(a, b).tolist() == [INT16_MIN] * 8
+
+    def test_vmax(self):
+        a = self.unit.load([1, -2, 3, -4, 5, -6, 7, -8])
+        b = self.unit.zero()
+        assert self.unit.vmax(a, b).tolist() == [1, 0, 3, 0, 5, 0, 7, 0]
+
+    def test_shift_down(self):
+        a = self.unit.load([1, 2, 3, 4, 5, 6, 7, 8])
+        shifted = self.unit.shift_down(a, carry_in=99)
+        assert shifted.tolist() == [99, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_extract(self):
+        a = self.unit.load([10, 20, 30, 40, 50, 60, 70, 80])
+        assert self.unit.extract(a, 0) == 10
+        assert self.unit.extract(a, 7) == 80
+        with pytest.raises(ValueError):
+            self.unit.extract(a, 8)
+
+    def test_horizontal_max(self):
+        a = self.unit.load([3, 9, -5, 0, 2, 9, 1, -1])
+        assert self.unit.horizontal_max(a) == 9
+
+    def test_shape_mismatch_rejected(self):
+        other = VectorUnit(VMX256)
+        with pytest.raises(ValueError):
+            self.unit.adds(self.unit.zero(), other.zero())
+
+    def test_gather_scores_marks_invalid_lanes(self):
+        rows = [[5] * 23 for _ in range(23)]
+        out = self.unit.gather_scores(rows, [0, -1, 1, 2, -1, 3, 4, 5],
+                                      [0, 0, -1, 1, 1, 2, 3, 4])
+        assert out[0] == 5
+        assert out[1] == INT16_MIN
+        assert out[2] == INT16_MIN
+        assert out[5] == 5
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(lane_values, min_size=8, max_size=8),
+       others=st.lists(lane_values, min_size=8, max_size=8))
+def test_adds_matches_clamped_integer_add(values, others):
+    unit = VectorUnit(VMX128)
+    result = unit.adds(unit.load(values), unit.load(others))
+    for lane in range(8):
+        expected = max(INT16_MIN, min(INT16_MAX, values[lane] + others[lane]))
+        assert int(result[lane]) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(lane_values, min_size=8, max_size=8),
+       others=st.lists(lane_values, min_size=8, max_size=8))
+def test_subs_matches_clamped_integer_sub(values, others):
+    unit = VectorUnit(VMX128)
+    result = unit.subs(unit.load(values), unit.load(others))
+    for lane in range(8):
+        expected = max(INT16_MIN, min(INT16_MAX, values[lane] - others[lane]))
+        assert int(result[lane]) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(lane_values, min_size=16, max_size=16),
+       carry=lane_values)
+def test_shift_preserves_all_but_last(values, carry):
+    unit = VectorUnit(VMX256)
+    shifted = unit.shift_down(unit.load(values), carry)
+    assert int(shifted[0]) == carry
+    assert shifted[1:].tolist() == values[:-1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(lane_values, min_size=8, max_size=8))
+def test_operations_return_fresh_arrays(values):
+    unit = VectorUnit(VMX128)
+    register = unit.load(values)
+    result = unit.vmax(register, unit.zero())
+    result[0] = 123
+    assert register.tolist() == values  # input unchanged
+
+
+def test_numpy_dtype_is_int16():
+    unit = VectorUnit(VMX128)
+    assert unit.zero().dtype == np.int16
+    assert unit.adds(unit.zero(), unit.zero()).dtype == np.int16

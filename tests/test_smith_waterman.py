@@ -1,0 +1,138 @@
+"""Unit and property tests for Smith-Waterman implementations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.smith_waterman import smith_waterman, sw_score, sw_score_swat
+from repro.align.types import GapPenalties
+from repro.bio.alphabet import PROTEIN
+from repro.bio.matrices import BLOSUM50, BLOSUM62
+from repro.bio.synthetic import MutationModel, random_protein
+
+proteins = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=0, max_size=48)
+
+
+class TestKnownAlignments:
+    def test_identical_sequences(self):
+        text = "ACDEFGHIKLMNPQRSTVWY"
+        expected = sum(BLOSUM62.score_symbols(c, c) for c in text)
+        assert sw_score(text, text) == expected
+
+    def test_empty_inputs(self):
+        assert sw_score("", "ACD") == 0
+        assert sw_score("ACD", "") == 0
+        assert sw_score_swat("", "") == 0
+
+    def test_no_similarity_scores_zero_floor(self):
+        # Local alignment never goes negative.
+        assert sw_score("W", "P") == 0
+
+    def test_paper_intro_example(self):
+        result = smith_waterman("CSTTPGGG", "CSDTNGLAWGG")
+        assert result.score == sw_score("CSTTPGGG", "CSDTNGLAWGG")
+        assert result.identities >= 3
+
+    def test_gap_penalty_applied(self):
+        # One residue inserted: alignment must pay open+extend once.
+        a = "ACDEFGHIKLMNPQRSTVWY"
+        b = a[:10] + "W" + a[10:]
+        perfect = sw_score(a, a)
+        with_gap = sw_score(a, b)
+        assert with_gap <= perfect
+        assert with_gap >= perfect - 11
+
+    def test_matrix_parameter_respected(self):
+        a = random_protein(60, random.Random(0))
+        b = random_protein(60, random.Random(1))
+        s62 = sw_score(a, b, matrix=BLOSUM62)
+        s50 = sw_score(a, b, matrix=BLOSUM50)
+        # Different matrices generally give different scores.
+        assert isinstance(s62, int) and isinstance(s50, int)
+
+
+class TestTraceback:
+    def test_alignment_strings_rebuild_score(self):
+        rng = random.Random(2)
+        base = random_protein(80, rng)
+        other = MutationModel(substitution_rate=0.2).mutate(base, rng)
+        result = smith_waterman(base, other)
+        # Recompute the score from the aligned strings.
+        gaps = GapPenalties()
+        score = 0
+        column = 0
+        aligned = list(zip(result.aligned_query, result.aligned_subject))
+        while column < len(aligned):
+            a, b = aligned[column]
+            if a == "-" or b == "-":
+                gap_char = 0 if a == "-" else 1
+                length = 0
+                while column < len(aligned) and aligned[column][gap_char] == "-":
+                    length += 1
+                    column += 1
+                score -= gaps.cost(length)
+            else:
+                score += BLOSUM62.score_symbols(a, b)
+                column += 1
+        assert score == result.score
+
+    def test_alignment_coordinates_consistent(self):
+        rng = random.Random(3)
+        base = random_protein(60, rng)
+        other = MutationModel().mutate(base, rng)
+        result = smith_waterman(base, other)
+        query_residues = sum(1 for c in result.aligned_query if c != "-")
+        subject_residues = sum(1 for c in result.aligned_subject if c != "-")
+        assert result.query_end - result.query_start == query_residues
+        assert result.subject_end - result.subject_start == subject_residues
+
+    def test_aligned_strings_match_source(self):
+        result = smith_waterman("CSTTPGGG", "CSDTNGLAWGG")
+        assert result.aligned_query.replace("-", "") == (
+            "CSTTPGGG"[result.query_start:result.query_end]
+        )
+        assert result.aligned_subject.replace("-", "") == (
+            "CSDTNGLAWGG"[result.subject_start:result.subject_end]
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=proteins, b=proteins)
+def test_swat_equals_reference(a, b):
+    assert sw_score_swat(a, b) == sw_score(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=proteins, b=proteins)
+def test_traceback_score_equals_reference(a, b):
+    assert smith_waterman(a, b).score == sw_score(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=proteins, b=proteins)
+def test_score_symmetric(a, b):
+    assert sw_score(a, b) == sw_score(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=proteins, b=proteins)
+def test_score_non_negative_and_bounded(a, b):
+    score = sw_score(a, b)
+    assert score >= 0
+    bound = BLOSUM62.max_score() * min(len(a), len(b))
+    assert score <= bound
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=proteins)
+def test_self_alignment_scores_full_diagonal(a):
+    expected = sum(BLOSUM62.score(c, c) for c in PROTEIN.encode(a))
+    assert sw_score(a, a) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=proteins, b=proteins)
+def test_concatenation_never_reduces_score(a, b):
+    # Adding context cannot reduce the best local score.
+    assert sw_score(a, b + "WWW") >= sw_score(a, b)

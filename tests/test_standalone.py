@@ -1,0 +1,72 @@
+"""Unit tests for the standalone cache-only and predictor-only runs."""
+
+from repro.isa.builder import TraceBuilder
+from repro.uarch.config import KB, ME1, memory_with_dl1
+from repro.uarch.simulator import simulate
+from repro.uarch.config import PROC_4WAY
+from repro.uarch.standalone import run_cache_only, run_predictor_only
+
+
+def memory_trace():
+    builder = TraceBuilder("mem")
+    for index in range(300):
+        builder.iload("ld", 0x10000 + (index % 64) * 128)
+        builder.ialu("op")
+    return builder.build()
+
+
+def branch_trace(pattern):
+    builder = TraceBuilder("br")
+    for taken in pattern:
+        builder.ctrl("br", taken=taken)
+    return builder.build()
+
+
+class TestCacheOnly:
+    def test_counts_match_full_simulation(self):
+        trace = memory_trace()
+        dl1, l2 = run_cache_only(trace, ME1)
+        full = simulate(trace, PROC_4WAY.with_memory(ME1))
+        assert dl1.accesses == full.dl1.accesses
+        assert dl1.misses == full.dl1.misses
+
+    def test_small_cache_misses_more(self):
+        trace = memory_trace()
+        small, _ = run_cache_only(trace, memory_with_dl1(1 * KB))
+        large, _ = run_cache_only(trace, memory_with_dl1(32 * KB))
+        assert small.miss_rate > large.miss_rate
+
+    def test_working_set_fits(self):
+        trace = memory_trace()  # 64 lines = 8KB working set
+        dl1, _ = run_cache_only(trace, memory_with_dl1(16 * KB))
+        assert dl1.misses == 64
+
+    def test_non_memory_ops_ignored(self):
+        builder = TraceBuilder("alu-only")
+        for _ in range(100):
+            builder.ialu("op")
+        dl1, l2 = run_cache_only(builder.build(), ME1)
+        assert dl1.accesses == 0
+
+
+class TestPredictorOnly:
+    def test_biased_stream_learned(self):
+        result, predictor = run_predictor_only(
+            branch_trace([True] * 300), "bimodal", 256
+        )
+        assert result.predictions == 300
+        assert result.accuracy > 0.95
+
+    def test_pattern_needs_history(self):
+        pattern = [i % 2 == 0 for i in range(600)]
+        bimodal, _ = run_predictor_only(branch_trace(pattern), "bimodal", 1024)
+        gshare, _ = run_predictor_only(branch_trace(pattern), "gshare", 1024)
+        assert gshare.accuracy > bimodal.accuracy
+
+    def test_only_branches_counted(self):
+        builder = TraceBuilder("mixed")
+        builder.ialu("op")
+        builder.ctrl("br", taken=True)
+        builder.ialu("op2")
+        result, _ = run_predictor_only(builder.build(), "gp", 64)
+        assert result.predictions == 1

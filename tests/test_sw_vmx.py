@@ -1,0 +1,78 @@
+"""Equality of vectorized Smith-Waterman with the scalar reference."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.align.simd.sw_vmx import sw_score_vmx, sw_score_vmx128, sw_score_vmx256
+from repro.align.simd.vector import VMX128, VMX256
+from repro.align.smith_waterman import sw_score
+from repro.align.types import GapPenalties
+from repro.bio.matrices import BLOSUM50
+from repro.bio.synthetic import MutationModel, random_protein
+
+proteins = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=0, max_size=40)
+
+
+class TestEdgeCases:
+    def test_empty_inputs(self):
+        assert sw_score_vmx128("", "ACD") == 0
+        assert sw_score_vmx128("ACD", "") == 0
+        assert sw_score_vmx256("", "") == 0
+
+    def test_single_residue(self):
+        assert sw_score_vmx128("W", "W") == sw_score("W", "W")
+
+    def test_query_shorter_than_lane_count(self):
+        assert sw_score_vmx128("ACD", "ACDEFG") == sw_score("ACD", "ACDEFG")
+        assert sw_score_vmx256("ACD", "ACDEFG") == sw_score("ACD", "ACDEFG")
+
+    def test_query_exactly_one_block(self):
+        query = "ACDEFGHI"  # 8 residues = one vmx128 block
+        subject = "ACDEFGHIKLMNP"
+        assert sw_score_vmx128(query, subject) == sw_score(query, subject)
+
+    def test_related_pair_with_gaps(self):
+        rng = random.Random(9)
+        base = random_protein(90, rng)
+        related = MutationModel(indel_rate=0.05).mutate(base, rng)
+        expected = sw_score(base, related)
+        assert sw_score_vmx128(base, related) == expected
+        assert sw_score_vmx256(base, related) == expected
+
+    def test_alternative_matrix_and_gaps(self):
+        rng = random.Random(10)
+        a = random_protein(50, rng)
+        b = random_protein(50, rng)
+        gaps = GapPenalties(open=5, extend=2)
+        expected = sw_score(a, b, matrix=BLOSUM50, gaps=gaps)
+        assert sw_score_vmx(
+            a, b, matrix=BLOSUM50, gaps=gaps, config=VMX128
+        ) == expected
+        assert sw_score_vmx(
+            a, b, matrix=BLOSUM50, gaps=gaps, config=VMX256
+        ) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=proteins, b=proteins)
+def test_vmx128_equals_scalar(a, b):
+    assert sw_score_vmx128(a, b) == sw_score(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=proteins, b=proteins)
+def test_vmx256_equals_scalar(a, b):
+    assert sw_score_vmx256(a, b) == sw_score(a, b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    a=proteins,
+    b=proteins,
+    gap_open=st.integers(min_value=1, max_value=14),
+    gap_extend=st.integers(min_value=1, max_value=4),
+)
+def test_vmx_equals_scalar_across_penalties(a, b, gap_open, gap_extend):
+    gaps = GapPenalties(open=gap_open, extend=gap_extend)
+    assert sw_score_vmx128(a, b, gaps=gaps) == sw_score(a, b, gaps=gaps)

@@ -1,0 +1,120 @@
+"""Unit tests for synthetic database generation."""
+
+import random
+
+import pytest
+
+from repro.bio.synthetic import (
+    SWISSPROT_COMPOSITION,
+    MutationModel,
+    SyntheticDatabaseConfig,
+    generate_database,
+    homolog_of,
+    random_length,
+    random_protein,
+)
+from repro.bio.sequence import Sequence
+
+
+class TestComposition:
+    def test_frequencies_sum_to_one(self):
+        assert sum(SWISSPROT_COMPOSITION.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_twenty_standard_residues(self):
+        assert len(SWISSPROT_COMPOSITION) == 20
+
+    def test_random_protein_composition_roughly_matches(self):
+        rng = random.Random(1)
+        text = random_protein(50_000, rng)
+        leucine = text.count("L") / len(text)
+        tryptophan = text.count("W") / len(text)
+        assert abs(leucine - SWISSPROT_COMPOSITION["L"]) < 0.01
+        assert abs(tryptophan - SWISSPROT_COMPOSITION["W"]) < 0.01
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            random_protein(-1, random.Random(0))
+
+
+class TestLengthModel:
+    def test_lengths_clamped(self):
+        rng = random.Random(2)
+        lengths = [random_length(rng) for _ in range(500)]
+        assert all(40 <= length <= 2000 for length in lengths)
+
+    def test_mean_in_plausible_range(self):
+        rng = random.Random(3)
+        lengths = [random_length(rng) for _ in range(2000)]
+        mean = sum(lengths) / len(lengths)
+        assert 250 < mean < 480
+
+
+class TestMutationModel:
+    def test_zero_rates_identity(self):
+        model = MutationModel(substitution_rate=0.0, indel_rate=0.0)
+        assert model.mutate("ACDEFGHIKL", random.Random(4)) == "ACDEFGHIKL"
+
+    def test_substitutions_change_residues(self):
+        model = MutationModel(substitution_rate=1.0, indel_rate=0.0)
+        original = random_protein(200, random.Random(5))
+        mutated = model.mutate(original, random.Random(6))
+        assert len(mutated) == len(original)
+        differing = sum(1 for a, b in zip(original, mutated) if a != b)
+        assert differing > 150  # a few collide with the same residue
+
+    def test_indels_change_length(self):
+        model = MutationModel(substitution_rate=0.0, indel_rate=0.3)
+        original = random_protein(300, random.Random(7))
+        mutated = model.mutate(original, random.Random(8))
+        assert mutated != original
+
+    def test_deterministic_given_seed(self):
+        model = MutationModel()
+        original = random_protein(100, random.Random(9))
+        first = model.mutate(original, random.Random(10))
+        second = model.mutate(original, random.Random(10))
+        assert first == second
+
+
+class TestGenerateDatabase:
+    def test_deterministic(self):
+        config = SyntheticDatabaseConfig(
+            sequence_count=30, family_count=2, family_size=3, seed=42
+        )
+        first = generate_database(config)
+        second = generate_database(config)
+        assert [s.text for s in first] == [s.text for s in second]
+
+    def test_sequence_count(self):
+        config = SyntheticDatabaseConfig(
+            sequence_count=25, family_count=3, family_size=4
+        )
+        assert len(generate_database(config)) == 25
+
+    def test_families_present_and_related(self):
+        config = SyntheticDatabaseConfig(
+            sequence_count=20, family_count=2, family_size=4, seed=5
+        )
+        db = generate_database(config)
+        family0 = [s for s in db if s.identifier.startswith("FAM000")]
+        assert len(family0) == 4
+        # Family members share detectable similarity.
+        from repro.align import sw_score
+
+        score = sw_score(family0[0], family0[1])
+        background = sw_score(family0[0], db.get("RND00000"))
+        assert score > background * 2
+
+    def test_oversized_families_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticDatabaseConfig(
+                sequence_count=5, family_count=3, family_size=3
+            )
+
+
+class TestHomologOf:
+    def test_related_but_not_identical(self):
+        base = Sequence("Q", random_protein(150, random.Random(11)))
+        hom = homolog_of(base, seed=1)
+        assert hom.text != base.text
+        assert base.identifier in hom.identifier

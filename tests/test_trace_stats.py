@@ -1,0 +1,145 @@
+"""Tests for the trace-level characterization tools."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.trace_stats import (
+    branch_statistics,
+    dependency_profile,
+    lru_miss_rate,
+    reuse_distance_profile,
+    working_set,
+)
+from repro.isa.builder import TraceBuilder
+
+
+def trace_with_branches(pattern):
+    builder = TraceBuilder("branches")
+    for index, (site, taken) in enumerate(pattern):
+        builder.ctrl(f"site{site}", taken=taken)
+    return builder.build()
+
+
+class TestBranchStatistics:
+    def test_counts(self):
+        trace = trace_with_branches([(0, True), (0, True), (1, False)])
+        stats = branch_statistics(trace)
+        assert stats.branches == 3
+        assert stats.taken == 2
+        assert stats.static_sites == 2
+        assert stats.taken_fraction == pytest.approx(2 / 3)
+
+    def test_bias_detection(self):
+        pattern = [(0, True)] * 19 + [(0, False)]          # 95% biased
+        pattern += [(1, i % 2 == 0) for i in range(20)]    # alternating
+        stats = branch_statistics(trace_with_branches(pattern))
+        assert stats.strongly_biased_sites == 1
+        assert stats.biased_site_fraction == pytest.approx(0.5)
+
+    def test_empty(self):
+        builder = TraceBuilder("none")
+        builder.ialu("op")
+        stats = branch_statistics(builder.build())
+        assert stats.branches == 0
+        assert stats.taken_fraction == 0.0
+
+
+class TestDependencyProfile:
+    def test_chain_is_short_range(self):
+        builder = TraceBuilder("chain")
+        register = builder.ialu("a")
+        for _ in range(50):
+            register = builder.ialu("b", (register,))
+        profile = dependency_profile(builder.build())
+        assert profile.mean_distance == pytest.approx(1.0)
+        assert profile.short_fraction == 1.0
+        assert not profile.has_long_range_ilp
+
+    def test_far_dependencies(self):
+        builder = TraceBuilder("far")
+        first = builder.ialu("a")
+        for _ in range(30):
+            builder.ialu("pad")
+        builder.ialu("use", (first,))
+        profile = dependency_profile(builder.build())
+        assert profile.mean_distance > 30
+        assert profile.has_long_range_ilp
+
+
+class TestWorkingSet:
+    def test_counts_distinct_lines(self):
+        builder = TraceBuilder("ws")
+        for index in range(64):
+            builder.iload("ld", 0x1000 + (index % 16) * 128, size=4)
+        stats = working_set(builder.build())
+        assert stats["lines"] == 16
+        assert stats["references"] == 64
+        assert stats["bytes"] == 16 * 128
+
+    def test_straddling_access_counts_both_lines(self):
+        builder = TraceBuilder("span")
+        builder.vload("vl", 0x1070, size=32)  # crosses a 128B boundary
+        assert working_set(builder.build())["lines"] == 2
+
+
+class TestReuseDistance:
+    def _trace(self, line_sequence):
+        builder = TraceBuilder("reuse")
+        for line in line_sequence:
+            builder.iload("ld", line * 128, size=4)
+        return builder.build()
+
+    def test_cold_misses_counted(self):
+        profile = reuse_distance_profile(self._trace([0, 1, 2, 3]))
+        assert profile == {-1: 4}
+
+    def test_immediate_reuse_distance_zero(self):
+        profile = reuse_distance_profile(self._trace([0, 0, 0]))
+        assert profile[-1] == 1
+        assert profile[0] == 2
+
+    def test_classic_distance(self):
+        # 0 1 2 0 : reuse of 0 sees 2 distinct lines in between.
+        profile = reuse_distance_profile(self._trace([0, 1, 2, 0]))
+        assert profile[2] == 1
+
+    def test_miss_rate_matches_simulated_fully_associative(self):
+        rng = random.Random(3)
+        lines = [rng.randrange(32) for _ in range(400)]
+        trace = self._trace(lines)
+        profile = reuse_distance_profile(trace)
+        for capacity in (4, 8, 16, 64):
+            # Reference: simulate a fully associative LRU cache.
+            stack = []
+            misses = 0
+            for line in lines:
+                if line in stack:
+                    stack.remove(line)
+                else:
+                    misses += 1
+                    if len(stack) >= capacity:
+                        stack.pop()
+                stack.insert(0, line)
+            expected = misses / len(lines)
+            assert lru_miss_rate(profile, capacity) == pytest.approx(expected)
+
+    def test_miss_rate_monotone_in_capacity(self):
+        rng = random.Random(4)
+        trace = self._trace([rng.randrange(64) for _ in range(500)])
+        profile = reuse_distance_profile(trace)
+        rates = [lru_miss_rate(profile, c) for c in (1, 4, 16, 64, 256)]
+        assert rates == sorted(rates, reverse=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=20),
+                      min_size=1, max_size=150))
+def test_reuse_profile_total_matches_references(lines):
+    builder = TraceBuilder("p")
+    for line in lines:
+        builder.iload("ld", line * 128, size=4)
+    profile = reuse_distance_profile(builder.build())
+    assert sum(profile.values()) == len(lines)
+    assert profile.get(-1, 0) == len(set(lines))

@@ -1,0 +1,146 @@
+"""Tests for translation and the translated (blastx-style) search."""
+
+import random
+
+import pytest
+
+from repro.align.blast.translated import BlastxEngine
+from repro.bio.alphabet import DNA
+from repro.bio.database import SequenceDatabase
+from repro.bio.sequence import Sequence
+from repro.bio.synthetic import random_protein
+from repro.bio.translate import (
+    CODON_TABLE,
+    STOP,
+    reverse_complement,
+    six_frame_translation,
+    translate,
+)
+
+#: Reverse-translate a protein with fixed codons (for test fixtures).
+_CODON_OF = {}
+for codon, amino in CODON_TABLE.items():
+    _CODON_OF.setdefault(amino, codon)
+
+
+def encode_protein_as_dna(protein: str) -> str:
+    return "".join(_CODON_OF[a] for a in protein)
+
+
+class TestCodonTable:
+    def test_size(self):
+        assert len(CODON_TABLE) == 64
+
+    def test_canonical_codons(self):
+        assert CODON_TABLE["ATG"] == "M"
+        assert CODON_TABLE["TGG"] == "W"
+        assert CODON_TABLE["TTT"] == "F"
+        assert CODON_TABLE["GGG"] == "G"
+        assert CODON_TABLE["AAA"] == "K"
+
+    def test_stop_codons(self):
+        assert CODON_TABLE["TAA"] == STOP
+        assert CODON_TABLE["TAG"] == STOP
+        assert CODON_TABLE["TGA"] == STOP
+
+    def test_composition(self):
+        from collections import Counter
+
+        counts = Counter(CODON_TABLE.values())
+        assert counts[STOP] == 3
+        assert counts["L"] == 6
+        assert counts["R"] == 6
+        assert counts["S"] == 6
+        assert counts["M"] == 1
+        assert counts["W"] == 1
+
+
+class TestTranslate:
+    def test_simple(self):
+        assert translate("ATGTGGTTT") == "MWF"
+
+    def test_frames(self):
+        text = "AATGTGG"
+        assert translate(text, 1) == "MW"
+
+    def test_n_becomes_wildcard(self):
+        assert translate("ATGNNN") == "MX"
+
+    def test_invalid_frame(self):
+        with pytest.raises(ValueError):
+            translate("ATG", 3)
+
+    def test_reverse_complement(self):
+        assert reverse_complement("ATGC") == "GCAT"
+        assert reverse_complement("AANN") == "NNTT"
+        with pytest.raises(ValueError):
+            reverse_complement("ATGU")
+
+
+class TestSixFrames:
+    def test_six_frames_produced(self):
+        sequence = Sequence("d", "ATGTGGTTTAAACCC", alphabet=DNA)
+        frames = six_frame_translation(sequence)
+        assert len(frames) == 6
+        assert sorted(f.frame for f in frames) == [-3, -2, -1, 1, 2, 3]
+
+    def test_forward_frame_one_matches_translate(self):
+        sequence = Sequence("d", "ATGTGGTTTAAACCC", alphabet=DNA)
+        frames = {f.frame: f for f in six_frame_translation(sequence)}
+        assert frames[1].protein.text == translate(sequence.text).replace(
+            STOP, "X"
+        )
+
+    def test_protein_input_rejected(self):
+        with pytest.raises(ValueError):
+            six_frame_translation(Sequence("p", "ACDEF"))
+
+    def test_reverse_frames_flagged(self):
+        sequence = Sequence("d", "ATGTGGTTTAAACCC", alphabet=DNA)
+        for frame in six_frame_translation(sequence):
+            assert frame.is_reverse == (frame.frame < 0)
+
+
+class TestBlastx:
+    def test_finds_protein_from_encoding_dna(self, small_database):
+        rng = random.Random(9)
+        target = small_database[0]
+        # DNA that encodes residues 30..110 of the target protein.
+        fragment = target.text[30:110].replace("B", "N").replace(
+            "Z", "Q"
+        ).replace("X", "A")
+        dna = Sequence(
+            "read", encode_protein_as_dna(fragment), alphabet=DNA
+        )
+        engine = BlastxEngine(dna)
+        framed = engine.search(small_database)
+        assert framed
+        assert framed[0].hit.subject_id == target.identifier
+        assert framed[0].frame == 1
+
+    def test_reverse_strand_detected(self, small_database):
+        from repro.bio.translate import reverse_complement
+
+        target = small_database[1]
+        fragment = target.text[10:90].replace("B", "N").replace(
+            "Z", "Q"
+        ).replace("X", "A")
+        dna_forward = encode_protein_as_dna(fragment)
+        dna = Sequence(
+            "read", reverse_complement(dna_forward), alphabet=DNA
+        )
+        framed = BlastxEngine(dna).search(small_database)
+        assert framed
+        assert framed[0].hit.subject_id == target.identifier
+        assert framed[0].frame < 0
+
+    def test_search_result_packaging(self, small_database):
+        fragment = small_database[0].text[20:80].replace("B", "N").replace(
+            "Z", "Q"
+        ).replace("X", "A")
+        dna = Sequence("read", encode_protein_as_dna(fragment), alphabet=DNA)
+        engine = BlastxEngine(dna)
+        framed = engine.search(small_database)
+        result = engine.as_search_result(small_database, framed)
+        assert result.sequences_searched == len(small_database)
+        assert result.best().score == framed[0].hit.score

@@ -1,0 +1,65 @@
+"""Unit tests for trauma taxonomy and accounting."""
+
+from repro.isa.opcodes import FunctionalUnit
+from repro.uarch.traumas import (
+    FIG2_ORDER,
+    Trauma,
+    TraumaAccount,
+    diq_trauma,
+    ful_trauma,
+    rg_trauma,
+)
+
+
+class TestTaxonomy:
+    def test_class_count_matches_figure(self):
+        # The paper groups traumas into 56 classes (incl. a catch-all).
+        assert len(FIG2_ORDER) == 56
+
+    def test_table7_names_present(self):
+        names = {trauma.value for trauma in Trauma}
+        for expected in (
+            "if_nfa", "if_pred", "if_full", "mm_dl2", "mm_dl1",
+            "rg_fix", "rg_mem", "rg_vi", "rg_vper", "st_data",
+        ):
+            assert expected in names
+
+    def test_unit_mappings(self):
+        assert rg_trauma(FunctionalUnit.FX) == Trauma.RG_FIX
+        assert rg_trauma(FunctionalUnit.LDST) == Trauma.RG_MEM
+        assert rg_trauma(FunctionalUnit.VI) == Trauma.RG_VI
+        assert rg_trauma(FunctionalUnit.VPER) == Trauma.RG_VPER
+        assert ful_trauma(FunctionalUnit.VI) == Trauma.FUL_VI
+        assert diq_trauma(FunctionalUnit.LDST) == Trauma.DIQ_MEM
+
+    def test_every_unit_mapped(self):
+        for unit in FunctionalUnit:
+            assert rg_trauma(unit) in Trauma
+            assert ful_trauma(unit) in Trauma
+            assert diq_trauma(unit) in Trauma
+
+
+class TestAccount:
+    def test_charge_and_total(self):
+        account = TraumaAccount()
+        account.charge(Trauma.IF_PRED)
+        account.charge(Trauma.IF_PRED, 4)
+        account.charge(Trauma.RG_FIX, 2)
+        assert account.total() == 7
+        assert account.cycles[Trauma.IF_PRED] == 5
+
+    def test_top(self):
+        account = TraumaAccount()
+        account.charge(Trauma.RG_VI, 10)
+        account.charge(Trauma.MM_DL2, 30)
+        account.charge(Trauma.IF_PRED, 20)
+        top = account.top(2)
+        assert top == [(Trauma.MM_DL2, 30), (Trauma.IF_PRED, 20)]
+
+    def test_histogram_includes_zeros_in_order(self):
+        account = TraumaAccount()
+        account.charge(Trauma.RG_FIX, 1)
+        histogram = account.as_histogram()
+        assert list(histogram) == [trauma.value for trauma in FIG2_ORDER]
+        assert histogram["rg_fix"] == 1
+        assert histogram["st_data"] == 0

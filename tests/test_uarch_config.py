@@ -1,0 +1,119 @@
+"""Unit tests for processor/memory/branch configurations."""
+
+import pytest
+
+from repro.isa.opcodes import FunctionalUnit
+from repro.uarch.config import (
+    BP_PERFECT,
+    BP_REAL,
+    KB,
+    MB,
+    ME1,
+    ME4,
+    MEINF,
+    MEMORY_PRESETS,
+    PROC_16WAY,
+    PROC_4WAY,
+    PROC_8WAY,
+    BranchPredictorConfig,
+    CacheConfig,
+    memory_with_dl1,
+)
+
+
+class TestTable4Presets:
+    def test_widths(self):
+        assert PROC_4WAY.fetch_width == 4
+        assert PROC_8WAY.fetch_width == 8
+        assert PROC_16WAY.fetch_width == 16
+
+    def test_retire_widths(self):
+        assert PROC_4WAY.retire_width == 6
+        assert PROC_8WAY.retire_width == 12
+        assert PROC_16WAY.retire_width == 20
+
+    def test_inflight(self):
+        assert PROC_4WAY.inflight == 160
+        assert PROC_8WAY.inflight == 255
+
+    def test_unit_mixes(self):
+        assert PROC_4WAY.units[FunctionalUnit.FX] == 3
+        assert PROC_4WAY.units[FunctionalUnit.VI] == 1
+        assert PROC_8WAY.units[FunctionalUnit.LDST] == 4
+        assert PROC_16WAY.units[FunctionalUnit.FX] == 10
+
+    def test_issue_queue_sizes(self):
+        assert PROC_4WAY.issue_queue_size == 20
+        assert PROC_8WAY.issue_queue_size == 40
+        assert PROC_16WAY.issue_queue_size == 80
+
+    def test_dcache_ports(self):
+        assert (PROC_4WAY.dcache_read_ports, PROC_4WAY.dcache_write_ports) == (2, 1)
+        assert PROC_16WAY.max_outstanding_misses == 16
+
+    def test_with_memory_copies(self):
+        modified = PROC_4WAY.with_memory(MEINF)
+        assert modified.memory is MEINF
+        assert PROC_4WAY.memory is ME1
+        assert modified.fetch_width == PROC_4WAY.fetch_width
+
+
+class TestTable5Presets:
+    def test_me1(self):
+        assert ME1.dl1.size_bytes == 32 * KB
+        assert ME1.l2.size_bytes == 1 * MB
+        assert ME1.dl1.associativity == 2
+        assert ME1.il1.associativity == 1
+        assert ME1.l2.associativity == 8
+        assert ME1.memory_latency == 300
+
+    def test_line_sizes(self):
+        for preset in MEMORY_PRESETS:
+            assert preset.dl1.line_bytes == 128
+            assert preset.l2.line_bytes == 128
+
+    def test_infinite_entries(self):
+        assert ME4.l2.is_ideal
+        assert not ME4.dl1.is_ideal
+        assert MEINF.dl1.is_ideal and MEINF.il1.is_ideal
+
+    def test_latencies(self):
+        assert ME1.dl1.latency == 1
+        assert ME1.l2.latency == 12
+
+    def test_custom_dl1(self):
+        memory = memory_with_dl1(8 * KB, associativity=4, latency=3)
+        assert memory.dl1.size_bytes == 8 * KB
+        assert memory.dl1.associativity == 4
+        assert memory.dl1.latency == 3
+        assert memory.l2.size_bytes == 2 * MB
+
+
+class TestTable6Preset:
+    def test_real_predictor(self):
+        assert BP_REAL.kind == "combined"
+        assert BP_REAL.table_entries == 16 * 1024
+        assert BP_REAL.btb_entries == 4 * 1024
+        assert BP_REAL.btb_associativity == 4
+        assert BP_REAL.btb_miss_penalty == 2
+        assert BP_REAL.max_predicted_branches == 12
+        assert BP_REAL.mispredict_recovery == 3
+
+    def test_perfect(self):
+        assert BP_PERFECT.kind == "perfect"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(kind="neural")
+
+
+class TestCacheConfigValidation:
+    def test_valid(self):
+        CacheConfig(32 * KB, 2, 128, 1)
+
+    def test_invalid_multiple(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 128, 1)
+
+    def test_ideal(self):
+        assert CacheConfig(None, 1, 128, 1).is_ideal

@@ -1,0 +1,116 @@
+"""Unit tests for BLAST word finding."""
+
+from repro.align.blast.wordfinder import (
+    LookupTable,
+    TwoHitScanner,
+    word_index,
+)
+from repro.bio.alphabet import PROTEIN
+from repro.bio.matrices import BLOSUM62
+
+
+def encode(text: str):
+    return PROTEIN.encode(text)
+
+
+class TestWordIndex:
+    def test_base20_encoding(self):
+        codes = encode("ARN")  # 0, 1, 2
+        assert word_index(codes, 0, 3) == 0 * 400 + 1 * 20 + 2
+
+    def test_offset(self):
+        codes = encode("AARN")
+        assert word_index(codes, 1, 3) == word_index(encode("ARN"), 0, 3)
+
+    def test_ambiguity_codes_rejected(self):
+        codes = encode("AXA")  # X is outside the standard 20
+        assert word_index(codes, 0, 3) == -1
+
+    def test_word_size_two(self):
+        codes = encode("RN")
+        assert word_index(codes, 0, 2) == 1 * 20 + 2
+
+
+class TestLookupTable:
+    def test_exact_word_always_in_neighborhood(self):
+        query = encode("ARNDCQEGHILK")
+        table = LookupTable(query, threshold=11)
+        for position in range(len(query) - 2):
+            index = word_index(query, position, 3)
+            assert position in table.lookup(index)
+
+    def test_high_threshold_shrinks_neighborhood(self):
+        query = encode("ARNDCQEGHILKMFPSTWYV")
+        low = LookupTable(query, threshold=9)
+        high = LookupTable(query, threshold=13)
+        assert low.entry_count > high.entry_count
+
+    def test_impossible_threshold_empty(self):
+        query = encode("ARNDCQEG")
+        table = LookupTable(query, threshold=100)
+        assert table.entry_count == 0
+
+    def test_lookup_of_negative_index_empty(self):
+        table = LookupTable(encode("ARNDCQEG"))
+        assert table.lookup(-1) == ()
+
+    def test_table_spans_full_word_space(self):
+        table = LookupTable(encode("ARNDCQEG"), word_size=3)
+        assert len(table) == 20**3
+
+    def test_neighborhood_scores_reach_threshold(self):
+        query = encode("WWW")
+        table = LookupTable(query, threshold=11)
+        for index in range(len(table)):
+            for position in table.lookup(index):
+                # Decode the word back and rescore against the query word.
+                codes = []
+                value = index
+                for _ in range(3):
+                    codes.append(value % 20)
+                    value //= 20
+                codes.reverse()
+                score = sum(
+                    BLOSUM62.score(q, c)
+                    for q, c in zip(query[position:position + 3], codes)
+                )
+                assert score >= 11
+
+    def test_invalid_word_size(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LookupTable(encode("ARN"), word_size=0)
+
+
+class TestTwoHitScanner:
+    def test_identical_sequence_produces_seeds(self):
+        query = encode("ARNDCQEGHILKMFPSTVWY" * 3)
+        table = LookupTable(query, threshold=11)
+        scanner = TwoHitScanner(table, len(query))
+        seeds = list(scanner.scan(query))
+        assert seeds, "self-scan must produce two-hit seeds"
+        assert scanner.single_hits >= len(seeds)
+
+    def test_seeds_lie_on_matching_diagonals(self):
+        query = encode("ARNDCQEGHILKMFPSTVWY" * 3)
+        table = LookupTable(query, threshold=12)
+        scanner = TwoHitScanner(table, len(query))
+        for seed in scanner.scan(query):
+            assert 0 <= seed.query_offset < len(query)
+            assert 0 <= seed.subject_offset < len(query)
+            assert seed.diagonal == seed.subject_offset - seed.query_offset
+
+    def test_short_subject_no_seeds(self):
+        query = encode("ARNDCQEGHILK")
+        table = LookupTable(query)
+        scanner = TwoHitScanner(table, len(query))
+        assert list(scanner.scan(encode("AR"))) == []
+
+    def test_window_controls_pairing(self):
+        query = encode("ARNDCQEGHILKMFPSTVWY" * 2)
+        table = LookupTable(query, threshold=12)
+        tight = TwoHitScanner(table, len(query), window=3)
+        loose = TwoHitScanner(table, len(query), window=60)
+        subject = query
+        assert len(list(loose.scan(subject))) >= len(list(tight.scan(subject)))
