@@ -2,16 +2,32 @@
 
 Usage::
 
-    python -m repro list                 # available experiment ids
-    python -m repro fig5                 # run one experiment, print report
-    python -m repro table3 fig1 fig2     # run several, in order
-    python -m repro trace blast out.npz  # export one workload's trace
+    python -m repro list                  # available experiment ids
+    python -m repro fig5                  # run one experiment, print report
+    python -m repro fig5 --jobs 4         # fan simulations out over 4 workers
+    python -m repro table3 fig1 fig2      # run several, in order
+    python -m repro trace blast out.npz   # export one workload's trace
+    python -m repro cache stats           # persistent result cache usage
+    python -m repro cache clean           # drop every cached artifact
+
+Experiment-run options:
+
+    --jobs/-j N        worker processes (default 1: serial in-process)
+    --cache-dir PATH   persistent result cache (default: $REPRO_CACHE_DIR;
+                       unset means an ephemeral per-run cache)
+    --report PATH      write a JSON run report (per-task wall time, cache
+                       hit/miss counts, retries)
+    --task-timeout S   per-task timeout in seconds (default: none)
+    --retries N        per-task retry budget before falling back to
+                       in-process execution (default 2)
 
 Scale with the ``REPRO_SCALE`` environment variable (see README).
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 import time
 
@@ -43,6 +59,96 @@ def _export_trace(arguments: list[str]) -> int:
     return 0
 
 
+def _cache_command(arguments: list[str]) -> int:
+    from repro.runtime.cache import ResultCache
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect or clear the persistent result cache.",
+    )
+    parser.add_argument("action", choices=("stats", "clean"))
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR")
+    )
+    try:
+        options = parser.parse_args(arguments)
+    except SystemExit as exit_:
+        return int(exit_.code or 0)
+    if not options.cache_dir:
+        print("no cache directory: pass --cache-dir or set REPRO_CACHE_DIR",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(options.cache_dir)
+    if options.action == "stats":
+        stats = cache.stats()
+        print(f"cache {cache.root}: {stats.results} simulation results, "
+              f"{stats.runs} kernel runs, {stats.traces} traces, "
+              f"{stats.total_bytes / 1e6:.1f} MB")
+    else:
+        removed = cache.clean()
+        print(f"cache {cache.root}: removed {removed.entries} artifacts "
+              f"({removed.total_bytes / 1e6:.1f} MB)")
+    return 0
+
+
+def _run_experiments(arguments: list[str]) -> int:
+    from repro.runtime.engine import ExperimentRuntime
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run paper experiments (see `python -m repro list`).",
+    )
+    parser.add_argument("experiments", nargs="+")
+    parser.add_argument("--jobs", "-j", type=int, default=1)
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR")
+    )
+    parser.add_argument("--report", default=None)
+    parser.add_argument("--task-timeout", type=float, default=None)
+    parser.add_argument("--retries", type=int, default=2)
+    try:
+        options = parser.parse_args(arguments)
+    except SystemExit as exit_:
+        return int(exit_.code or 0)
+
+    unknown = [
+        name for name in options.experiments if name not in EXPERIMENTS
+    ]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {' '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    runtime = ExperimentRuntime(
+        jobs=options.jobs,
+        cache_dir=options.cache_dir,
+        task_timeout=options.task_timeout,
+        retries=options.retries,
+    )
+    context = ExperimentContext(runtime=runtime)
+    try:
+        for identifier in options.experiments:
+            before = runtime.metrics.counts()
+            start = time.perf_counter()
+            _, report = run_experiment(identifier, context)
+            elapsed = time.perf_counter() - start
+            after = runtime.metrics.counts()
+            hits = after["cache_hits"] - before["cache_hits"]
+            misses = after["cache_misses"] - before["cache_misses"]
+            print(report)
+            print(f"[{identifier} completed in {elapsed:.1f}s | "
+                  f"cache: {hits} hits, {misses} misses]\n")
+        if options.report:
+            runtime.metrics.write_report(
+                options.report,
+                jobs=runtime.jobs,
+                cache_dir=options.cache_dir,
+            )
+    finally:
+        runtime.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     arguments = sys.argv[1:] if argv is None else argv
     if not arguments or arguments[0] in {"-h", "--help"}:
@@ -54,21 +160,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if arguments[0] == "trace":
         return _export_trace(arguments[1:])
-
-    unknown = [name for name in arguments if name not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {' '.join(EXPERIMENTS)}", file=sys.stderr)
-        return 2
-
-    context = ExperimentContext()
-    for identifier in arguments:
-        start = time.time()
-        _, report = run_experiment(identifier, context)
-        elapsed = time.time() - start
-        print(report)
-        print(f"[{identifier} completed in {elapsed:.1f}s]\n")
-    return 0
+    if arguments[0] == "cache":
+        return _cache_command(arguments[1:])
+    return _run_experiments(arguments)
 
 
 if __name__ == "__main__":

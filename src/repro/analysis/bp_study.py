@@ -46,6 +46,7 @@ def fig11_predictor_accuracy(
     apps: tuple[str, ...] = FIG11_APPS,
 ) -> PredictorStudyResult:
     """Replay each application's branch stream through each predictor."""
+    context.prefetch_workloads(tuple(apps))
     accuracy: dict[str, dict[str, list[float]]] = {}
     for app in apps:
         trace = context.suite.trace(app)

@@ -33,6 +33,7 @@ class BreakdownResult:
 
 def fig1_breakdown(context: ExperimentContext) -> BreakdownResult:
     """Compute the per-application dynamic instruction mixes."""
+    context.prefetch_workloads()
     mixes = {
         name: context.suite.run(name).mix for name in context.suite.names
     }

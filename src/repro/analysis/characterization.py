@@ -47,6 +47,7 @@ class WorkloadCharacter:
 
 def characterize(context: ExperimentContext) -> list[WorkloadCharacter]:
     """Profile every suite application's standard trace."""
+    context.prefetch_workloads()
     profiles = []
     for name in context.suite.names:
         trace = context.suite.trace(name)

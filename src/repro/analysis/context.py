@@ -4,65 +4,36 @@ Most figures sweep one knob while holding everything else fixed, so the
 same (trace, configuration) pair shows up across experiments.  The
 context memoizes simulation results by a structural key, letting the
 whole benchmark suite share work within a process.
+
+A context may additionally carry an
+:class:`~repro.runtime.engine.ExperimentRuntime`, which layers a
+persistent content-addressed cache and (optionally) a multiprocessing
+worker pool underneath the memo: ``simulate_trace`` routes misses
+through it, and :meth:`ExperimentContext.simulate_many` lets the
+analysis sweeps hand over a whole batch of (trace, config) pairs to fan
+out at once.  Without a runtime the behaviour is exactly the historical
+serial one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 from repro.isa.trace import Trace
+from repro.runtime.keys import config_key as _config_key
 from repro.uarch.config import ProcessorConfig
 from repro.uarch.results import SimulationResult
 from repro.uarch.simulator import simulate
 from repro.workloads.suite import WorkloadSuite
 
+if TYPE_CHECKING:
+    from repro.runtime.engine import ExperimentRuntime
 
-def _config_key(config: ProcessorConfig) -> tuple:
-    """Structural identity of everything that can change a simulation."""
-    memory = config.memory
-    branch = config.branch
-
-    def cache_key(cache) -> tuple:
-        return (cache.size_bytes, cache.associativity, cache.line_bytes,
-                cache.latency)
-
-    def tlb_key(tlb) -> tuple:
-        return (tlb.entries, tlb.associativity, tlb.page_bytes,
-                tlb.miss_penalty)
-
-    return (
-        config.name,
-        config.fetch_width,
-        config.dispatch_width,
-        config.retire_width,
-        config.inflight,
-        config.gpr,
-        config.vpr,
-        config.fpr,
-        tuple(sorted((fu.value, count) for fu, count in config.units.items())),
-        config.issue_queue_size,
-        config.ibuffer_size,
-        config.retire_queue,
-        config.dcache_read_ports,
-        config.dcache_write_ports,
-        config.max_outstanding_misses,
-        config.store_queue_size,
-        config.wide_load_extra_latency,
-        cache_key(memory.il1),
-        cache_key(memory.dl1),
-        cache_key(memory.l2),
-        memory.memory_latency,
-        tlb_key(memory.itlb),
-        tlb_key(memory.dtlb),
-        memory.sequential_prefetch,
-        branch.kind,
-        branch.table_entries,
-        branch.btb_entries,
-        branch.btb_associativity,
-        branch.btb_miss_penalty,
-        branch.max_predicted_branches,
-        branch.mispredict_recovery,
-    )
+#: A simulate request: (trace, config) or (trace, config, track_occupancy).
+SimRequest = (
+    "tuple[Trace, ProcessorConfig] | tuple[Trace, ProcessorConfig, bool]"
+)
 
 
 @dataclass
@@ -70,9 +41,15 @@ class ExperimentContext:
     """Workload suite plus a memoized simulation runner."""
 
     suite: WorkloadSuite = field(default_factory=WorkloadSuite)
+    runtime: "ExperimentRuntime | None" = None
     _results: dict[tuple, SimulationResult] = field(
         default_factory=dict, repr=False
     )
+
+    def _memo_key(
+        self, trace: Trace, config: ProcessorConfig, track_occupancy: bool
+    ) -> tuple:
+        return (id(trace), len(trace), _config_key(config), track_occupancy)
 
     def simulate_trace(
         self,
@@ -81,12 +58,18 @@ class ExperimentContext:
         track_occupancy: bool = False,
     ) -> SimulationResult:
         """Simulate (memoized on trace identity + structural config key)."""
-        key = (id(trace), len(trace), _config_key(config), track_occupancy)
+        key = self._memo_key(trace, config, track_occupancy)
         result = self._results.get(key)
         if result is None:
-            result = self._results[key] = simulate(
-                trace, config, track_occupancy=track_occupancy
-            )
+            if self.runtime is not None:
+                result = self.runtime.simulate(
+                    trace, config, track_occupancy=track_occupancy
+                )
+            else:
+                result = simulate(
+                    trace, config, track_occupancy=track_occupancy
+                )
+            self._results[key] = result
         return result
 
     def simulate_app(
@@ -99,3 +82,50 @@ class ExperimentContext:
         return self.simulate_trace(
             self.suite.trace(name), config, track_occupancy=track_occupancy
         )
+
+    def simulate_many(self, requests: Iterable[tuple]) -> list[SimulationResult]:
+        """Resolve a batch of (trace, config[, track_occupancy]) requests.
+
+        With a parallel runtime the memo misses fan out over the worker
+        pool; without one they run serially.  Either way every result
+        lands in the memo, so re-requesting any pair afterwards (the
+        pattern in the analysis sweeps: prefetch the batch, then loop)
+        is free and yields values identical to the serial path.
+        """
+        normalized = [
+            (request[0], request[1],
+             bool(request[2]) if len(request) > 2 else False)
+            for request in requests
+        ]
+        keys = [self._memo_key(*request) for request in normalized]
+        if self.runtime is not None:
+            missing: list[tuple] = []
+            missing_keys: list[tuple] = []
+            seen: set[tuple] = set()
+            for key, request in zip(keys, normalized):
+                if key in self._results or key in seen:
+                    continue
+                seen.add(key)
+                missing.append(request)
+                missing_keys.append(key)
+            if missing:
+                for key, result in zip(
+                    missing_keys, self.runtime.simulate_many(missing)
+                ):
+                    self._results[key] = result
+        else:
+            for request in normalized:
+                self.simulate_trace(*request)
+        return [self._results[key] for key in keys]
+
+    def prefetch_workloads(
+        self, names: tuple[str, ...] | None = None
+    ) -> None:
+        """Generate the standard traces for many workloads at once.
+
+        A no-op without a runtime; with one, trace tasks resolve from
+        the persistent cache or fan out over the worker pool, and the
+        results land in the suite's in-process trace cache.
+        """
+        if self.runtime is not None:
+            self.runtime.run_workloads(self.suite, names)

@@ -52,6 +52,13 @@ def unit_scaling_study(
 ) -> UnitScalingResult:
     """Scale one unit pool on the 4-way/me1 baseline."""
     apps = apps or context.suite.names
+    context.prefetch_workloads(tuple(apps))
+    context.simulate_many([
+        (context.suite.trace(name),
+         with_unit_count(PROC_4WAY.with_memory(ME1), unit, count))
+        for name in apps
+        for count in counts
+    ])
     ipc: dict[str, list[float]] = {}
     for name in apps:
         trace = context.suite.trace(name)

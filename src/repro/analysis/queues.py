@@ -32,6 +32,10 @@ def fig10_queue_occupancy(
 ) -> OccupancyResult:
     """Record per-cycle occupancy on the 4-way / me1 configuration."""
     config = PROC_4WAY.with_memory(ME1)
+    context.prefetch_workloads(tuple(apps))
+    context.simulate_many([
+        (context.suite.trace(name), config, True) for name in apps
+    ])
     histograms = {}
     for name in apps:
         result = context.simulate_app(name, config, track_occupancy=True)

@@ -34,6 +34,10 @@ class StallResult:
 def fig2_stalls(context: ExperimentContext) -> StallResult:
     """Run the Fig. 2 configuration (4-way, me1, real predictor)."""
     config = PROC_4WAY.with_memory(ME1)
+    context.prefetch_workloads()
+    context.simulate_many([
+        (context.suite.trace(name), config) for name in context.suite.names
+    ])
     histograms = {}
     cycles = {}
     for name in context.suite.names:

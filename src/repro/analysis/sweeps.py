@@ -59,6 +59,13 @@ class MemorySweepResult:
 
 def fig3_fig4_memory_sweep(context: ExperimentContext) -> MemorySweepResult:
     """Width x memory sweep shared by Figures 3 and 4."""
+    context.prefetch_workloads()
+    context.simulate_many([
+        (context.suite.trace(name), width.with_memory(memory))
+        for name in context.suite.names
+        for width in WIDTHS
+        for memory in MEMORY_PRESETS
+    ])
     cycles: dict[tuple[str, str, str], int] = {}
     ipc: dict[tuple[str, str, str], float] = {}
     for name in context.suite.names:
@@ -126,6 +133,14 @@ def fig5_cache_size(
     Miss rates replay only the reference stream (fast); IPC uses the
     full pipeline and can be disabled for quick looks.
     """
+    context.prefetch_workloads()
+    if with_ipc:
+        context.simulate_many([
+            (context.suite.trace(name),
+             PROC_4WAY.with_memory(memory_with_dl1(size)))
+            for name in context.suite.names
+            for size in sizes
+        ])
     miss_rate: dict[str, list[float]] = {}
     ipc: dict[str, list[float]] = {}
     for name in context.suite.names:
@@ -185,6 +200,16 @@ def fig6_associativity(
     with_ipc: bool = True,
 ) -> AssociativityResult:
     """Sweep DL1 associativity at 32K."""
+    context.prefetch_workloads()
+    if with_ipc:
+        context.simulate_many([
+            (context.suite.trace(name),
+             PROC_4WAY.with_memory(
+                 memory_with_dl1(32 * KB, associativity=associativity)
+             ))
+            for name in context.suite.names
+            for associativity in associativities
+        ])
     miss_rate: dict[str, list[float]] = {}
     ipc: dict[str, list[float]] = {}
     for name in context.suite.names:
@@ -246,6 +271,15 @@ def fig7_l1_latency(
     latencies: tuple[int, ...] = FIG7_LATENCIES,
 ) -> LatencyResult:
     """Sweep L1 hit latency (32K/32K/1M, 4-way)."""
+    context.prefetch_workloads()
+    context.simulate_many([
+        (context.suite.trace(name),
+         PROC_4WAY.with_memory(
+             memory_with_dl1(32 * KB, latency=latency, l2_mb=1)
+         ))
+        for name in context.suite.names
+        for latency in latencies
+    ])
     ipc: dict[str, list[float]] = {}
     for name in context.suite.names:
         trace = context.suite.trace(name)
@@ -284,6 +318,15 @@ def fig8_vmx_speedup(context: ExperimentContext) -> VmxSpeedupResult:
     vector load (the pipelined-double-width memory path scenario).
     """
     traces = context.suite.paired_traces(("sw_vmx128", "sw_vmx256"))
+    requests = []
+    for width in FIG8_WIDTHS:
+        config = width.with_memory(ME1)
+        requests.append((traces["sw_vmx128"], config))
+        requests.append((traces["sw_vmx256"], config))
+        requests.append(
+            (traces["sw_vmx256"], replace(config, wide_load_extra_latency=1))
+        )
+    context.simulate_many(requests)
     speedup: dict[str, list[float]] = {
         "sw_vmx128": [],
         "sw_vmx256": [],
@@ -332,6 +375,16 @@ class BranchImpactResult:
 
 def fig9_branch_prediction(context: ExperimentContext) -> BranchImpactResult:
     """Perfect-vs-real predictor sweep over widths (me1 memory)."""
+    context.prefetch_workloads()
+    context.simulate_many([
+        (context.suite.trace(name), config)
+        for name in context.suite.names
+        for width in WIDTHS
+        for config in (
+            width.with_memory(ME1),
+            width.with_memory(ME1).with_branch(BP_PERFECT),
+        )
+    ])
     real: dict[str, list[float]] = {}
     perfect: dict[str, list[float]] = {}
     for name in context.suite.names:

@@ -24,8 +24,13 @@ MAX_SOURCES = 3
 FORMAT_VERSION = 1
 
 
-def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write a trace to ``path`` (``.npz``)."""
+def trace_columns(trace: Trace) -> dict[str, np.ndarray]:
+    """Columnar encoding of a trace (the on-disk layout, in memory).
+
+    Shared by :func:`save_trace` and the runtime cache's content
+    digests, so "bytes that would be written" and "bytes that are
+    hashed" can never diverge.
+    """
     n = len(trace)
     ops = np.empty(n, dtype=np.uint8)
     pcs = np.empty(n, dtype=np.int64)
@@ -52,18 +57,25 @@ def save_trace(trace: Trace, path: str | Path) -> None:
         for column, source in enumerate(instruction.sources):
             sources[index, column] = source
 
+    return {
+        "ops": ops,
+        "pcs": pcs,
+        "dests": dests,
+        "addresses": addresses,
+        "sizes": sizes,
+        "takens": takens,
+        "targets": targets,
+        "sources": sources,
+    }
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace to ``path`` (``.npz``)."""
     np.savez_compressed(
         path,
         version=np.int32(FORMAT_VERSION),
         name=np.array(trace.name),
-        ops=ops,
-        pcs=pcs,
-        dests=dests,
-        addresses=addresses,
-        sizes=sizes,
-        takens=takens,
-        targets=targets,
-        sources=sources,
+        **trace_columns(trace),
     )
 
 

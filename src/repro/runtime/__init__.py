@@ -1,0 +1,46 @@
+"""Parallel experiment execution with a persistent result cache.
+
+The runtime decomposes simulation campaigns into ``trace(workload)``
+and ``simulate(trace, config)`` tasks, executes them on a
+multiprocessing pool (or serially) with timeouts, bounded retries, and
+in-process degradation, and memoizes every task's artifact in an
+on-disk content-addressed cache.  See ``docs/runtime.md``.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.engine import ExperimentRuntime
+from repro.runtime.executor import (
+    KillFirstN,
+    PoolExecutor,
+    SerialExecutor,
+    TaskError,
+    TaskOutcome,
+)
+from repro.runtime.keys import (
+    code_salt,
+    config_key,
+    simulate_key,
+    trace_digest,
+    trace_task_key,
+)
+from repro.runtime.metrics import RunMetrics, TaskRecord
+from repro.runtime.tasks import Task
+
+__all__ = [
+    "CacheStats",
+    "ExperimentRuntime",
+    "KillFirstN",
+    "PoolExecutor",
+    "ResultCache",
+    "RunMetrics",
+    "SerialExecutor",
+    "Task",
+    "TaskError",
+    "TaskOutcome",
+    "TaskRecord",
+    "code_salt",
+    "config_key",
+    "simulate_key",
+    "trace_digest",
+    "trace_task_key",
+]

@@ -1,0 +1,248 @@
+"""The experiment runtime: executor + persistent cache + metrics.
+
+:class:`ExperimentRuntime` is the substrate the analysis layer runs on.
+It decomposes campaign work into ``trace(workload)`` and
+``simulate(trace, config)`` tasks, resolves each against the
+content-addressed cache first, and fans the misses out on the
+configured executor.  Without an explicit ``cache_dir`` the cache lives
+in a temporary directory for the runtime's lifetime (still used to ship
+traces to workers); with one, results survive across processes and a
+warm rerun executes nothing.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.isa.trace import InstructionMix, Trace
+from repro.kernels.base import KernelRun
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import (
+    PoolExecutor,
+    SerialExecutor,
+    TaskError,
+    TaskOutcome,
+)
+from repro.runtime.keys import simulate_key, trace_digest, trace_task_key
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.tasks import Task
+from repro.uarch.config import ProcessorConfig
+from repro.uarch.results import SimulationResult
+from repro.workloads.suite import WorkloadSuite
+
+#: A simulate request: (trace, config, track_occupancy).
+SimRequest = tuple[Trace, ProcessorConfig, bool]
+
+
+class ExperimentRuntime:
+    """Cached, parallel execution of trace and simulate tasks."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | None = None,
+        *,
+        task_timeout: float | None = None,
+        retries: int = 2,
+        fault_hook=None,
+        executor=None,
+        metrics: RunMetrics | None = None,
+    ) -> None:
+        self.metrics = metrics or RunMetrics()
+        self.persistent = cache_dir is not None
+        self._temporary = None
+        if cache_dir is None:
+            self._temporary = tempfile.TemporaryDirectory(
+                prefix="repro-runtime-"
+            )
+            cache_dir = self._temporary.name
+        self.cache = ResultCache(cache_dir)
+        if executor is not None:
+            self.executor = executor
+        elif jobs > 1:
+            self.executor = PoolExecutor(
+                jobs,
+                task_timeout=task_timeout,
+                retries=retries,
+                fault_hook=fault_hook,
+            )
+        else:
+            self.executor = SerialExecutor()
+
+    @property
+    def jobs(self) -> int:
+        """Worker-process count (1 for the serial executor)."""
+        return getattr(self.executor, "jobs", 1)
+
+    def close(self) -> None:
+        """Shut workers down and drop an ephemeral cache directory."""
+        self.executor.close()
+        if self._temporary is not None:
+            self._temporary.cleanup()
+            self._temporary = None
+
+    def __enter__(self) -> "ExperimentRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- simulate tasks -----------------------------------------------------
+
+    def simulate(
+        self,
+        trace: Trace,
+        config: ProcessorConfig,
+        track_occupancy: bool = False,
+    ) -> SimulationResult:
+        """One cached/executed simulation."""
+        return self.simulate_many([(trace, config, track_occupancy)])[0]
+
+    def simulate_many(
+        self, requests: list[SimRequest]
+    ) -> list[SimulationResult]:
+        """Resolve a batch of simulations, fanning misses out in parallel.
+
+        Duplicate requests (same trace content, config, and occupancy
+        flag) execute once; results come back in request order.
+        """
+        requests = [
+            (trace, config, bool(occupancy))
+            for trace, config, occupancy in requests
+        ]
+        results: list[SimulationResult | None] = [None] * len(requests)
+        miss_indices: dict[str, list[int]] = {}
+        miss_order: list[str] = []
+        for index, (trace, config, occupancy) in enumerate(requests):
+            digest = simulate_key(trace, config, occupancy)
+            if digest in miss_indices:
+                miss_indices[digest].append(index)
+                continue
+            start = time.perf_counter()
+            cached = self.cache.load_result(digest)
+            if cached is not None:
+                results[index] = cached
+                self.metrics.record_hit(
+                    "simulate",
+                    _simulate_label(trace, config, occupancy),
+                    time.perf_counter() - start,
+                )
+            else:
+                miss_indices[digest] = [index]
+                miss_order.append(digest)
+
+        tasks = []
+        for digest in miss_order:
+            trace, config, occupancy = requests[miss_indices[digest][0]]
+            if self.executor.inline:
+                trace_ref: object = trace
+            else:
+                trace_ref = str(
+                    self.cache.store_trace(trace_digest(trace), trace)
+                )
+            tasks.append(Task(
+                kind="simulate",
+                payload=(trace_ref, config, occupancy),
+                label=_simulate_label(trace, config, occupancy),
+            ))
+        outcomes = self.executor.run_many(tasks)
+        for digest, task, outcome in zip(miss_order, tasks, outcomes):
+            result = outcome.value
+            self.cache.store_result(digest, result)
+            self.metrics.record_executed(
+                "simulate", task.label, outcome.wall_time,
+                outcome.retries, outcome.where,
+            )
+            for index in miss_indices[digest]:
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    # -- trace tasks --------------------------------------------------------
+
+    def run_workloads(
+        self,
+        suite: WorkloadSuite,
+        names: tuple[str, ...] | None = None,
+        budget: int | None = None,
+    ) -> dict[str, KernelRun]:
+        """Generate (or recall) traced runs for many workloads at once.
+
+        Fills the suite's in-process trace cache, so subsequent
+        ``suite.trace(name)`` / ``suite.run(name)`` calls are hits.
+        """
+        names = tuple(names) if names is not None else suite.names
+        budget = suite.trace_budget if budget is None else budget
+        runs: dict[str, KernelRun] = {}
+        misses: list[tuple[str, str]] = []
+        tasks: list[Task] = []
+        for name in names:
+            cached = suite.cached_run(name, budget)
+            if cached is not None:
+                runs[name] = cached
+                continue
+            digest = trace_task_key(
+                name, budget, suite.database_config, suite.query
+            )
+            start = time.perf_counter()
+            from_disk = self.cache.load_kernel_run(digest)
+            if from_disk is not None:
+                runs[name] = from_disk
+                suite.install_run(name, from_disk, budget)
+                self.metrics.record_hit(
+                    "trace", f"trace:{name}", time.perf_counter() - start
+                )
+                continue
+            misses.append((name, digest))
+            tasks.append(Task(
+                kind="trace",
+                payload=(
+                    name, budget, suite.database_config, suite.query,
+                    str(self.cache.root),
+                ),
+                label=f"trace:{name}",
+            ))
+        outcomes = self.executor.run_many(tasks)
+        for (name, digest), outcome in zip(misses, outcomes):
+            runs[name] = self._install_trace_outcome(
+                suite, name, budget, digest, outcome
+            )
+        return runs
+
+    def _install_trace_outcome(
+        self,
+        suite: WorkloadSuite,
+        name: str,
+        budget: int,
+        digest: str,
+        outcome: TaskOutcome,
+    ) -> KernelRun:
+        summary = outcome.value
+        trace = self.cache.load_trace(summary["trace_digest"])
+        if trace is None:
+            raise TaskError(
+                f"trace task for {name!r} reported digest "
+                f"{summary['trace_digest']} but the cache has no such trace"
+            )
+        run = KernelRun(
+            kernel_name=summary["kernel_name"],
+            mix=InstructionMix(counts=tuple(summary["mix_counts"])),
+            trace=trace,
+            scores=dict(summary["scores"]),
+            truncated=summary["truncated"],
+            subjects_processed=summary["subjects_processed"],
+        )
+        self.cache.store_kernel_run(digest, run, summary["trace_digest"])
+        self.metrics.record_executed(
+            "trace", f"trace:{name}", outcome.wall_time,
+            outcome.retries, outcome.where,
+        )
+        suite.install_run(name, run, budget)
+        return run
+
+
+def _simulate_label(
+    trace: Trace, config: ProcessorConfig, occupancy: bool
+) -> str:
+    suffix = "+occ" if occupancy else ""
+    return f"simulate:{trace.name}@{config.name}/{config.memory.name}{suffix}"

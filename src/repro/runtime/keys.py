@@ -1,0 +1,154 @@
+"""Cache-key construction for the experiment runtime.
+
+Every artifact in the persistent result cache is addressed by a digest
+of everything that can change its content:
+
+* the **structural configuration key** (every knob of
+  :class:`~repro.uarch.config.ProcessorConfig` and its nested memory /
+  branch dataclasses — this is the same key the in-process memo in
+  :mod:`repro.analysis.context` uses);
+* the **trace content digest** (hash of the exact columnar bytes the
+  on-disk format stores) or, for trace-generation tasks, the workload
+  spec (name, budget, database configuration, query residues);
+* the global ``REPRO_SCALE`` factor;
+* a **code-version salt**: a hash over every ``repro`` source file, so
+  any change to the simulator, kernels, or inputs invalidates the whole
+  cache rather than silently serving stale results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from pathlib import Path
+
+from repro.isa.trace import Trace
+from repro.uarch.config import ProcessorConfig
+from repro.workloads.suite import scale_factor
+
+#: Bump to invalidate every cache entry on a format/semantic change.
+CACHE_SCHEMA_VERSION = 1
+
+
+def config_key(config: ProcessorConfig) -> tuple:
+    """Structural identity of everything that can change a simulation."""
+    memory = config.memory
+    branch = config.branch
+
+    def cache_key(cache) -> tuple:
+        return (cache.size_bytes, cache.associativity, cache.line_bytes,
+                cache.latency)
+
+    def tlb_key(tlb) -> tuple:
+        return (tlb.entries, tlb.associativity, tlb.page_bytes,
+                tlb.miss_penalty)
+
+    return (
+        config.name,
+        config.fetch_width,
+        config.dispatch_width,
+        config.retire_width,
+        config.inflight,
+        config.gpr,
+        config.vpr,
+        config.fpr,
+        tuple(sorted((fu.value, count) for fu, count in config.units.items())),
+        config.issue_queue_size,
+        config.ibuffer_size,
+        config.retire_queue,
+        config.dcache_read_ports,
+        config.dcache_write_ports,
+        config.max_outstanding_misses,
+        config.store_queue_size,
+        config.wide_load_extra_latency,
+        memory.name,
+        cache_key(memory.il1),
+        cache_key(memory.dl1),
+        cache_key(memory.l2),
+        memory.memory_latency,
+        tlb_key(memory.itlb),
+        tlb_key(memory.dtlb),
+        memory.sequential_prefetch,
+        branch.kind,
+        branch.table_entries,
+        branch.btb_entries,
+        branch.btb_associativity,
+        branch.btb_miss_penalty,
+        branch.max_predicted_branches,
+        branch.mispredict_recovery,
+    )
+
+
+_code_salt: str | None = None
+
+
+def code_salt() -> str:
+    """Digest of every ``repro`` source file (memoized per process)."""
+    global _code_salt
+    if _code_salt is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.blake2b(digest_size=16)
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _code_salt = digest.hexdigest()
+    return _code_salt
+
+
+#: id(trace) -> (pinned trace, digest).  The pin keeps the id stable;
+#: the handful of suite traces live for the process anyway.
+_trace_digests: dict[int, tuple[Trace, str]] = {}
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content hash of a trace (name + exact on-disk column bytes)."""
+    memo = _trace_digests.get(id(trace))
+    if memo is not None and memo[0] is trace:
+        return memo[1]
+    from repro.isa.serialize import trace_columns
+
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(trace.name.encode())
+    columns = trace_columns(trace)
+    for column in sorted(columns):
+        array = columns[column]
+        digest.update(column.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    value = digest.hexdigest()
+    _trace_digests[id(trace)] = (trace, value)
+    return value
+
+
+def _hash_material(material: tuple) -> str:
+    return hashlib.blake2b(repr(material).encode(), digest_size=16).hexdigest()
+
+
+def simulate_key(
+    trace: Trace, config: ProcessorConfig, track_occupancy: bool = False
+) -> str:
+    """Cache address of one ``simulate(trace, config)`` task's result."""
+    return _hash_material((
+        "simulate",
+        CACHE_SCHEMA_VERSION,
+        code_salt(),
+        trace_digest(trace),
+        config_key(config),
+        bool(track_occupancy),
+        scale_factor(),
+    ))
+
+
+def trace_task_key(name: str, budget: int, database_config, query) -> str:
+    """Cache address of one ``trace(workload)`` task's result."""
+    return _hash_material((
+        "trace",
+        CACHE_SCHEMA_VERSION,
+        code_salt(),
+        name,
+        int(budget),
+        dataclasses.astuple(database_config),
+        query.identifier,
+        query.text,
+        scale_factor(),
+    ))

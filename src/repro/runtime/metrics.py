@@ -1,0 +1,104 @@
+"""Lightweight run metrics: task timings, cache hits, retries.
+
+The engine records one :class:`TaskRecord` per task it resolves —
+whether from the persistent cache or by executing it — and the CLI
+writes the aggregate as a JSON run report (``--report``).  Counters are
+monotonically increasing, so callers can diff :meth:`RunMetrics.counts`
+snapshots around an experiment to report per-experiment numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """How one task was resolved."""
+
+    kind: str          # "simulate" | "trace"
+    label: str
+    cache_hit: bool
+    wall_time: float
+    retries: int = 0
+    where: str = "cache"  # "cache" | "pool" | "inline"
+
+
+@dataclass
+class RunMetrics:
+    """Accumulates task records for one runtime's lifetime."""
+
+    records: list[TaskRecord] = field(default_factory=list)
+
+    def record_hit(self, kind: str, label: str, wall_time: float) -> None:
+        """One task served from the persistent cache."""
+        self.records.append(TaskRecord(
+            kind=kind, label=label, cache_hit=True, wall_time=wall_time,
+        ))
+
+    def record_executed(
+        self, kind: str, label: str, wall_time: float,
+        retries: int, where: str,
+    ) -> None:
+        """One task actually executed (pool or in-process)."""
+        self.records.append(TaskRecord(
+            kind=kind, label=label, cache_hit=False, wall_time=wall_time,
+            retries=retries, where=where,
+        ))
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Tasks served from the persistent cache."""
+        return sum(1 for record in self.records if record.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        """Tasks that had to execute."""
+        return sum(1 for record in self.records if not record.cache_hit)
+
+    def executions(self, kind: str) -> int:
+        """Number of tasks of one kind that actually executed."""
+        return sum(
+            1 for record in self.records
+            if record.kind == kind and not record.cache_hit
+        )
+
+    @property
+    def total_retries(self) -> int:
+        """Retries across all executed tasks."""
+        return sum(record.retries for record in self.records)
+
+    def counts(self) -> dict[str, int]:
+        """Snapshot of the headline counters (diffable)."""
+        return {
+            "tasks": len(self.records),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulate_executions": self.executions("simulate"),
+            "trace_executions": self.executions("trace"),
+            "retries": self.total_retries,
+        }
+
+    # -- reporting ----------------------------------------------------------
+
+    def to_dict(self, **extra) -> dict:
+        """Full report: totals plus the per-task records."""
+        totals = self.counts()
+        totals["wall_time"] = round(
+            sum(record.wall_time for record in self.records), 6
+        )
+        return {
+            **extra,
+            "totals": totals,
+            "tasks": [asdict(record) for record in self.records],
+        }
+
+    def write_report(self, path: str | Path, **extra) -> None:
+        """Write the JSON run report to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(**extra), indent=2) + "\n")

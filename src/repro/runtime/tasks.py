@@ -1,0 +1,118 @@
+"""Task payloads and their worker-side execution functions.
+
+A task is ``(kind, payload)`` where ``kind`` names an entry in
+:data:`TASK_KINDS` and ``payload`` is a picklable tuple.  Workers look
+the function up by kind, so nothing but plain data crosses the process
+boundary; the same functions run unchanged in-process when the executor
+degrades (or was never parallel to begin with).
+
+Kinds
+-----
+``simulate``
+    ``(trace_ref, config, track_occupancy)`` — ``trace_ref`` is either a
+    :class:`~repro.isa.trace.Trace` (in-process executors) or the path
+    of a spilled ``.trace.npz`` (pool workers).  Returns the
+    :class:`~repro.uarch.results.SimulationResult`.
+``trace``
+    ``(name, budget, database_config, query, cache_root)`` — runs the
+    instrumented kernel, stores the trace into the content-addressed
+    cache at ``cache_root``, and returns a summary dict (mix counts,
+    scores, truncation, subjects, trace content digest).  The trace
+    itself travels through the cache file, not the result queue.
+``selftest``
+    Tiny deterministic operations used by the executor's test suite and
+    fault-injection scenarios.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.isa.serialize import load_trace
+from repro.isa.trace import Trace
+from repro.uarch.simulator import simulate
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work for an executor."""
+
+    kind: str
+    payload: tuple
+    label: str = ""
+
+
+def execute_simulate(payload: tuple):
+    trace_ref, config, track_occupancy = payload
+    trace = trace_ref if isinstance(trace_ref, Trace) else load_trace(trace_ref)
+    return simulate(trace, config, track_occupancy=track_occupancy)
+
+
+def execute_trace(payload: tuple) -> dict:
+    from repro.bio.synthetic import generate_database
+    from repro.kernels.registry import create_kernel
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.keys import trace_digest
+
+    name, budget, database_config, query, cache_root = payload
+    database = generate_database(database_config)
+    kernel = create_kernel(name)
+    run = kernel.run(query, database, record=True, limit=budget)
+    assert run.trace is not None
+    content_digest = trace_digest(run.trace)
+    ResultCache(cache_root).store_trace(content_digest, run.trace)
+    return {
+        "kernel_name": run.kernel_name,
+        "mix_counts": list(run.mix.counts),
+        "scores": dict(run.scores),
+        "truncated": run.truncated,
+        "subjects_processed": run.subjects_processed,
+        "trace_digest": content_digest,
+    }
+
+
+def execute_selftest(payload: tuple):
+    operation, *arguments = payload
+    if operation == "square":
+        return arguments[0] * arguments[0]
+    if operation == "raise":
+        raise RuntimeError("selftest failure")
+    if operation == "sleep":
+        time.sleep(arguments[0])
+        return "slept"
+    if operation == "exit_once":
+        # Dies the first time only: the marker file survives the crash,
+        # so the retry succeeds.  Used to simulate a killed worker.
+        marker = Path(arguments[0])
+        if not marker.exists():
+            marker.touch()
+            os._exit(42)
+        return "recovered"
+    if operation == "sleep_once":
+        # Hangs the first time only (simulates a stuck worker); the
+        # retry returns promptly.
+        marker = Path(arguments[0])
+        if not marker.exists():
+            marker.touch()
+            time.sleep(arguments[1])
+        return "recovered"
+    raise ValueError(f"unknown selftest operation {operation!r}")
+
+
+TASK_KINDS = {
+    "simulate": execute_simulate,
+    "trace": execute_trace,
+    "selftest": execute_selftest,
+}
+
+
+def run_task(kind: str, payload: tuple):
+    """Execute one task in the calling process."""
+    try:
+        function = TASK_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown task kind {kind!r}") from None
+    return function(payload)

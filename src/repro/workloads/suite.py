@@ -71,6 +71,21 @@ class WorkloadSuite:
             self._database = generate_database(self.database_config)
         return self._database
 
+    def cached_run(
+        self, name: str, budget: int | None = None
+    ) -> KernelRun | None:
+        """In-process cached run for (name, budget), or None."""
+        budget = self.trace_budget if budget is None else budget
+        return self._trace_cache.get((name, budget))
+
+    def install_run(
+        self, name: str, run: KernelRun, budget: int | None = None
+    ) -> None:
+        """Install an externally produced run (e.g. from the runtime's
+        parallel trace generation or its persistent cache)."""
+        budget = self.trace_budget if budget is None else budget
+        self._trace_cache[(name, budget)] = run
+
     def run(self, name: str, budget: int | None = None) -> KernelRun:
         """Traced run of one workload up to the instruction budget."""
         budget = self.trace_budget if budget is None else budget

@@ -44,3 +44,85 @@ class TestCli:
         trace = load_trace(path)
         assert len(trace) > 0
         trace.validate()
+
+
+def experiment_body(output: str) -> str:
+    """Report text without the timing/cache summary lines."""
+    return "\n".join(
+        line for line in output.splitlines()
+        if not line.startswith("[fig2 completed")
+    )
+
+
+class TestParallelCli:
+    def test_parallel_matches_serial_and_warm_cache_runs_nothing(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert cli.main(["fig2"]) == 0
+        serial = experiment_body(capsys.readouterr().out)
+
+        cache_dir = tmp_path / "cache"
+        report_path = tmp_path / "cold.json"
+        assert cli.main([
+            "fig2", "--jobs", "2", "--cache-dir", str(cache_dir),
+            "--report", str(report_path),
+        ]) == 0
+        cold = capsys.readouterr().out
+        assert experiment_body(cold) == serial
+        assert "cache:" in cold
+        cold_report = json.loads(report_path.read_text())
+        assert cold_report["jobs"] == 2
+        assert cold_report["totals"]["simulate_executions"] > 0
+
+        warm_path = tmp_path / "warm.json"
+        assert cli.main([
+            "fig2", "--jobs", "2", "--cache-dir", str(cache_dir),
+            "--report", str(warm_path),
+        ]) == 0
+        assert experiment_body(capsys.readouterr().out) == serial
+        warm_report = json.loads(warm_path.read_text())
+        assert warm_report["totals"]["simulate_executions"] == 0
+        assert warm_report["totals"]["trace_executions"] == 0
+        assert warm_report["totals"]["cache_misses"] == 0
+        assert warm_report["totals"]["cache_hits"] > 0
+
+
+class TestCacheCli:
+    @staticmethod
+    def store_one_result(root) -> None:
+        from repro.runtime.cache import ResultCache
+        from repro.uarch.results import (
+            BranchResult,
+            CacheResult,
+            SimulationResult,
+        )
+
+        ResultCache(root).store_result("ab" * 16, SimulationResult(
+            trace_name="t", config_name="c", memory_name="m",
+            instructions=10, cycles=20, traumas={},
+            branch=BranchResult(1, 1, 1, 0),
+            il1=CacheResult(1, 0), dl1=CacheResult(1, 0),
+            l2=CacheResult(1, 0),
+        ))
+
+    def test_stats_and_clean(self, tmp_path, capsys):
+        self.store_one_result(tmp_path)
+        assert cli.main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "1 simulation result" in capsys.readouterr().out
+        assert cli.main(["cache", "clean", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert cli.main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "0 simulation result" in capsys.readouterr().out
+
+    def test_cache_dir_from_environment(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert cli.main(["cache", "stats"]) == 0
+        assert "0 simulation result" in capsys.readouterr().out
+
+    def test_cache_without_dir_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert cli.main(["cache", "stats"]) == 2
+        assert "cache-dir" in capsys.readouterr().err

@@ -1,0 +1,161 @@
+"""End-to-end tests for the experiment runtime.
+
+Covers the acceptance properties: parallel execution produces results
+identical to the serial path, a warm persistent cache eliminates every
+task execution, and a campaign survives workers killed mid-task.
+"""
+
+import pytest
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.stalls import fig2_report, fig2_stalls
+from repro.bio.synthetic import SyntheticDatabaseConfig
+from repro.runtime.engine import ExperimentRuntime
+from repro.runtime.executor import KillFirstN
+from repro.uarch.config import ME1, ME2, PROC_4WAY
+from repro.uarch.simulator import simulate
+from repro.workloads.suite import WorkloadSuite
+
+TINY_DATABASE = SyntheticDatabaseConfig(
+    sequence_count=20, family_count=2, family_size=2, seed=9, mean_length=150.0
+)
+
+
+def tiny_suite() -> WorkloadSuite:
+    return WorkloadSuite(database_config=TINY_DATABASE, trace_budget=3000)
+
+
+@pytest.fixture(scope="module")
+def shared_suite() -> WorkloadSuite:
+    return tiny_suite()
+
+
+class TestSerialRuntime:
+    def test_matches_direct_simulation(self, shared_suite):
+        trace = shared_suite.trace("blast")
+        config = PROC_4WAY.with_memory(ME1)
+        with ExperimentRuntime() as runtime:
+            result = runtime.simulate(trace, config)
+        assert result == simulate(trace, config)
+
+    def test_duplicate_requests_execute_once(self, shared_suite):
+        trace = shared_suite.trace("blast")
+        config = PROC_4WAY.with_memory(ME1)
+        with ExperimentRuntime() as runtime:
+            first, second = runtime.simulate_many(
+                [(trace, config, False), (trace, config, False)]
+            )
+            assert first == second
+            assert runtime.metrics.counts()["simulate_executions"] == 1
+
+    def test_ephemeral_cache_hits_within_lifetime(self, shared_suite):
+        trace = shared_suite.trace("blast")
+        config = PROC_4WAY.with_memory(ME1)
+        with ExperimentRuntime() as runtime:
+            runtime.simulate(trace, config)
+            runtime.simulate(trace, config)
+            counts = runtime.metrics.counts()
+        assert counts["simulate_executions"] == 1
+        assert counts["cache_hits"] == 1
+
+
+class TestParallelRuntime:
+    def test_matches_serial_results(self, shared_suite):
+        trace = shared_suite.trace("ssearch34")
+        configs = [PROC_4WAY.with_memory(ME1), PROC_4WAY.with_memory(ME2)]
+        serial = [simulate(trace, config) for config in configs]
+        with ExperimentRuntime(jobs=2) as runtime:
+            parallel = runtime.simulate_many(
+                [(trace, config, False) for config in configs]
+            )
+        assert parallel == serial
+
+    def test_run_workloads_matches_in_process_generation(self):
+        reference = tiny_suite()
+        expected = reference.run("blast")
+        suite = tiny_suite()
+        with ExperimentRuntime(jobs=2) as runtime:
+            runs = runtime.run_workloads(suite, ("blast", "fasta34"))
+        assert set(runs) == {"blast", "fasta34"}
+        run = runs["blast"]
+        assert run.mix == expected.mix
+        assert run.subjects_processed == expected.subjects_processed
+        assert run.truncated == expected.truncated
+        assert len(run.trace) == len(expected.trace)
+        # The suite's in-process cache was filled: no regeneration.
+        assert suite.cached_run("blast") is run
+        assert suite.trace("blast") is run.trace
+
+
+class TestPersistentCache:
+    def test_warm_cache_executes_nothing(self, tmp_path, shared_suite):
+        trace = shared_suite.trace("sw_vmx128")
+        config = PROC_4WAY.with_memory(ME1)
+        with ExperimentRuntime(cache_dir=str(tmp_path)) as runtime:
+            cold = runtime.simulate(trace, config)
+            assert runtime.metrics.counts()["simulate_executions"] == 1
+        with ExperimentRuntime(cache_dir=str(tmp_path)) as runtime:
+            warm = runtime.simulate(trace, config)
+            counts = runtime.metrics.counts()
+        assert warm == cold
+        assert counts["simulate_executions"] == 0
+        assert counts["cache_hits"] == 1
+
+    def test_warm_trace_cache_skips_generation(self, tmp_path):
+        with ExperimentRuntime(cache_dir=str(tmp_path)) as runtime:
+            cold = runtime.run_workloads(tiny_suite(), ("blast",))["blast"]
+            assert runtime.metrics.counts()["trace_executions"] == 1
+        with ExperimentRuntime(cache_dir=str(tmp_path)) as runtime:
+            warm = runtime.run_workloads(tiny_suite(), ("blast",))["blast"]
+            counts = runtime.metrics.counts()
+        assert counts["trace_executions"] == 0
+        assert counts["cache_hits"] == 1
+        assert warm.mix == cold.mix
+        assert len(warm.trace) == len(cold.trace)
+
+    def test_report_written(self, tmp_path, shared_suite):
+        trace = shared_suite.trace("blast")
+        with ExperimentRuntime() as runtime:
+            runtime.simulate(trace, PROC_4WAY.with_memory(ME1))
+            report_path = tmp_path / "run.json"
+            runtime.metrics.write_report(report_path, jobs=runtime.jobs)
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["jobs"] == 1
+        assert report["totals"]["simulate_executions"] == 1
+        assert len(report["tasks"]) == 1
+        assert report["tasks"][0]["kind"] == "simulate"
+
+
+class TestFaultTolerantCampaign:
+    def test_killed_workers_retry_and_results_match_serial(self):
+        serial_context = ExperimentContext(suite=tiny_suite())
+        expected = fig2_stalls(serial_context)
+
+        with ExperimentRuntime(
+            jobs=2, retries=2, fault_hook=KillFirstN(2)
+        ) as runtime:
+            context = ExperimentContext(suite=tiny_suite(), runtime=runtime)
+            observed = fig2_stalls(context)
+            retries = runtime.metrics.counts()["retries"]
+
+        assert observed.histograms == expected.histograms
+        assert observed.cycles == expected.cycles
+        assert fig2_report(observed) == fig2_report(expected)
+        assert retries >= 1
+
+
+class TestContextIntegration:
+    def test_simulate_many_without_runtime(self, shared_suite):
+        context = ExperimentContext(suite=shared_suite)
+        trace = shared_suite.trace("blast")
+        config = PROC_4WAY.with_memory(ME1)
+        results = context.simulate_many(
+            [(trace, config), (trace, config, True)]
+        )
+        assert results[0] == context.simulate_trace(trace, config)
+        assert results[1].queue_occupancy
+
+    def test_prefetch_workloads_without_runtime_is_noop(self, shared_suite):
+        ExperimentContext(suite=shared_suite).prefetch_workloads()

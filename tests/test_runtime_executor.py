@@ -1,0 +1,99 @@
+"""Tests for the serial and pool executors (timeouts, retries, faults)."""
+
+import pytest
+
+from repro.runtime.executor import (
+    KillFirstN,
+    PoolExecutor,
+    SerialExecutor,
+    TaskError,
+)
+from repro.runtime.tasks import Task
+
+
+def squares(count):
+    return [Task("selftest", ("square", value), label=f"sq{value}")
+            for value in range(count)]
+
+
+class TestSerialExecutor:
+    def test_runs_in_order(self):
+        outcomes = SerialExecutor().run_many(squares(5))
+        assert [outcome.value for outcome in outcomes] == [0, 1, 4, 9, 16]
+        assert all(outcome.where == "inline" for outcome in outcomes)
+
+    def test_failure_raises_task_error(self):
+        with pytest.raises(TaskError):
+            SerialExecutor().run_many([Task("selftest", ("raise",))])
+
+    def test_empty(self):
+        assert SerialExecutor().run_many([]) == []
+
+
+class TestPoolExecutor:
+    def test_computes_results_in_order(self):
+        with PoolExecutor(2) as pool:
+            outcomes = pool.run_many(squares(8))
+        assert [outcome.value for outcome in outcomes] == [
+            value * value for value in range(8)
+        ]
+        assert all(outcome.where == "pool" for outcome in outcomes)
+
+    def test_pool_survives_multiple_batches(self):
+        with PoolExecutor(2) as pool:
+            first = pool.run_many(squares(3))
+            second = pool.run_many(squares(4))
+        assert [outcome.value for outcome in first] == [0, 1, 4]
+        assert [outcome.value for outcome in second] == [0, 1, 4, 9]
+
+    def test_task_exception_degrades_then_raises(self):
+        # The task fails in every worker attempt and in the in-process
+        # fallback, so the campaign-level error survives.
+        with PoolExecutor(2, retries=1) as pool:
+            with pytest.raises(TaskError):
+                pool.run_many([Task("selftest", ("raise",))])
+
+    def test_killed_worker_is_retried(self, tmp_path):
+        marker = tmp_path / "struck"
+        with PoolExecutor(2, retries=2) as pool:
+            outcomes = pool.run_many(
+                [Task("selftest", ("exit_once", str(marker)))] + squares(4)
+            )
+        assert outcomes[0].value == "recovered"
+        assert outcomes[0].retries >= 1
+        assert [outcome.value for outcome in outcomes[1:]] == [0, 1, 4, 9]
+
+    def test_stuck_worker_times_out_and_retries(self, tmp_path):
+        marker = tmp_path / "slow"
+        with PoolExecutor(1, task_timeout=0.5, retries=2) as pool:
+            outcomes = pool.run_many(
+                [Task("selftest", ("sleep_once", str(marker), 60.0))]
+            )
+        assert outcomes[0].value == "recovered"
+        assert outcomes[0].retries >= 1
+
+    def test_kill_first_n_fault_hook(self, tmp_path):
+        hook = KillFirstN(2)
+        with PoolExecutor(2, retries=2, fault_hook=hook) as pool:
+            outcomes = pool.run_many(squares(6))
+        assert [outcome.value for outcome in outcomes] == [
+            value * value for value in range(6)
+        ]
+        assert sum(outcome.retries for outcome in outcomes) >= 2
+
+    def test_fault_hook_respects_kind_filter(self):
+        hook = KillFirstN(1, kind="simulate")  # never matches selftest
+        with PoolExecutor(2, fault_hook=hook) as pool:
+            outcomes = pool.run_many(squares(3))
+        assert sum(outcome.retries for outcome in outcomes) == 0
+
+    def test_broken_pool_degrades_to_inline(self, monkeypatch):
+        pool = PoolExecutor(2)
+        monkeypatch.setattr(
+            pool, "_ensure_started",
+            lambda: (_ for _ in ()).throw(OSError("no processes")),
+        )
+        outcomes = pool.run_many(squares(3))
+        assert [outcome.value for outcome in outcomes] == [0, 1, 4]
+        assert all(outcome.where == "inline" for outcome in outcomes)
+        pool.close()

@@ -80,3 +80,87 @@ class TestRoundTrip:
         save_trace(trace, path)
         # Far below a naive 60+ bytes/instruction text encoding.
         assert path.stat().st_size < 25 * len(trace)
+
+
+class TestWorkloadRoundTrip:
+    """Round-trip real suite traces: counts, mix, deps, addresses."""
+
+    @pytest.fixture(scope="class")
+    def round_tripped(self, tmp_path_factory, small_suite):
+        trace = small_suite.trace("blast").slice(10_000)
+        path = tmp_path_factory.mktemp("serialize") / "blast.npz"
+        save_trace(trace, path)
+        return trace, load_trace(path)
+
+    def test_instruction_count(self, round_tripped):
+        original, restored = round_tripped
+        assert len(restored) == len(original)
+
+    def test_mix_fractions(self, round_tripped):
+        original, restored = round_tripped
+        original_mix = original.mix()
+        restored_mix = restored.mix()
+        assert restored_mix == original_mix
+        assert restored_mix.fraction(OpClass.IALU) == pytest.approx(
+            original_mix.fraction(OpClass.IALU)
+        )
+        assert restored_mix.load_fraction() == pytest.approx(
+            original_mix.load_fraction()
+        )
+        assert restored_mix.store_fraction() == pytest.approx(
+            original_mix.store_fraction()
+        )
+        assert restored_mix.control_fraction() == pytest.approx(
+            original_mix.control_fraction()
+        )
+
+    def test_register_dependencies(self, round_tripped):
+        original, restored = round_tripped
+        dependent = 0
+        for before, after in zip(original.instructions,
+                                 restored.instructions):
+            assert after.sources == before.sources
+            assert after.has_dest == before.has_dest
+            dependent += bool(before.sources)
+        assert dependent > 0  # the workload has real register deps
+
+    MEMORY_OPS = (OpClass.ILOAD, OpClass.ISTORE, OpClass.VLOAD,
+                  OpClass.VSTORE)
+
+    def test_memory_addresses(self, round_tripped):
+        original, restored = round_tripped
+        original_addresses = [
+            instruction.address for instruction in original.instructions
+            if instruction.op in self.MEMORY_OPS
+        ]
+        restored_addresses = [
+            instruction.address for instruction in restored.instructions
+            if instruction.op in self.MEMORY_OPS
+        ]
+        assert restored_addresses == original_addresses
+        assert original_addresses  # the workload touches memory
+
+    def test_branch_outcomes(self, round_tripped):
+        original, restored = round_tripped
+        for before, after in zip(original.instructions,
+                                 restored.instructions):
+            if before.op == OpClass.CTRL:
+                assert after.taken == before.taken
+                assert after.target == before.target
+
+    def test_columns_match_saved_bytes(self, tmp_path):
+        # trace_columns() is what both save_trace and the runtime's
+        # content digest hash; they must see identical arrays.
+        import numpy as np
+
+        from repro.isa.serialize import trace_columns
+
+        trace = build_mixed_trace()
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        columns = trace_columns(trace)
+        with np.load(path) as archive:
+            for name, array in columns.items():
+                stored = archive[name]
+                assert stored.dtype == array.dtype
+                assert np.array_equal(stored, array)
