@@ -9,6 +9,8 @@ Usage::
     python -m repro trace blast out.npz   # export one workload's trace
     python -m repro cache stats           # persistent result cache usage
     python -m repro cache clean           # drop every cached artifact
+    python -m repro bench                 # hot-path throughput benchmark
+    python -m repro bench --quick         # fast CI smoke variant
 
 Experiment-run options:
 
@@ -27,6 +29,7 @@ Scale with the ``REPRO_SCALE`` environment variable (see README).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -88,6 +91,60 @@ def _cache_command(arguments: list[str]) -> int:
         removed = cache.clean()
         print(f"cache {cache.root}: removed {removed.entries} artifacts "
               f"({removed.total_bytes / 1e6:.1f} MB)")
+    return 0
+
+
+def _bench_command(arguments: list[str]) -> int:
+    from repro.bench import (
+        check_regression,
+        format_report,
+        run_bench,
+        write_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Measure trace-generation, trace-load, and "
+        "simulation throughput (best-of-N).",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller slice and fewer repetitions (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="compare against a stored report; exit non-zero on a "
+        "regression beyond --fail-threshold",
+    )
+    parser.add_argument(
+        "--fail-threshold", type=float, default=3.0,
+        help="regression factor that fails the run (default 3.0)",
+    )
+    try:
+        options = parser.parse_args(arguments)
+    except SystemExit as exit_:
+        return int(exit_.code or 0)
+
+    report = run_bench(quick=options.quick)
+    print(format_report(report))
+    if options.out:
+        write_report(report, options.out)
+        print(f"wrote {options.out}")
+    if options.baseline:
+        with open(options.baseline, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        failures = check_regression(
+            report, baseline, threshold=options.fail_threshold
+        )
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"no regression beyond {options.fail_threshold:g}x "
+              f"vs {options.baseline}")
     return 0
 
 
@@ -162,6 +219,8 @@ def main(argv: list[str] | None = None) -> int:
         return _export_trace(arguments[1:])
     if arguments[0] == "cache":
         return _cache_command(arguments[1:])
+    if arguments[0] == "bench":
+        return _bench_command(arguments[1:])
     return _run_experiments(arguments)
 
 

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.isa.instruction import Instruction
+import numpy as np
+
 from repro.isa.trace import Trace
 from repro.uarch.config import ProcessorConfig
 from repro.uarch.simulator import simulate
@@ -28,30 +29,32 @@ def extract_window(trace: Trace, start: int, length: int) -> Trace:
 
     Source indices are rebased; dependencies on instructions before the
     window become no-dependencies (their values are old enough to be
-    ready in any steady state).
+    ready in any steady state).  Runs as column slices — the window
+    shares storage with the parent except for the rewritten sources.
     """
     if start < 0 or length < 1:
         raise ValueError("window must have positive length within the trace")
     stop = min(start + length, len(trace))
-    window = []
-    for index in range(start, stop):
-        original = trace[index]
-        sources = tuple(
-            source - start for source in original.sources if source >= start
-        )
-        window.append(
-            Instruction(
-                op=original.op,
-                pc=original.pc,
-                sources=sources,
-                has_dest=original.has_dest,
-                address=original.address,
-                size=original.size,
-                taken=original.taken,
-                target=original.target,
-            )
-        )
-    return Trace(f"{trace.name}[{start}:{stop}]", window)
+    columns = trace.columns
+    sources = columns["sources"][start:stop]
+    rebased = np.where(sources >= start, sources - start, -1)
+    # Left-compact each row: surviving producers keep their order and
+    # the -1 padding moves to the back (the column-layout invariant).
+    order = np.argsort(rebased < 0, axis=1, kind="stable")
+    rebased = np.take_along_axis(rebased, order, axis=1)
+    return Trace(
+        f"{trace.name}[{start}:{stop}]",
+        columns={
+            "ops": columns["ops"][start:stop],
+            "pcs": columns["pcs"][start:stop],
+            "dests": columns["dests"][start:stop],
+            "addresses": columns["addresses"][start:stop],
+            "sizes": columns["sizes"][start:stop],
+            "takens": columns["takens"][start:stop],
+            "targets": columns["targets"][start:stop],
+            "sources": np.ascontiguousarray(rebased),
+        },
+    )
 
 
 @dataclass(frozen=True)

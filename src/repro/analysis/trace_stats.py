@@ -19,7 +19,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.isa.opcodes import MEMORY_OPS, OpClass
 from repro.isa.trace import Trace
+
+_IS_MEMORY = np.zeros(len(OpClass), dtype=bool)
+_IS_MEMORY[[int(op) for op in MEMORY_OPS]] = True
 
 
 @dataclass(frozen=True)
@@ -45,26 +51,19 @@ class BranchStatistics:
 
 
 def branch_statistics(trace: Trace, bias_threshold: float = 0.9) -> BranchStatistics:
-    """Compute direction bias of the branch stream."""
-    per_site: dict[int, list[int]] = {}
-    taken = 0
-    branches = 0
-    for instruction in trace.instructions:
-        if not instruction.is_branch:
-            continue
-        branches += 1
-        taken += instruction.taken
-        entry = per_site.setdefault(instruction.pc, [0, 0])
-        entry[instruction.taken] += 1
-    biased = 0
-    for not_taken_count, taken_count in per_site.values():
-        total = not_taken_count + taken_count
-        if max(not_taken_count, taken_count) >= bias_threshold * total:
-            biased += 1
+    """Compute direction bias of the branch stream (vectorized)."""
+    columns = trace.columns
+    branch_mask = columns["ops"] == OpClass.CTRL
+    outcomes = columns["takens"][branch_mask].astype(np.int64)
+    sites, site_of = np.unique(columns["pcs"][branch_mask], return_inverse=True)
+    taken_per_site = np.bincount(site_of, weights=outcomes).astype(np.int64)
+    total_per_site = np.bincount(site_of)
+    dominant = np.maximum(taken_per_site, total_per_site - taken_per_site)
+    biased = int(np.count_nonzero(dominant >= bias_threshold * total_per_site))
     return BranchStatistics(
-        branches=branches,
-        taken=taken,
-        static_sites=len(per_site),
+        branches=int(outcomes.size),
+        taken=int(outcomes.sum()),
+        static_sites=int(sites.size),
         strongly_biased_sites=biased,
     )
 
@@ -84,38 +83,43 @@ class DependencyProfile:
 
 
 def dependency_profile(trace: Trace, short: int = 4) -> DependencyProfile:
-    """Measure how far results travel before being consumed."""
-    edges = 0
-    total = 0
-    near = 0
-    for index, instruction in enumerate(trace.instructions):
-        for source in instruction.sources:
-            distance = index - source
-            edges += 1
-            total += distance
-            if distance <= short:
-                near += 1
+    """Measure how far results travel before being consumed (vectorized)."""
+    sources = trace.columns["sources"]
+    valid = sources >= 0
+    distances = (
+        np.arange(len(sources), dtype=np.int64)[:, np.newaxis] - sources
+    )[valid]
+    edges = int(distances.size)
     return DependencyProfile(
         edges=edges,
-        mean_distance=total / edges if edges else 0.0,
-        short_fraction=near / edges if edges else 0.0,
+        mean_distance=float(distances.sum()) / edges if edges else 0.0,
+        short_fraction=(
+            int(np.count_nonzero(distances <= short)) / edges if edges else 0.0
+        ),
     )
 
 
 def working_set(trace: Trace, line_bytes: int = 128) -> dict[str, int]:
     """Distinct lines and footprint of the data reference stream."""
-    lines = set()
-    references = 0
-    for instruction in trace.instructions:
-        if instruction.is_memory:
-            references += 1
-            first = instruction.address // line_bytes
-            last = (instruction.address + max(instruction.size, 1) - 1) // line_bytes
-            lines.update(range(first, last + 1))
+    columns = trace.columns
+    memory_mask = _IS_MEMORY[columns["ops"]]
+    addresses = columns["addresses"][memory_mask]
+    sizes = np.maximum(columns["sizes"][memory_mask], 1).astype(np.int64)
+    first = addresses // line_bytes
+    last = (addresses + sizes - 1) // line_bytes
+    spanning = first != last
+    if spanning.any():
+        # Rare multi-line references: expand their spans individually.
+        extra: list[int] = []
+        for lo, hi in zip(first[spanning].tolist(), last[spanning].tolist()):
+            extra.extend(range(lo, hi + 1))
+        lines = np.union1d(first, np.array(extra, dtype=np.int64))
+    else:
+        lines = np.unique(first)
     return {
-        "references": references,
-        "lines": len(lines),
-        "bytes": len(lines) * line_bytes,
+        "references": int(addresses.size),
+        "lines": int(lines.size),
+        "bytes": int(lines.size) * line_bytes,
     }
 
 
@@ -151,10 +155,10 @@ def reuse_distance_profile(
     capacity C lines equals ``cold + sum(count for d, count in profile
     if d >= C)``.
     """
-    addresses = []
-    for instruction in trace.instructions:
-        if instruction.is_memory:
-            addresses.append(instruction.address // line_bytes)
+    columns = trace.columns
+    addresses = (
+        columns["addresses"][_IS_MEMORY[columns["ops"]]] // line_bytes
+    ).tolist()
     n = len(addresses)
     tree = _Fenwick(n)
     last_access: dict[int, int] = {}

@@ -1,0 +1,197 @@
+"""Microbenchmarks for the columnar trace hot path.
+
+Three throughputs cover the stages the performance work targets:
+
+* **trace generation** — running a workload kernel through
+  ``TraceBuilder`` into columnar storage (instructions/second);
+* **trace load** — ``load_trace`` on a saved ``.npz`` archive, which
+  since the column refactor materializes no per-instruction objects;
+* **simulation** — the out-of-order core's cycle loop over the decode
+  plane (simulated instructions/second).
+
+Methodology: every metric is the *best of N* repetitions.  On shared
+machines the run-to-run spread is dominated by scheduler and frequency
+noise, so the maximum rate is the most stable estimate of what the
+code itself can do; the repetition count is recorded alongside.
+
+``REFERENCE_IPS`` pins the same measurements taken on this benchmark's
+configuration immediately before the columnar/decode-plane/timing-wheel
+rework, so reports can show the speedup without needing the old code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Any, Callable
+
+from repro.bio.synthetic import SyntheticDatabaseConfig
+from repro.isa.serialize import load_trace, save_trace
+from repro.isa.trace import Trace
+from repro.uarch.config import ME1, PROC_4WAY
+from repro.uarch.simulator import simulate
+from repro.workloads.suite import WorkloadSuite
+
+#: Throughput of each stage measured at the commit preceding the
+#: columnar rework (same workload, parameters, and best-of-N protocol).
+REFERENCE_IPS: dict[str, int] = {
+    "trace_generation": 511_761,
+    "load_trace": 206_143,
+    "simulate": 122_204,
+}
+
+#: Benchmark workload and suite parameters (matches the golden suite).
+BENCH_WORKLOAD = "ssearch34"
+_SUITE_PARAMS: dict[str, Any] = {
+    "sequence_count": 30,
+    "family_count": 2,
+    "family_size": 3,
+    "seed": 2006,
+    "mean_length": 200.0,
+}
+_TRACE_BUDGET = 50_000
+_SIM_SLICE = 20_000
+_QUICK_SIM_SLICE = 6_000
+
+
+def _make_suite() -> WorkloadSuite:
+    return WorkloadSuite(
+        database_config=SyntheticDatabaseConfig(**_SUITE_PARAMS),
+        trace_budget=_TRACE_BUDGET,
+    )
+
+
+def _best_rate(
+    task: Callable[[], int], repeats: int
+) -> tuple[float, int]:
+    """Run ``task`` (returns instructions processed) ``repeats`` times;
+    returns (best instructions/second, instructions per run)."""
+    best = 0.0
+    instructions = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        instructions = task()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, instructions / elapsed)
+    return best, instructions
+
+
+def bench_trace_generation(repeats: int) -> dict[str, Any]:
+    """Kernel -> TraceBuilder -> columnar trace throughput."""
+
+    def task() -> int:
+        # A fresh suite each run so nothing is served from a cache.
+        return len(_make_suite().trace(BENCH_WORKLOAD))
+
+    ips, instructions = _best_rate(task, repeats)
+    return {"instructions": instructions, "ips": round(ips), "repeats": repeats}
+
+
+def bench_load_trace(trace: Trace, repeats: int) -> dict[str, Any]:
+    """``load_trace`` throughput on a saved archive of ``trace``."""
+    handle, path = tempfile.mkstemp(suffix=".npz")
+    os.close(handle)
+    try:
+        save_trace(trace, path)
+
+        def task() -> int:
+            return len(load_trace(path))
+
+        ips, instructions = _best_rate(task, repeats)
+    finally:
+        os.unlink(path)
+    return {"instructions": instructions, "ips": round(ips), "repeats": repeats}
+
+
+def bench_simulate(trace: Trace, repeats: int) -> dict[str, Any]:
+    """Out-of-order core throughput (simulated instructions/second)."""
+    config = PROC_4WAY.with_memory(ME1)
+    simulate(trace, config)  # warm the decode plane and code paths
+
+    def task() -> int:
+        return simulate(trace, config).instructions
+
+    ips, instructions = _best_rate(task, repeats)
+    cycles = simulate(trace, config).cycles
+    return {
+        "instructions": instructions,
+        "cycles": cycles,
+        "config": config.name,
+        "memory": config.memory.name,
+        "ips": round(ips),
+        "repeats": repeats,
+    }
+
+
+def run_bench(quick: bool = False) -> dict[str, Any]:
+    """Run all three benchmarks; returns the report dictionary."""
+    repeats = 2 if quick else 5
+    suite = _make_suite()
+    trace = suite.trace(BENCH_WORKLOAD)
+    sim_slice = trace.slice(_QUICK_SIM_SLICE if quick else _SIM_SLICE)
+    metrics = {
+        "trace_generation": bench_trace_generation(1 if quick else 3),
+        "load_trace": bench_load_trace(trace, repeats),
+        "simulate": bench_simulate(sim_slice, repeats),
+    }
+    speedups = {
+        name: round(metrics[name]["ips"] / reference, 2)
+        for name, reference in REFERENCE_IPS.items()
+    }
+    return {
+        "version": 1,
+        "mode": "quick" if quick else "full",
+        "workload": BENCH_WORKLOAD,
+        "suite": dict(_SUITE_PARAMS, trace_budget=_TRACE_BUDGET),
+        "metrics": metrics,
+        "reference_ips": dict(REFERENCE_IPS),
+        "speedup_vs_reference": speedups,
+    }
+
+
+def check_regression(
+    report: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = 3.0,
+) -> list[str]:
+    """Compare a fresh report against a stored one.
+
+    Returns a list of failure messages for metrics whose throughput
+    dropped by more than ``threshold``x — loose on purpose: CI machines
+    vary wildly in speed, and the gate should only catch algorithmic
+    regressions (accidental de-vectorization), not machine noise.
+    """
+    failures = []
+    baseline_metrics = baseline.get("metrics", {})
+    for name, measured in report["metrics"].items():
+        reference = baseline_metrics.get(name, {}).get("ips")
+        if not reference:
+            continue
+        if measured["ips"] * threshold < reference:
+            failures.append(
+                f"{name}: {measured['ips']} ips is more than {threshold:g}x "
+                f"below the baseline {reference} ips"
+            )
+    return failures
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Human-readable summary of a benchmark report."""
+    lines = [f"benchmark ({report['mode']}, workload {report['workload']}):"]
+    for name, metrics in report["metrics"].items():
+        speedup = report["speedup_vs_reference"][name]
+        lines.append(
+            f"  {name:18s} {metrics['ips']:>10,} instr/s  "
+            f"(best of {metrics['repeats']}, {speedup:.2f}x pre-rework)"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    """Write the report as stable, diffable JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")

@@ -15,14 +15,22 @@ through their computations exactly like register names.
 
 ``record=False`` turns the builder into a counting sink for very large
 measurements (Table III trace sizes, Fig. 1 mixes at scale) where the
-per-instruction objects are not needed.
+per-instruction records are not needed.
+
+Recording emits one compact row tuple per instruction into a growing
+list; :meth:`TraceBuilder.build` converts the rows to the columnar
+NumPy layout that :class:`~repro.isa.trace.Trace` stores natively in a
+single vectorized pass — no per-instruction Python objects are ever
+created on the kernel hot path.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
-from repro.isa.trace import InstructionMix, Trace
+from repro.isa.trace import MAX_SOURCES, InstructionMix, Trace
 
 #: Base of the synthetic code segment (site pcs) and data segment.
 CODE_BASE = 0x0001_0000
@@ -50,11 +58,20 @@ class TraceBuilder:
         self.name = name
         self.record = record
         self.limit = limit
-        self.instructions: list[Instruction] = []
+        #: One row tuple per recorded instruction:
+        #: (op, pc, has_dest, address, size, taken, target, s0, s1, s2).
+        self._rows: list[tuple] = []
         self.counts = [0] * len(OpClass)
         self.total = 0
         self._site_pcs: dict[str, int] = {}
         self._data_cursor = DATA_BASE
+
+    @property
+    def instructions(self) -> list[Instruction]:
+        """Recorded instructions as objects (tests/debugging only)."""
+        if not self.record:
+            return []
+        return self.build().instructions
 
     # ------------------------------------------------------------------
     # Memory layout
@@ -106,18 +123,27 @@ class TraceBuilder:
             )
         if not self.record:
             return 0
-        index = len(self.instructions)
-        self.instructions.append(
-            Instruction(
-                op=op,
-                pc=self.pc_of(site),
-                sources=sources,
-                has_dest=has_dest,
-                address=address,
-                size=size,
-                taken=taken,
-                target=target,
+        count = len(sources)
+        if count == 0:
+            s0 = s1 = s2 = -1
+        elif count == 1:
+            s0, = sources
+            s1 = s2 = -1
+        elif count == 2:
+            s0, s1 = sources
+            s2 = -1
+        elif count == 3:
+            s0, s1, s2 = sources
+        else:
+            raise ValueError(
+                f"instruction has {count} sources; "
+                f"the trace layout stores at most {MAX_SOURCES}"
             )
+        rows = self._rows
+        index = len(rows)
+        rows.append(
+            (op, self.pc_of(site), has_dest, address, size, taken, target,
+             s0, s1, s2)
         )
         return index
 
@@ -203,9 +229,24 @@ class TraceBuilder:
         return InstructionMix(counts=tuple(self.counts))
 
     def build(self) -> Trace:
-        """Finalize into a :class:`Trace` (recording mode only)."""
+        """Finalize into a columnar :class:`Trace` (recording mode only)."""
         if not self.record:
             raise ValueError(
                 "builder is in count-only mode; use mix() for statistics"
             )
-        return Trace(self.name, self.instructions)
+        rows = self._rows
+        if rows:
+            table = np.array(rows, dtype=np.int64)
+        else:
+            table = np.empty((0, 7 + MAX_SOURCES), dtype=np.int64)
+        columns = {
+            "ops": table[:, 0].astype(np.uint8),
+            "pcs": np.ascontiguousarray(table[:, 1]),
+            "dests": table[:, 2].astype(np.uint8),
+            "addresses": np.ascontiguousarray(table[:, 3]),
+            "sizes": table[:, 4].astype(np.int32),
+            "takens": table[:, 5].astype(np.uint8),
+            "targets": np.ascontiguousarray(table[:, 6]),
+            "sources": np.ascontiguousarray(table[:, 7:7 + MAX_SOURCES]),
+        }
+        return Trace(self.name, columns=columns)

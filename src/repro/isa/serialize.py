@@ -6,6 +6,13 @@ disk.  The format is a columnar ``.npz`` (one numpy array per
 instruction field, sources padded to three columns with -1), which
 loads an order of magnitude faster than per-instruction JSON and
 compresses well because the columns are highly repetitive.
+
+Since :class:`~repro.isa.trace.Trace` stores these same columns
+natively, :func:`trace_columns` is a near-zero-copy view and
+:func:`load_trace` is a plain array read — no per-instruction Python
+objects are built on either side.  The exact bytes of these columns
+are also what the runtime cache's content digests hash, so "bytes that
+would be written" and "bytes that are hashed" can never diverge.
 """
 
 from __future__ import annotations
@@ -14,59 +21,41 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.isa.instruction import Instruction
-from repro.isa.opcodes import OpClass
-from repro.isa.trace import Trace
+from repro.isa.trace import MAX_SOURCES, Trace
 
-#: Maximum sources an instruction may carry in the on-disk format.
-MAX_SOURCES = 3
 #: Format identifier stored inside the archive.
 FORMAT_VERSION = 1
+
+__all__ = ["FORMAT_VERSION", "MAX_SOURCES", "trace_columns", "save_trace",
+           "load_trace"]
 
 
 def trace_columns(trace: Trace) -> dict[str, np.ndarray]:
     """Columnar encoding of a trace (the on-disk layout, in memory).
 
     Shared by :func:`save_trace` and the runtime cache's content
-    digests, so "bytes that would be written" and "bytes that are
-    hashed" can never diverge.
+    digests.  This is a shallow copy of the trace's native columns;
+    traces whose source width exceeds the format's three columns are
+    rejected, exactly as the row-by-row encoder used to.
     """
-    n = len(trace)
-    ops = np.empty(n, dtype=np.uint8)
-    pcs = np.empty(n, dtype=np.int64)
-    dests = np.empty(n, dtype=np.uint8)
-    addresses = np.empty(n, dtype=np.int64)
-    sizes = np.empty(n, dtype=np.int32)
-    takens = np.empty(n, dtype=np.uint8)
-    targets = np.empty(n, dtype=np.int64)
-    sources = np.full((n, MAX_SOURCES), -1, dtype=np.int64)
-
-    for index, instruction in enumerate(trace.instructions):
-        if len(instruction.sources) > MAX_SOURCES:
+    columns = trace.columns
+    sources = columns["sources"]
+    if sources.ndim == 2 and sources.shape[1] > MAX_SOURCES:
+        overflow = sources[:, MAX_SOURCES:] >= 0
+        wide_rows = np.flatnonzero(overflow.any(axis=1))
+        if wide_rows.size:
+            row = int(wide_rows[0])
+            count = int((sources[row] >= 0).sum())
             raise ValueError(
-                f"instruction {index} has {len(instruction.sources)} sources; "
+                f"instruction {row} has {count} sources; "
                 f"the format stores at most {MAX_SOURCES}"
             )
-        ops[index] = instruction.op
-        pcs[index] = instruction.pc
-        dests[index] = instruction.has_dest
-        addresses[index] = instruction.address
-        sizes[index] = instruction.size
-        takens[index] = instruction.taken
-        targets[index] = instruction.target
-        for column, source in enumerate(instruction.sources):
-            sources[index, column] = source
-
-    return {
-        "ops": ops,
-        "pcs": pcs,
-        "dests": dests,
-        "addresses": addresses,
-        "sizes": sizes,
-        "takens": takens,
-        "targets": targets,
-        "sources": sources,
-    }
+        columns = dict(columns)
+        columns["sources"] = np.ascontiguousarray(
+            sources[:, :MAX_SOURCES]
+        )
+        return columns
+    return dict(columns)
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
@@ -80,37 +69,24 @@ def save_trace(trace: Trace, path: str | Path) -> None:
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace`.
+
+    The stored arrays become the trace's native columns directly; no
+    instruction objects are materialized.
+    """
     with np.load(path, allow_pickle=False) as archive:
         version = int(archive["version"])
         if version != FORMAT_VERSION:
             raise ValueError(f"unsupported trace format version {version}")
         name = str(archive["name"])
-        ops = archive["ops"]
-        pcs = archive["pcs"]
-        dests = archive["dests"]
-        addresses = archive["addresses"]
-        sizes = archive["sizes"]
-        takens = archive["takens"]
-        targets = archive["targets"]
-        sources = archive["sources"]
-
-    instructions = []
-    for index in range(len(ops)):
-        row = sources[index]
-        instruction_sources = tuple(
-            int(value) for value in row if value >= 0
-        )
-        instructions.append(
-            Instruction(
-                op=OpClass(int(ops[index])),
-                pc=int(pcs[index]),
-                sources=instruction_sources,
-                has_dest=bool(dests[index]),
-                address=int(addresses[index]),
-                size=int(sizes[index]),
-                taken=bool(takens[index]),
-                target=int(targets[index]),
-            )
-        )
-    return Trace(name, instructions)
+        columns = {
+            "ops": archive["ops"],
+            "pcs": archive["pcs"],
+            "dests": archive["dests"],
+            "addresses": archive["addresses"],
+            "sizes": archive["sizes"],
+            "takens": archive["takens"],
+            "targets": archive["targets"],
+            "sources": archive["sources"],
+        }
+    return Trace(name, columns=columns)

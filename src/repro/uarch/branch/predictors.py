@@ -35,6 +35,16 @@ class DirectionPredictor(abc.ABC):
     def update(self, pc: int, taken: bool) -> None:
         """Train with the actual outcome."""
 
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused predict-then-train (the pipeline's per-branch pattern).
+
+        Semantically identical to ``predict`` followed by ``update``;
+        subclasses may override to share the table index computation.
+        """
+        predicted = self.predict(pc)
+        self.update(pc, taken)
+        return predicted
+
     def record(self, predicted: bool, taken: bool) -> bool:
         """Track accuracy; returns True when the prediction was right."""
         self.predictions += 1
@@ -152,6 +162,51 @@ class CombinedPredictor(DirectionPredictor):
                 self._chooser[index] = counter - 1
         self.gshare.update(pc, taken)
         self.bimodal.update(pc, taken)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused path computing each component's table index only once.
+
+        State transitions match ``predict`` + ``update`` exactly: both
+        components predict with their pre-update state, the chooser
+        trains only when they disagree, and the gshare history shifts
+        after its counter update.
+        """
+        gshare = self.gshare
+        bimodal = self.bimodal
+        pc2 = pc >> 2
+        g_index = (pc2 ^ gshare._history) & gshare._mask
+        g_counters = gshare._counters
+        g_pred = g_counters[g_index] >= 2
+        b_index = pc2 & bimodal._mask
+        b_counters = bimodal._counters
+        b_pred = b_counters[b_index] >= 2
+        index = pc2 & self._mask
+        chooser = self._chooser
+        predicted = g_pred if chooser[index] >= 2 else b_pred
+        g_right = g_pred == taken
+        if g_right != (b_pred == taken):
+            counter = chooser[index]
+            if g_right:
+                if counter < 3:
+                    chooser[index] = counter + 1
+            elif counter > 0:
+                chooser[index] = counter - 1
+        counter = g_counters[g_index]
+        if taken:
+            if counter < 3:
+                g_counters[g_index] = counter + 1
+        elif counter > 0:
+            g_counters[g_index] = counter - 1
+        gshare._history = (
+            (gshare._history << 1) | int(taken)
+        ) & gshare._history_mask
+        counter = b_counters[b_index]
+        if taken:
+            if counter < 3:
+                b_counters[b_index] = counter + 1
+        elif counter > 0:
+            b_counters[b_index] = counter - 1
+        return predicted
 
 
 def create_predictor(kind: str, entries: int) -> DirectionPredictor:

@@ -5,6 +5,13 @@ access returns which level served it, from which the pipeline derives
 both the latency and the trauma class (``mm_dl1`` for L1 misses served
 by L2, ``mm_dl2`` for L2 misses served by memory).  Ideal levels
 (``size_bytes=None``, the paper's "Inf" entries) always hit.
+
+The hierarchy offers two equivalent query surfaces: the dataclass
+returning :meth:`MemoryHierarchy.data_access` / ``inst_access`` for
+analyses and tests, and the tuple-returning :meth:`access_data` /
+``access_inst`` fast paths the cycle-level core calls tens of thousands
+of times per simulated window (levels travel as plain ints matching
+:class:`ServiceLevel` values, latency tables are precomputed).
 """
 
 from __future__ import annotations
@@ -41,7 +48,10 @@ class Cache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self.stats = CacheStats()
+        self.accesses = 0
+        self.misses = 0
+        self._ideal = config.is_ideal
+        self._assoc = config.associativity
         if config.is_ideal:
             self._sets: list[list[int]] = []
             self.set_count = 0
@@ -51,6 +61,21 @@ class Cache:
             )
             self._sets = [[] for _ in range(self.set_count)]
         self._line_shift = config.line_bytes.bit_length() - 1
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters as a :class:`CacheStats` view."""
+        return CacheStats(accesses=self.accesses, misses=self.misses)
+
+    @stats.setter
+    def stats(self, value: CacheStats) -> None:
+        self.accesses = value.accesses
+        self.misses = value.misses
+
+    def reset_stats(self) -> None:
+        """Zero the counters; cache contents stay warm."""
+        self.accesses = 0
+        self.misses = 0
 
     def line_of(self, address: int) -> int:
         """Line number containing ``address``."""
@@ -64,19 +89,20 @@ class Cache:
         statistics).
         """
         if record_stats:
-            self.stats.accesses += 1
-        if self.config.is_ideal:
+            self.accesses += 1
+        if self._ideal:
             return True
         line = address >> self._line_shift
-        index = line % self.set_count
-        ways = self._sets[index]
+        ways = self._sets[line % self.set_count]
+        if ways and ways[0] == line:  # MRU hit: no LRU reshuffle needed
+            return True
         try:
             position = ways.index(line)
         except ValueError:
             if record_stats:
-                self.stats.misses += 1
+                self.misses += 1
             ways.insert(0, line)
-            if len(ways) > self.config.associativity:
+            if len(ways) > self._assoc:
                 ways.pop()
             return False
         if position:
@@ -86,7 +112,7 @@ class Cache:
 
     def probe(self, address: int) -> bool:
         """Check residency without updating LRU or statistics."""
-        if self.config.is_ideal:
+        if self._ideal:
             return True
         line = address >> self._line_shift
         return line in self._sets[line % self.set_count]
@@ -99,6 +125,8 @@ class Tlb:
         self.config = config
         self.lookups = 0
         self.misses = 0
+        self._ideal = config.is_ideal
+        self._assoc = config.associativity
         self._page_shift = config.page_bytes.bit_length() - 1
         if config.is_ideal:
             self.set_count = 0
@@ -107,19 +135,26 @@ class Tlb:
             self.set_count = max(1, config.entries // config.associativity)
             self._sets = [[] for _ in range(self.set_count)]
 
+    def reset_stats(self) -> None:
+        """Zero the counters; translations stay warm."""
+        self.lookups = 0
+        self.misses = 0
+
     def access(self, address: int) -> bool:
         """Translate; returns True on a TLB hit.  Misses install."""
         self.lookups += 1
-        if self.config.is_ideal:
+        if self._ideal:
             return True
         page = address >> self._page_shift
         ways = self._sets[page % self.set_count]
+        if ways and ways[0] == page:  # MRU hit: no LRU reshuffle needed
+            return True
         try:
             position = ways.index(page)
         except ValueError:
             self.misses += 1
             ways.insert(0, page)
-            if len(ways) > self.config.associativity:
+            if len(ways) > self._assoc:
                 ways.pop()
             return False
         if position:
@@ -152,6 +187,29 @@ class MemoryHierarchy:
         self.l2 = Cache(config.l2)
         self.itlb = Tlb(config.itlb)
         self.dtlb = Tlb(config.dtlb)
+        # Latency of an access served at each ServiceLevel (index 0 unused).
+        self._data_latency = (
+            0,
+            config.dl1.latency,
+            config.dl1.latency + config.l2.latency,
+            config.dl1.latency + config.l2.latency + config.memory_latency,
+        )
+        self._inst_latency = (
+            0,
+            config.il1.latency,
+            config.il1.latency + config.l2.latency,
+            config.il1.latency + config.l2.latency + config.memory_latency,
+        )
+        self._seq_prefetch = config.sequential_prefetch
+        self._dtlb_penalty = config.dtlb.miss_penalty
+        self._itlb_penalty = config.itlb.miss_penalty
+
+    def reset_stats(self) -> None:
+        """Zero all cache and TLB counters (functional-warmup boundary)."""
+        for cache in (self.il1, self.dl1, self.l2):
+            cache.reset_stats()
+        for tlb in (self.itlb, self.dtlb):
+            tlb.reset_stats()
 
     def _lines_touched(self, cache: Cache, address: int, size: int) -> range:
         first = cache.line_of(address)
@@ -168,63 +226,134 @@ class MemoryHierarchy:
             return ServiceLevel.L2
         return ServiceLevel.MEMORY
 
-    def data_access(self, address: int, size: int = 4) -> DataAccessResult:
-        """Access data; reports the deepest serving level and TLB outcome.
+    def access_data(self, address: int, size: int = 4) -> tuple[int, int, bool]:
+        """Data access fast path: ``(latency, level, tlb_missed)``.
 
-        Multi-line accesses (vector loads crossing a boundary) probe
-        every touched line; the worst line determines the service
-        level.  With ``sequential_prefetch`` every DL1 miss also pulls
-        the next line into the hierarchy.
+        Identical state transitions and statistics to
+        :meth:`data_access`; ``level`` is the :class:`ServiceLevel`
+        value as a plain int.  Multi-line accesses (vector loads
+        crossing a boundary) probe every touched line; the worst line
+        determines the service level.  With ``sequential_prefetch``
+        every DL1 miss also pulls the next line into the hierarchy.
+
+        The DTLB lookup and the single-line DL1 case are inlined here
+        (state transitions copied verbatim from :meth:`Tlb.access` and
+        :meth:`Cache.access`): the core calls this once per issued
+        load/store, and the call overhead of the two-level delegation
+        was a measurable slice of simulation time.
         """
-        tlb_missed = not self.dtlb.access(address)
-        worst = ServiceLevel.L1
-        for line in self._lines_touched(self.dl1, address, size):
-            line_address = line * self.dl1.config.line_bytes
-            level = self._fill_line(line_address)
-            if level != ServiceLevel.L1:
-                worst = max(worst, level)
-                if self.config.sequential_prefetch:
+        dtlb = self.dtlb
+        dtlb.lookups += 1
+        tlb_missed = False
+        if not dtlb._ideal:
+            page = address >> dtlb._page_shift
+            ways = dtlb._sets[page % dtlb.set_count]
+            if not ways or ways[0] != page:
+                try:
+                    position = ways.index(page)
+                except ValueError:
+                    dtlb.misses += 1
+                    tlb_missed = True
+                    ways.insert(0, page)
+                    if len(ways) > dtlb._assoc:
+                        ways.pop()
+                else:
+                    if position:
+                        del ways[position]
+                        ways.insert(0, page)
+        dl1 = self.dl1
+        shift = dl1._line_shift
+        line = address >> shift
+        last = (address + (size if size > 1 else 1) - 1) >> shift
+        if line == last:
+            dl1.accesses += 1
+            hit = dl1._ideal
+            if not hit:
+                ways = dl1._sets[line % dl1.set_count]
+                if ways and ways[0] == line:
+                    hit = True
+                else:
+                    try:
+                        position = ways.index(line)
+                    except ValueError:
+                        dl1.misses += 1
+                        ways.insert(0, line)
+                        if len(ways) > dl1._assoc:
+                            ways.pop()
+                    else:
+                        hit = True
+                        if position:
+                            del ways[position]
+                            ways.insert(0, line)
+            if hit:
+                latency = self._data_latency[1]
+                if tlb_missed:
+                    latency += self._dtlb_penalty
+                return latency, 1, tlb_missed
+            line_bytes = dl1.config.line_bytes
+            line_address = line * line_bytes
+            worst = 2 if self.l2.access(line_address) else 3
+            if self._seq_prefetch:
+                # Prefetch fills bypass the demand statistics.
+                self._fill_line(line_address + line_bytes, record_stats=False)
+            latency = self._data_latency[worst]
+            if tlb_missed:
+                latency += self._dtlb_penalty
+            return latency, worst, tlb_missed
+        line_bytes = dl1.config.line_bytes
+        worst = 1
+        while line <= last:
+            line_address = line * line_bytes
+            if dl1.access(line_address):
+                level = 1
+            elif self.l2.access(line_address):
+                level = 2
+            else:
+                level = 3
+            if level != 1:
+                if level > worst:
+                    worst = level
+                if self._seq_prefetch:
                     # Prefetch fills bypass the demand statistics.
                     self._fill_line(
-                        line_address + self.dl1.config.line_bytes,
-                        record_stats=False,
+                        line_address + line_bytes, record_stats=False
                     )
-        latency = self.data_latency(worst)
+            line += 1
+        latency = self._data_latency[worst]
         if tlb_missed:
-            latency += self.config.dtlb.miss_penalty
-        return DataAccessResult(latency=latency, level=worst,
-                                tlb_missed=tlb_missed)
+            latency += self._dtlb_penalty
+        return latency, worst, tlb_missed
+
+    def access_inst(self, address: int) -> tuple[int, int, bool]:
+        """Instruction fetch fast path: ``(latency, level, tlb_missed)``."""
+        tlb_missed = not self.itlb.access(address)
+        il1 = self.il1
+        line_address = (address >> il1._line_shift) * il1.config.line_bytes
+        if il1.access(line_address):
+            level = 1
+        elif self.l2.access(line_address):
+            level = 2
+        else:
+            level = 3
+        latency = self._inst_latency[level]
+        if tlb_missed:
+            latency += self._itlb_penalty
+        return latency, level, tlb_missed
+
+    def data_access(self, address: int, size: int = 4) -> DataAccessResult:
+        """Access data; reports the deepest serving level and TLB outcome."""
+        latency, level, tlb_missed = self.access_data(address, size)
+        return DataAccessResult(
+            latency=latency, level=ServiceLevel(level), tlb_missed=tlb_missed
+        )
 
     def inst_access(self, address: int) -> DataAccessResult:
         """Fetch one instruction line."""
-        tlb_missed = not self.itlb.access(address)
-        line_address = self.il1.line_of(address) * self.il1.config.line_bytes
-        if self.il1.access(line_address):
-            latency = self.config.il1.latency
-            level = ServiceLevel.L1
-        elif self.l2.access(line_address):
-            latency = self.config.il1.latency + self.config.l2.latency
-            level = ServiceLevel.L2
-        else:
-            latency = (
-                self.config.il1.latency
-                + self.config.l2.latency
-                + self.config.memory_latency
-            )
-            level = ServiceLevel.MEMORY
-        if tlb_missed:
-            latency += self.config.itlb.miss_penalty
-        return DataAccessResult(latency=latency, level=level,
-                                tlb_missed=tlb_missed)
+        latency, level, tlb_missed = self.access_inst(address)
+        return DataAccessResult(
+            latency=latency, level=ServiceLevel(level), tlb_missed=tlb_missed
+        )
 
     def data_latency(self, level: ServiceLevel) -> int:
         """Latency of a data access served at ``level``."""
-        if level == ServiceLevel.L1:
-            return self.config.dl1.latency
-        if level == ServiceLevel.L2:
-            return self.config.dl1.latency + self.config.l2.latency
-        return (
-            self.config.dl1.latency
-            + self.config.l2.latency
-            + self.config.memory_latency
-        )
+        return self._data_latency[level]

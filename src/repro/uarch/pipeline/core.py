@@ -21,18 +21,28 @@ Stall accounting: each cycle dispatch moves fewer instructions than its
 width, one trauma is charged for the blocking reason, with blame
 forwarded to the head of whichever structure is stuck (see
 :mod:`repro.uarch.traumas`).
+
+The hot loop runs against the trace's decode plane
+(:mod:`repro.uarch.pipeline.decode`): per-instruction facts live in
+plain Python lists indexed by trace position, completion events sit in
+a timing wheel (a calendar queue sized to the worst-case latency
+instead of a dict keyed by cycle), and wakeup lists are preallocated
+per producer.  All of this is pure mechanism — cycle-for-cycle results
+are identical to the original object-per-instruction implementation,
+which the golden-snapshot tests pin down.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from repro.isa.opcodes import FU_OF_OPCLASS, LATENCY_OF_OPCLASS, FunctionalUnit, OpClass
+from repro.isa.opcodes import FunctionalUnit, OpClass
 from repro.isa.trace import Trace
 from repro.uarch.branch.btb import BranchTargetBuffer
-from repro.uarch.branch.predictors import create_predictor
-from repro.uarch.caches import MemoryHierarchy, ServiceLevel
+from repro.uarch.branch.predictors import CombinedPredictor, create_predictor
+from repro.uarch.caches import MemoryHierarchy
 from repro.uarch.config import ProcessorConfig
+from repro.uarch.pipeline.decode import REGFILE_OF_OPCLASS, decode_trace
 from repro.uarch.results import BranchResult, CacheResult, SimulationResult
 from repro.uarch.traumas import (
     Trauma,
@@ -42,44 +52,30 @@ from repro.uarch.traumas import (
     rg_trauma,
 )
 
-#: Register file classes.
+#: Register file classes (kept for compatibility; see decode module).
 _GPR, _VPR, _FPR = 0, 1, 2
 
+#: OpClass -> register file (re-exported; the core reads the decode plane).
 _REGFILE_OF_OP: dict[OpClass, int] = {
-    OpClass.IALU: _GPR,
-    OpClass.ILOAD: _GPR,
-    OpClass.OTHER: _GPR,
-    OpClass.VLOAD: _VPR,
-    OpClass.VSIMPLE: _VPR,
-    OpClass.VPERM: _VPR,
-    OpClass.VCMPLX: _VPR,
-    OpClass.FPU: _FPR,
+    op: regfile for op, regfile in REGFILE_OF_OPCLASS.items()
 }
 
+#: Unit-indexed trauma lookup tuples (FunctionalUnit values are 0..7).
+_RG_OF = tuple(rg_trauma(fu) for fu in FunctionalUnit)
+_FUL_OF = tuple(ful_trauma(fu) for fu in FunctionalUnit)
+_DIQ_OF = tuple(diq_trauma(fu) for fu in FunctionalUnit)
+
+_N_UNITS = len(FunctionalUnit)
+_LDST = int(FunctionalUnit.LDST)
+
 #: Queues tracked for Fig. 10 occupancy histograms.
-_TRACKED_QUEUES: tuple[tuple[str, FunctionalUnit], ...] = (
-    ("FIX-Q", FunctionalUnit.FX),
-    ("MEM-Q", FunctionalUnit.LDST),
-    ("BR-Q", FunctionalUnit.BR),
-    ("VI-Q", FunctionalUnit.VI),
-    ("VPER-Q", FunctionalUnit.VPER),
+_TRACKED_QUEUES: tuple[tuple[str, int], ...] = (
+    ("FIX-Q", int(FunctionalUnit.FX)),
+    ("MEM-Q", _LDST),
+    ("BR-Q", int(FunctionalUnit.BR)),
+    ("VI-Q", int(FunctionalUnit.VI)),
+    ("VPER-Q", int(FunctionalUnit.VPER)),
 )
-
-
-def _claim_port(port_free: list[int], cycle: int, occupancy: int) -> int | None:
-    """Claim a cache port for ``occupancy`` cycles; None if all busy."""
-    for port, free_at in enumerate(port_free):
-        if free_at <= cycle:
-            port_free[port] = cycle + occupancy
-            return port
-    return None
-
-
-def _words_of(instruction) -> range:
-    """8-byte word numbers touched by a memory instruction."""
-    first = instruction.address >> 3
-    last = (instruction.address + max(instruction.size, 1) - 1) >> 3
-    return range(first, last + 1)
 
 
 class OutOfOrderCore:
@@ -110,6 +106,7 @@ class OutOfOrderCore:
         )
         self.branch_predictions = 0
         self.branch_correct = 0
+        self._plane = None
 
     # ------------------------------------------------------------------
     def _functional_warmup(self) -> None:
@@ -119,28 +116,36 @@ class OutOfOrderCore:
         warmup stream (SMARTS-style functional warming); statistics are
         reset afterwards so results reflect only the measured trace.
         """
+        warm = decode_trace(self.warmup)
         hierarchy = self.hierarchy
+        access_inst = hierarchy.access_inst
+        access_data = hierarchy.access_data
+        predictor = self.predictor
+        btb_install = self.btb.install
+        perfect_bp = self.perfect_bp
+        lines = warm.line
+        pcs = warm.pc
+        addresses = warm.address
+        sizes = warm.size
+        takens = warm.taken
+        targets = warm.target
+        is_memory = warm.is_memory
+        is_branch = warm.is_branch
         last_line = -1
-        for instruction in self.warmup.instructions:
-            line = instruction.pc >> 7
+        for index in range(warm.n):
+            line = lines[index]
             if line != last_line:
-                hierarchy.inst_access(instruction.pc)
+                access_inst(pcs[index])
                 last_line = line
-            if instruction.is_memory:
-                hierarchy.data_access(instruction.address, instruction.size)
-            elif instruction.is_branch:
-                if not self.perfect_bp:
-                    self.predictor.update(instruction.pc, instruction.taken)
-                if instruction.taken:
-                    self.btb.install(instruction.pc, instruction.target)
+            if is_memory[index]:
+                access_data(addresses[index], sizes[index])
+            elif is_branch[index]:
+                if not perfect_bp:
+                    predictor.update(pcs[index], takens[index])
+                if takens[index]:
+                    btb_install(pcs[index], targets[index])
         # Reset statistics; state stays warm.
-        from repro.uarch.caches import CacheStats
-
-        for cache in (hierarchy.il1, hierarchy.dl1, hierarchy.l2):
-            cache.stats = CacheStats()
-        for tlb in (hierarchy.itlb, hierarchy.dtlb):
-            tlb.lookups = 0
-            tlb.misses = 0
+        hierarchy.reset_stats()
         self.btb.lookups = 0
         self.btb.misses = 0
 
@@ -148,37 +153,67 @@ class OutOfOrderCore:
         """Simulate to completion; returns the aggregated result."""
         if self.warmup is not None:
             self._functional_warmup()
-        instrs = self.trace.instructions
-        n = len(instrs)
+        plane = decode_trace(self.trace)
+        self._plane = plane
+        n = plane.n
         config = self.config
         branch_config = config.branch
-        units = config.units
+        memory = config.memory
         iq_capacity = config.issue_queue_size
         hierarchy = self.hierarchy
-        memory_is_ideal = (
-            config.memory.dl1.is_ideal and config.memory.l2.is_ideal
-        )
+        memory_is_ideal = memory.dl1.is_ideal and memory.l2.is_ideal
+
+        # Decode-plane columns (plain lists: fastest interpreter indexing).
+        fu_of = plane.fu
+        base_latency = plane.latency
+        regfile_of = plane.regfile
+        is_load = plane.is_load
+        is_store = plane.is_store
+        is_branch = plane.is_branch
+        is_vload = plane.is_vload
+        lines = plane.line
+        pcs = plane.pc
+        addresses = plane.address
+        sizes = plane.size
+        takens = plane.taken
+        targets = plane.target
+        words_of = plane.words
+        sources_of = plane.sources
 
         # Per-instruction state.
         done = bytearray(n)
         issued = bytearray(n)
         pending_sources = [0] * n
-        waiters: dict[int, list[int]] = {}
+        #: producer index -> list of dispatched consumers awaiting it.
+        waiters: list[list[int] | None] = [None] * n
         #: in-flight memory stall: index -> (trauma, uses an MSHR).
         miss_info: dict[int, tuple[Trauma, bool]] = {}
+        miss_info_pop = miss_info.pop
+        miss_info_get = miss_info.get
         #: 8-byte word -> youngest in-flight store writing it.
         pending_store_words: dict[int, int] = {}
+        store_word_get = pending_store_words.get
         store_queue_used = 0
 
-        # Structures.
-        ibuffer: deque[int] = deque()
-        rob: deque[int] = deque()
-        iq: dict[FunctionalUnit, deque[int]] = {fu: deque() for fu in units}
-        iq_count: dict[FunctionalUnit, int] = {fu: 0 for fu in units}
-        ready: dict[FunctionalUnit, deque[int]] = {fu: deque() for fu in units}
-        complete_at: dict[int, list[int]] = {}
+        # Structures.  Fetch, dispatch, and retire all advance in trace
+        # order, so the instruction buffer and the reorder queue are
+        # always contiguous index ranges — two integer cursors each
+        # replace the deques the original implementation carried.
+        ibuf_head = 0      # oldest ibuffer entry; tail is fetch_index
+        rob_head = 0       # oldest in-flight instruction
+        rob_next = 0       # one past the youngest dispatched
+        iq: list[deque[int]] = [deque() for _ in range(_N_UNITS)]
+        iq_count: list[int] = [0] * _N_UNITS
+        iq_append = [queue.append for queue in iq]
+        ready: list[deque[int]] = [deque() for _ in range(_N_UNITS)]
+        ready_append = [queue.append for queue in ready]
+        ready_total = 0     # entries across all eight ready queues
+        capacity_of: list[int] = [
+            config.units.get(fu, 0) for fu in FunctionalUnit
+        ]
         free_regs = [config.gpr, config.vpr, config.fpr]
         outstanding_misses = 0
+        max_misses = config.max_outstanding_misses
         inflight = 0
         predicted_branches = 0
 
@@ -186,9 +221,28 @@ class OutOfOrderCore:
         # time (the array is not pipelined), so raising the hit latency
         # also cuts load/store bandwidth — the effect behind Fig. 7's
         # sensitivity of load-heavy SIMD code.
-        dl1_latency = max(1, config.memory.dl1.latency)
+        dl1_latency = max(1, memory.dl1.latency)
         read_port_free = [0] * config.dcache_read_ports
         write_port_free = [0] * config.dcache_write_ports
+        read_ports = len(read_port_free)
+        write_ports = len(write_port_free)
+
+        # Completion events live in a timing wheel: slot = cycle mod
+        # wheel size.  Sized past the worst-case scheduled latency
+        # (memory round trip + TLB walk + wide-load extra + pipeline
+        # latencies), no event can ever wrap onto an occupied slot.
+        recovery = branch_config.mispredict_recovery
+        wide_extra = config.wide_load_extra_latency
+        horizon = (
+            8
+            + memory.dl1.latency
+            + memory.l2.latency
+            + memory.memory_latency
+            + memory.dtlb.miss_penalty
+            + wide_extra
+        )
+        wheel_mask = (1 << horizon.bit_length()) - 1
+        wheel: list[list[int]] = [[] for _ in range(wheel_mask + 1)]
 
         # Frontend state.
         fetch_index = 0
@@ -196,6 +250,50 @@ class OutOfOrderCore:
         fetch_reason = Trauma.DECODE
         wait_branch = -1           # unresolved mispredicted branch index
         last_fetch_line = -1
+        max_predicted = branch_config.max_predicted_branches
+        btb_miss_penalty = branch_config.btb_miss_penalty
+        ibuffer_cap = config.ibuffer_size
+
+        # Hot callables and widths bound once.
+        access_data = hierarchy.access_data
+        access_inst = hierarchy.access_inst
+        dl1_probe = hierarchy.dl1.probe
+        btb_lookup = self.btb.lookup
+        btb_install = self.btb.install
+        perfect_bp = self.perfect_bp
+        predictor = None if perfect_bp else self.predictor
+        predict_and_update = (
+            None if predictor is None else predictor.predict_and_update
+        )
+        # The combined (GP) predictor is the default configuration, so
+        # its fused predict-and-train step is inlined into the fetch
+        # loop below; state transitions mirror
+        # CombinedPredictor.predict_and_update exactly.  Only the
+        # gshare history register is kept in a local (written back in
+        # the ``finally``); the counter tables are mutated in place.
+        inline_gp = type(predictor) is CombinedPredictor
+        if inline_gp:
+            gp_gshare = predictor.gshare
+            gp_bimodal = predictor.bimodal
+            g_counters = gp_gshare._counters
+            g_mask = gp_gshare._mask
+            g_history = gp_gshare._history
+            g_history_mask = gp_gshare._history_mask
+            b_counters = gp_bimodal._counters
+            b_mask = gp_bimodal._mask
+            gp_chooser = predictor._chooser
+            gp_mask = predictor._mask
+        trauma_cycles = self.traumas.cycles
+        trauma_cycles_get = trauma_cycles.get
+        track_occupancy = self.track_occupancy
+        fetch_width = config.fetch_width
+        dispatch_width = config.dispatch_width
+        retire_width = config.retire_width
+        retire_queue = config.retire_queue
+        inflight_cap = config.inflight
+        store_queue_size = config.store_queue_size
+        branch_predictions = self.branch_predictions
+        branch_correct = self.branch_correct
 
         # Statistics.
         occupancy: dict[str, dict[int, int]] = {
@@ -206,265 +304,436 @@ class OutOfOrderCore:
 
         retired = 0
         cycle = 0
-        recovery = branch_config.mispredict_recovery
-        wide_extra = config.wide_load_extra_latency
+        cycle_limit = float("inf") if max_cycles is None else max_cycles
 
-        while retired < n:
-            cycle += 1
-            if max_cycles is not None and cycle > max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles "
-                    f"({retired}/{n} retired)"
-                )
-
-            # ---------------- completion ----------------------------
-            finishing = complete_at.pop(cycle, None)
-            if finishing:
-                for index in finishing:
-                    done[index] = 1
-                    inflight -= 1
-                    instruction = instrs[index]
-                    info = miss_info.pop(index, None)
-                    if info is not None and info[1]:
-                        outstanding_misses -= 1
-                    if instruction.is_store:
-                        for word in _words_of(instruction):
-                            if pending_store_words.get(word) == index:
-                                del pending_store_words[word]
-                    if instruction.is_branch:
-                        predicted_branches -= 1
-                        if index == wait_branch:
-                            wait_branch = -1
-                            fetch_stall_until = max(
-                                fetch_stall_until, cycle + recovery
-                            )
-                            fetch_reason = Trauma.IF_PRED
-                    for waiter in waiters.pop(index, ()):
-                        pending_sources[waiter] -= 1
-                        if pending_sources[waiter] == 0 and not issued[waiter]:
-                            ready[FU_OF_OPCLASS[instrs[waiter].op]].append(waiter)
-
-            # ---------------- retire --------------------------------
-            retire_budget = config.retire_width
-            while rob and retire_budget and done[rob[0]]:
-                index = rob.popleft()
-                regfile = _REGFILE_OF_OP.get(instrs[index].op)
-                if regfile is not None:
-                    free_regs[regfile] += 1
-                if instrs[index].is_store:
-                    # The store-queue slot drains at retire.
-                    store_queue_used -= 1
-                retired += 1
-                retire_budget -= 1
-            if retired >= n:
-                if self.track_occupancy:
-                    self._record_occupancy(
-                        occupancy, iq_count, inflight, len(rob)
+        try:
+            while retired < n:
+                cycle += 1
+                if cycle > cycle_limit:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_cycles} cycles "
+                        f"({retired}/{n} retired)"
                     )
-                break
 
-            # ---------------- issue / execute -----------------------
-            lsu_block: Trauma | None = None
-            for fu, ready_queue in ready.items():
-                capacity = units[fu]
-                issued_here = 0
-                deferred: list[int] = []
-                while ready_queue and issued_here < capacity:
-                    index = ready_queue.popleft()
-                    instruction = instrs[index]
-                    op = instruction.op
-                    latency = LATENCY_OF_OPCLASS[op]
-                    if instruction.is_load:
-                        # An older in-flight store to the same word
-                        # blocks the load (no speculative bypass).
-                        alias = -1
-                        for word in _words_of(instruction):
-                            store = pending_store_words.get(word, -1)
-                            if store >= 0 and store < index and not done[store]:
-                                alias = store
+                # ---------------- completion ----------------------------
+                slot = cycle & wheel_mask
+                finishing = wheel[slot]
+                if finishing:
+                    wheel[slot] = []
+                    for index in finishing:
+                        done[index] = 1
+                        inflight -= 1
+                        if is_load[index]:
+                            info = miss_info_pop(index, None)
+                            if info is not None and info[1]:
+                                outstanding_misses -= 1
+                        elif is_store[index]:
+                            for word in words_of[index]:
+                                if store_word_get(word) == index:
+                                    del pending_store_words[word]
+                        if is_branch[index]:
+                            predicted_branches -= 1
+                            if index == wait_branch:
+                                wait_branch = -1
+                                resume = cycle + recovery
+                                if resume > fetch_stall_until:
+                                    fetch_stall_until = resume
+                                fetch_reason = Trauma.IF_PRED
+                        wakeup = waiters[index]
+                        if wakeup is not None:
+                            waiters[index] = None
+                            for waiter in wakeup:
+                                pending = pending_sources[waiter] - 1
+                                pending_sources[waiter] = pending
+                                if pending == 0 and not issued[waiter]:
+                                    ready_append[fu_of[waiter]](waiter)
+                                    ready_total += 1
+
+                # ---------------- retire --------------------------------
+                retire_budget = retire_width
+                while rob_head < rob_next and retire_budget and done[rob_head]:
+                    regfile = regfile_of[rob_head]
+                    if regfile >= 0:
+                        free_regs[regfile] += 1
+                    if is_store[rob_head]:
+                        # The store-queue slot drains at retire.
+                        store_queue_used -= 1
+                    rob_head += 1
+                    retired += 1
+                    retire_budget -= 1
+                if retired >= n:
+                    if track_occupancy:
+                        self._record_occupancy(
+                            occupancy, iq_count, inflight,
+                            rob_next - rob_head,
+                        )
+                    break
+
+                # ---------------- issue / execute -----------------------
+                lsu_block: Trauma | None = None
+                for fu in range(_N_UNITS) if ready_total else ():
+                    ready_queue = ready[fu]
+                    if not ready_queue:
+                        continue
+                    capacity = capacity_of[fu]
+                    issued_here = 0
+                    deferred: list[int] = []
+                    while ready_queue and issued_here < capacity:
+                        index = ready_queue.popleft()
+                        ready_total -= 1
+                        latency = base_latency[index]
+                        if is_load[index]:
+                            # An older in-flight store to the same word
+                            # blocks the load (no speculative bypass).
+                            alias = -1
+                            for word in words_of[index]:
+                                store = store_word_get(word, -1)
+                                if (
+                                    store >= 0
+                                    and store < index
+                                    and not done[store]
+                                ):
+                                    alias = store
+                                    break
+                            if alias >= 0:
+                                lsu_block = Trauma.ST_DATA
+                                deferred.append(index)
+                                continue
+                            is_wide = wide_extra and is_vload[index]
+                            port_busy = dl1_latency + (
+                                wide_extra if is_wide else 0
+                            )
+                            port = -1
+                            for candidate in range(read_ports):
+                                if read_port_free[candidate] <= cycle:
+                                    read_port_free[candidate] = (
+                                        cycle + port_busy
+                                    )
+                                    port = candidate
+                                    break
+                            if port < 0:
+                                deferred.append(index)
                                 break
-                        if alias >= 0:
-                            lsu_block = Trauma.ST_DATA
-                            deferred.append(index)
-                            continue
-                        is_wide = (
-                            wide_extra and instruction.op == OpClass.VLOAD
-                        )
-                        port_busy = dl1_latency + (wide_extra if is_wide else 0)
-                        port = _claim_port(read_port_free, cycle, port_busy)
-                        if port is None:
-                            deferred.append(index)
-                            break
-                        if (
-                            not memory_is_ideal
-                            and outstanding_misses >= config.max_outstanding_misses
-                            and not hierarchy.dl1.probe(instruction.address)
-                        ):
-                            lsu_block = Trauma.MM_DMQF
-                            read_port_free[port] = cycle  # release
-                            deferred.append(index)
-                            continue
-                        access = hierarchy.data_access(
-                            instruction.address, instruction.size
-                        )
-                        if access.level != ServiceLevel.L1:
-                            trauma = (
-                                Trauma.MM_DL1
-                                if access.level == ServiceLevel.L2
-                                else Trauma.MM_DL2
+                            if (
+                                not memory_is_ideal
+                                and outstanding_misses >= max_misses
+                                and not dl1_probe(addresses[index])
+                            ):
+                                lsu_block = Trauma.MM_DMQF
+                                read_port_free[port] = cycle  # release
+                                deferred.append(index)
+                                continue
+                            access_latency, level, tlb_missed = access_data(
+                                addresses[index], sizes[index]
                             )
-                            miss_info[index] = (trauma, True)
-                            outstanding_misses += 1
-                        elif access.tlb_missed:
-                            miss_info[index] = (Trauma.MM_TLB1, False)
-                        latency = 1 + access.latency
-                        if is_wide:
-                            latency += wide_extra
-                    elif instruction.is_store:
-                        port = _claim_port(write_port_free, cycle, dl1_latency)
-                        if port is None:
-                            deferred.append(index)
-                            break
-                        hierarchy.data_access(
-                            instruction.address, instruction.size
+                            if level != 1:
+                                trauma = (
+                                    Trauma.MM_DL1
+                                    if level == 2
+                                    else Trauma.MM_DL2
+                                )
+                                miss_info[index] = (trauma, True)
+                                outstanding_misses += 1
+                            elif tlb_missed:
+                                miss_info[index] = (Trauma.MM_TLB1, False)
+                            latency = 1 + access_latency
+                            if is_wide:
+                                latency += wide_extra
+                        elif is_store[index]:
+                            port = -1
+                            for candidate in range(write_ports):
+                                if write_port_free[candidate] <= cycle:
+                                    write_port_free[candidate] = (
+                                        cycle + dl1_latency
+                                    )
+                                    port = candidate
+                                    break
+                            if port < 0:
+                                deferred.append(index)
+                                break
+                            access_data(addresses[index], sizes[index])
+                            for word in words_of[index]:
+                                pending_store_words[word] = index
+                        issued[index] = 1
+                        iq_count[fu] -= 1
+                        issued_here += 1
+                        wheel[(cycle + latency) & wheel_mask].append(index)
+                    for index in reversed(deferred):
+                        ready_queue.appendleft(index)
+                    ready_total += len(deferred)
+
+                # ---------------- dispatch ------------------------------
+                dispatched = 0
+                block_reason: Trauma | None = None
+                while dispatched < dispatch_width and ibuf_head < fetch_index:
+                    index = ibuf_head
+                    fu = fu_of[index]
+                    if iq_count[fu] >= iq_capacity:
+                        block_reason = self._blame_queue(
+                            fu, iq[fu], issued, pending_sources, done,
+                            lsu_block,
                         )
-                        for word in _words_of(instruction):
-                            pending_store_words[word] = index
-                    issued[index] = 1
-                    iq_count[fu] -= 1
-                    issued_here += 1
-                    complete_at.setdefault(cycle + latency, []).append(index)
-                for index in reversed(deferred):
-                    ready_queue.appendleft(index)
-
-            # ---------------- dispatch ------------------------------
-            dispatch_budget = config.dispatch_width
-            dispatched = 0
-            block_reason: Trauma | None = None
-            while dispatched < dispatch_budget and ibuffer:
-                index = ibuffer[0]
-                instruction = instrs[index]
-                fu = FU_OF_OPCLASS[instruction.op]
-                if iq_count[fu] >= iq_capacity:
-                    block_reason = self._blame_queue(
-                        fu, iq[fu], instrs, issued, pending_sources,
-                        done, lsu_block,
-                    )
-                    break
-                regfile = _REGFILE_OF_OP.get(instruction.op)
-                if regfile is not None and free_regs[regfile] == 0:
-                    # Physical registers free at retire, so exhaustion
-                    # means the window is clogged: blame its head.
-                    block_reason = self._blame_rob(
-                        rob, instrs, issued, pending_sources, done, miss_info
-                    )
-                    if block_reason == Trauma.OTHER:
-                        block_reason = Trauma.RENAME
-                    break
-                if len(rob) >= config.retire_queue or inflight >= config.inflight:
-                    block_reason = self._blame_rob(
-                        rob, instrs, issued, pending_sources, done, miss_info
-                    )
-                    break
-                if instruction.is_store:
-                    # Store-queue slots are allocated in program order
-                    # at dispatch and drain at retire.
-                    if store_queue_used >= config.store_queue_size:
-                        block_reason = Trauma.MM_STQF
                         break
-                    store_queue_used += 1
-                # All resources available: dispatch.
-                ibuffer.popleft()
-                if regfile is not None:
-                    free_regs[regfile] -= 1
-                rob.append(index)
-                inflight += 1
-                iq_count[fu] += 1
-                iq[fu].append(index)
-                pending = 0
-                for source in instruction.sources:
-                    if not done[source]:
-                        pending += 1
-                        waiters.setdefault(source, []).append(index)
-                pending_sources[index] = pending
-                if pending == 0:
-                    ready[fu].append(index)
-                dispatched += 1
-
-            if dispatched < dispatch_budget:
-                if block_reason is None:
-                    # Instruction buffer ran dry: frontend's fault.
-                    block_reason = fetch_reason
-                self.traumas.charge(block_reason)
-
-            # ---------------- fetch ---------------------------------
-            if (
-                wait_branch < 0
-                and cycle >= fetch_stall_until
-                and fetch_index < n
-            ):
-                fetch_budget = config.fetch_width
-                while fetch_budget and fetch_index < n:
-                    if len(ibuffer) >= config.ibuffer_size:
-                        fetch_reason = Trauma.IF_FULL
+                    regfile = regfile_of[index]
+                    if regfile >= 0 and free_regs[regfile] == 0:
+                        # Physical registers free at retire, so exhaustion
+                        # means the window is clogged: blame its head.
+                        block_reason = self._blame_rob(
+                            rob_head, rob_next, issued, pending_sources,
+                            done, miss_info,
+                        )
+                        if block_reason == Trauma.OTHER:
+                            block_reason = Trauma.RENAME
                         break
-                    instruction = instrs[fetch_index]
-                    line = instruction.pc >> 7
-                    if line != last_fetch_line:
-                        fetch = hierarchy.inst_access(instruction.pc)
-                        last_fetch_line = line
-                        if fetch.level != ServiceLevel.L1 or fetch.tlb_missed:
-                            fetch_stall_until = cycle + fetch.latency
-                            if fetch.level == ServiceLevel.L1:
-                                fetch_reason = Trauma.IF_TLB1
-                            elif fetch.level == ServiceLevel.L2:
-                                fetch_reason = Trauma.IF_L1
+                    if (
+                        rob_next - rob_head >= retire_queue
+                        or inflight >= inflight_cap
+                    ):
+                        block_reason = self._blame_rob(
+                            rob_head, rob_next, issued, pending_sources,
+                            done, miss_info,
+                        )
+                        break
+                    if is_store[index]:
+                        # Store-queue slots are allocated in program order
+                        # at dispatch and drain at retire.
+                        if store_queue_used >= store_queue_size:
+                            block_reason = Trauma.MM_STQF
+                            break
+                        store_queue_used += 1
+                    # All resources available: dispatch.
+                    ibuf_head += 1
+                    if regfile >= 0:
+                        free_regs[regfile] -= 1
+                    rob_next += 1
+                    inflight += 1
+                    iq_count[fu] += 1
+                    iq_append[fu](index)
+                    pending = 0
+                    for source in sources_of[index]:
+                        if not done[source]:
+                            pending += 1
+                            wakeup = waiters[source]
+                            if wakeup is None:
+                                waiters[source] = [index]
                             else:
-                                fetch_reason = Trauma.IF_L2
+                                wakeup.append(index)
+                    pending_sources[index] = pending
+                    if pending == 0:
+                        ready_append[fu](index)
+                        ready_total += 1
+                    dispatched += 1
+
+                if dispatched < dispatch_width:
+                    if block_reason is None:
+                        # Instruction buffer ran dry: frontend's fault.
+                        block_reason = fetch_reason
+                    trauma_cycles[block_reason] = (
+                        trauma_cycles_get(block_reason, 0) + 1
+                    )
+
+                # ---------------- fetch ---------------------------------
+                if (
+                    wait_branch < 0
+                    and cycle >= fetch_stall_until
+                    and fetch_index < n
+                ):
+                    fetch_budget = fetch_width
+                    while fetch_budget and fetch_index < n:
+                        if fetch_index - ibuf_head >= ibuffer_cap:
+                            fetch_reason = Trauma.IF_FULL
                             break
-                    if instruction.is_branch:
-                        if predicted_branches >= branch_config.max_predicted_branches:
-                            fetch_reason = Trauma.IF_BRCH
-                            break
-                        taken = instruction.taken
-                        self.branch_predictions += 1
-                        if self.perfect_bp:
-                            predicted = taken
-                        else:
-                            predicted = self.predictor.predict(instruction.pc)
-                            self.predictor.update(instruction.pc, taken)
-                        correct = predicted == taken
-                        if correct:
-                            self.branch_correct += 1
-                        predicted_branches += 1
-                        ibuffer.append(fetch_index)
+                        line = lines[fetch_index]
+                        if line != last_fetch_line:
+                            fetch_latency, level, tlb_missed = access_inst(
+                                pcs[fetch_index]
+                            )
+                            last_fetch_line = line
+                            if level != 1 or tlb_missed:
+                                fetch_stall_until = cycle + fetch_latency
+                                if level == 1:
+                                    fetch_reason = Trauma.IF_TLB1
+                                elif level == 2:
+                                    fetch_reason = Trauma.IF_L1
+                                else:
+                                    fetch_reason = Trauma.IF_L2
+                                break
+                        if is_branch[fetch_index]:
+                            if predicted_branches >= max_predicted:
+                                fetch_reason = Trauma.IF_BRCH
+                                break
+                            taken = takens[fetch_index]
+                            branch_predictions += 1
+                            if perfect_bp:
+                                correct = True
+                            elif inline_gp:
+                                pc2 = pcs[fetch_index] >> 2
+                                g_index = (pc2 ^ g_history) & g_mask
+                                g_pred = g_counters[g_index] >= 2
+                                b_index = pc2 & b_mask
+                                b_pred = b_counters[b_index] >= 2
+                                c_index = pc2 & gp_mask
+                                predicted = (
+                                    g_pred
+                                    if gp_chooser[c_index] >= 2
+                                    else b_pred
+                                )
+                                g_right = g_pred == taken
+                                if g_right != (b_pred == taken):
+                                    counter = gp_chooser[c_index]
+                                    if g_right:
+                                        if counter < 3:
+                                            gp_chooser[c_index] = counter + 1
+                                    elif counter > 0:
+                                        gp_chooser[c_index] = counter - 1
+                                counter = g_counters[g_index]
+                                if taken:
+                                    if counter < 3:
+                                        g_counters[g_index] = counter + 1
+                                elif counter > 0:
+                                    g_counters[g_index] = counter - 1
+                                g_history = (
+                                    (g_history << 1) | taken
+                                ) & g_history_mask
+                                counter = b_counters[b_index]
+                                if taken:
+                                    if counter < 3:
+                                        b_counters[b_index] = counter + 1
+                                elif counter > 0:
+                                    b_counters[b_index] = counter - 1
+                                correct = predicted == taken
+                            else:
+                                correct = (
+                                    predict_and_update(
+                                        pcs[fetch_index], taken
+                                    )
+                                    == taken
+                                )
+                            if correct:
+                                branch_correct += 1
+                            predicted_branches += 1
+                            fetch_index += 1
+                            fetch_budget -= 1
+                            if not correct:
+                                wait_branch = fetch_index - 1
+                                fetch_reason = Trauma.IF_PRED
+                                break
+                            if taken:
+                                # Fetch group breaks at taken branches; the
+                                # NFA provides (or misses) the target.
+                                branch = fetch_index - 1
+                                target = btb_lookup(pcs[branch])
+                                if target is None:
+                                    btb_install(pcs[branch], targets[branch])
+                                    fetch_stall_until = (
+                                        cycle + btb_miss_penalty
+                                    )
+                                    fetch_reason = Trauma.IF_NFA
+                                break
+                            continue
                         fetch_index += 1
                         fetch_budget -= 1
-                        if not correct:
-                            wait_branch = fetch_index - 1
-                            fetch_reason = Trauma.IF_PRED
-                            break
-                        if taken:
-                            # Fetch group breaks at taken branches; the
-                            # NFA provides (or misses) the target.
-                            target = self.btb.lookup(instruction.pc)
-                            if target is None:
-                                self.btb.install(
-                                    instruction.pc, instruction.target
-                                )
-                                fetch_stall_until = (
-                                    cycle + branch_config.btb_miss_penalty
-                                )
-                                fetch_reason = Trauma.IF_NFA
-                            break
-                        continue
-                    ibuffer.append(fetch_index)
-                    fetch_index += 1
-                    fetch_budget -= 1
 
-            # ---------------- statistics ----------------------------
-            if self.track_occupancy:
-                self._record_occupancy(occupancy, iq_count, inflight, len(rob))
+                # ---------------- statistics ----------------------------
+                if track_occupancy:
+                    self._record_occupancy(
+                        occupancy, iq_count, inflight, rob_next - rob_head
+                    )
+
+                # ---------------- stall fast-forward --------------------
+                # When the machine is provably idle — nothing ready to
+                # issue, retire blocked on an unfinished head, dispatch
+                # blocked (or starved) by conditions only a completion
+                # can clear, and fetch unable to run — every cycle until
+                # the next timing-wheel event (or fetch resume) repeats
+                # the exact same bookkeeping: charge one trauma.  Batch
+                # those cycles instead of walking the pipeline for each.
+                if (
+                    dispatched < dispatch_width
+                    and not ready_total
+                    and (rob_head == rob_next or not done[rob_head])
+                ):
+                    if ibuf_head < fetch_index:
+                        # Would dispatch still be blocked next cycle?
+                        # Mirror the dispatch checks exactly (with no
+                        # issue activity, lsu_block is None).
+                        index = ibuf_head
+                        fu = fu_of[index]
+                        regfile = regfile_of[index]
+                        if iq_count[fu] >= iq_capacity:
+                            skip_reason = self._blame_queue(
+                                fu, iq[fu], issued, pending_sources,
+                                done, None,
+                            )
+                        elif regfile >= 0 and free_regs[regfile] == 0:
+                            skip_reason = self._blame_rob(
+                                rob_head, rob_next, issued,
+                                pending_sources, done, miss_info,
+                            )
+                            if skip_reason == Trauma.OTHER:
+                                skip_reason = Trauma.RENAME
+                        elif (
+                            rob_next - rob_head >= retire_queue
+                            or inflight >= inflight_cap
+                        ):
+                            skip_reason = self._blame_rob(
+                                rob_head, rob_next, issued,
+                                pending_sources, done, miss_info,
+                            )
+                        elif (
+                            is_store[index]
+                            and store_queue_used >= store_queue_size
+                        ):
+                            skip_reason = Trauma.MM_STQF
+                        else:
+                            skip_reason = None
+                    else:
+                        skip_reason = fetch_reason
+                    if skip_reason is not None:
+                        fetch_live = (
+                            wait_branch < 0
+                            and fetch_index < n
+                            and fetch_index - ibuf_head < ibuffer_cap
+                        )
+                        if fetch_live:
+                            bound = fetch_stall_until
+                        else:
+                            bound = cycle + wheel_mask + 1
+                        if cycle_limit < bound:
+                            bound = cycle_limit + 1
+                        scan = bound - cycle - 1
+                        if scan > wheel_mask:
+                            scan = wheel_mask
+                        skip_to = bound
+                        for ahead in range(1, scan + 1):
+                            if wheel[(cycle + ahead) & wheel_mask]:
+                                skip_to = cycle + ahead
+                                break
+                        skipped = skip_to - cycle - 1
+                        if skipped > 0:
+                            trauma_cycles[skip_reason] = (
+                                trauma_cycles_get(skip_reason, 0) + skipped
+                            )
+                            if track_occupancy:
+                                self._record_occupancy(
+                                    occupancy, iq_count, inflight,
+                                    rob_next - rob_head, skipped,
+                                )
+                            if (
+                                fetch_index - ibuf_head >= ibuffer_cap
+                                and wait_branch < 0
+                                and fetch_index < n
+                                and fetch_stall_until <= skip_to - 1
+                            ):
+                                # Real execution would have re-marked
+                                # the full buffer on each skipped cycle.
+                                fetch_reason = Trauma.IF_FULL
+                            cycle += skipped
+        finally:
+            self.branch_predictions = branch_predictions
+            self.branch_correct = branch_correct
+            if inline_gp:
+                gp_gshare._history = g_history
 
         return SimulationResult(
             trace_name=self.trace.name,
@@ -479,15 +748,9 @@ class OutOfOrderCore:
                 btb_lookups=self.btb.lookups,
                 btb_misses=self.btb.misses,
             ),
-            il1=CacheResult(
-                hierarchy.il1.stats.accesses, hierarchy.il1.stats.misses
-            ),
-            dl1=CacheResult(
-                hierarchy.dl1.stats.accesses, hierarchy.dl1.stats.misses
-            ),
-            l2=CacheResult(
-                hierarchy.l2.stats.accesses, hierarchy.l2.stats.misses
-            ),
+            il1=CacheResult(hierarchy.il1.accesses, hierarchy.il1.misses),
+            dl1=CacheResult(hierarchy.dl1.accesses, hierarchy.dl1.misses),
+            l2=CacheResult(hierarchy.l2.accesses, hierarchy.l2.misses),
             itlb=CacheResult(hierarchy.itlb.lookups, hierarchy.itlb.misses),
             dtlb=CacheResult(hierarchy.dtlb.lookups, hierarchy.dtlb.misses),
             queue_occupancy=occupancy if self.track_occupancy else {},
@@ -497,27 +760,27 @@ class OutOfOrderCore:
     @staticmethod
     def _record_occupancy(
         occupancy: dict[str, dict[int, int]],
-        iq_count: dict[FunctionalUnit, int],
+        iq_count: list[int],
         inflight: int,
         rob_size: int,
+        cycles: int = 1,
     ) -> None:
-        """Add one cycle's structure occupancies to the histograms."""
+        """Add ``cycles`` cycles' structure occupancies to the histograms."""
         for name, fu in _TRACKED_QUEUES:
             histogram = occupancy[name]
             value = iq_count[fu]
-            histogram[value] = histogram.get(value, 0) + 1
+            histogram[value] = histogram.get(value, 0) + cycles
         histogram = occupancy["INFLIGHT"]
-        histogram[inflight] = histogram.get(inflight, 0) + 1
+        histogram[inflight] = histogram.get(inflight, 0) + cycles
         histogram = occupancy["RETIREQ"]
-        histogram[rob_size] = histogram.get(rob_size, 0) + 1
+        histogram[rob_size] = histogram.get(rob_size, 0) + cycles
 
     def _blame_queue(
         self,
-        fu: FunctionalUnit,
+        fu: int,
         queue: deque[int],
-        instrs,
         issued: bytearray,
-        pending_sources,
+        pending_sources: list[int],
         done: bytearray,
         lsu_block: Trauma | None,
     ) -> Trauma:
@@ -525,7 +788,7 @@ class OutOfOrderCore:
         while queue and issued[queue[0]]:
             queue.popleft()
         if not queue:
-            return diq_trauma(fu)
+            return _DIQ_OF[fu]
         # Look at the oldest few pending entries: a dependence stall
         # anywhere at the head means the queue is full because results
         # are late (rg_*), not because the units are undersized.
@@ -534,41 +797,43 @@ class OutOfOrderCore:
             if issued[index]:
                 continue
             if pending_sources[index] > 0:
-                return self._blame_sources(index, instrs, done)
+                return self._blame_sources(index, done)
             examined += 1
             if examined >= 4:
                 break
-        if fu == FunctionalUnit.LDST and lsu_block is not None:
+        if fu == _LDST and lsu_block is not None:
             return lsu_block
-        return ful_trauma(fu)
+        return _FUL_OF[fu]
 
     def _blame_rob(
         self,
-        rob: deque[int],
-        instrs,
+        rob_head: int,
+        rob_next: int,
         issued: bytearray,
-        pending_sources,
+        pending_sources: list[int],
         done: bytearray,
         miss_info: dict[int, tuple[Trauma, bool]],
     ) -> Trauma:
         """Why is the reorder/in-flight window full?  Blame its head."""
-        if not rob:
+        if rob_head == rob_next:
             return Trauma.MM_ROQF
-        head = rob[0]
+        head = rob_head
         if done[head]:
             return Trauma.OTHER
         info = miss_info.get(head)
         if info is not None:
             return info[0]
+        plane = self._plane
         if issued[head]:
-            return rg_trauma(FU_OF_OPCLASS[instrs[head].op])
+            return _RG_OF[plane.fu[head]]
         if pending_sources[head] > 0:
-            return self._blame_sources(head, instrs, done)
-        return ful_trauma(FU_OF_OPCLASS[instrs[head].op])
+            return self._blame_sources(head, done)
+        return _FUL_OF[plane.fu[head]]
 
-    def _blame_sources(self, index: int, instrs, done: bytearray) -> Trauma:
+    def _blame_sources(self, index: int, done: bytearray) -> Trauma:
         """Blame the first unready producer of ``index``."""
-        for source in instrs[index].sources:
+        plane = self._plane
+        for source in plane.sources[index]:
             if not done[source]:
-                return rg_trauma(FU_OF_OPCLASS[instrs[source].op])
+                return _RG_OF[plane.fu[source]]
         return Trauma.OTHER

@@ -2,7 +2,8 @@
 
 Figure 5/6's miss-rate curves and Figure 11's prediction-rate curves do
 not need the full pipeline — only the memory reference stream or the
-branch outcome stream.  These helpers replay just that stream, which is
+branch outcome stream.  These helpers replay just that stream straight
+from the trace's decode plane (no per-instruction objects), which is
 one to two orders of magnitude faster than the cycle-level model, so
 wide parameter sweeps stay cheap.
 """
@@ -13,18 +14,24 @@ from repro.isa.trace import Trace
 from repro.uarch.caches import MemoryHierarchy
 from repro.uarch.config import MemoryConfig
 from repro.uarch.branch.predictors import DirectionPredictor, create_predictor
+from repro.uarch.pipeline.decode import decode_trace
 from repro.uarch.results import BranchResult, CacheResult
 
 
 def run_cache_only(trace: Trace, memory: MemoryConfig) -> tuple[CacheResult, CacheResult]:
     """Replay the data reference stream; returns (DL1, L2) statistics."""
     hierarchy = MemoryHierarchy(memory)
-    for instruction in trace.instructions:
-        if instruction.is_memory:
-            hierarchy.data_access(instruction.address, instruction.size)
+    access_data = hierarchy.access_data
+    plane = decode_trace(trace)
+    addresses = plane.address
+    sizes = plane.size
+    for index in [
+        i for i, memory_op in enumerate(plane.is_memory) if memory_op
+    ]:
+        access_data(addresses[index], sizes[index])
     return (
-        CacheResult(hierarchy.dl1.stats.accesses, hierarchy.dl1.stats.misses),
-        CacheResult(hierarchy.l2.stats.accesses, hierarchy.l2.stats.misses),
+        CacheResult(hierarchy.dl1.accesses, hierarchy.dl1.misses),
+        CacheResult(hierarchy.l2.accesses, hierarchy.l2.misses),
     )
 
 
@@ -33,11 +40,15 @@ def run_predictor_only(
 ) -> tuple[BranchResult, DirectionPredictor]:
     """Replay the branch stream through one direction predictor."""
     predictor = create_predictor(kind, entries)
-    for instruction in trace.instructions:
-        if instruction.is_branch:
-            predicted = predictor.predict(instruction.pc)
-            predictor.record(predicted, instruction.taken)
-            predictor.update(instruction.pc, instruction.taken)
+    plane = decode_trace(trace)
+    pcs = plane.pc
+    takens = plane.taken
+    record = predictor.record
+    predict_and_update = predictor.predict_and_update
+    for index in [
+        i for i, branch_op in enumerate(plane.is_branch) if branch_op
+    ]:
+        record(predict_and_update(pcs[index], takens[index]), takens[index])
     return (
         BranchResult(
             predictions=predictor.predictions, correct=predictor.correct

@@ -1,0 +1,72 @@
+"""Digest stability across trace storage paths.
+
+The persistent result cache addresses traces by content digest
+(``repro.runtime.keys.trace_digest`` over the exact serialized column
+bytes).  Three code paths produce a trace object: the kernel ->
+``TraceBuilder`` path, ``load_trace`` on a saved archive, and
+``Trace.slice`` (zero-copy column views).  All three must digest
+byte-identically, otherwise cached results would silently miss (or
+worse, collide) after a representation change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa.serialize import load_trace, save_trace, trace_columns
+from repro.isa.trace import COLUMN_DTYPES, Trace
+from repro.runtime.keys import trace_digest
+
+
+@pytest.fixture(scope="module")
+def built_trace(small_suite) -> Trace:
+    return small_suite.trace("ssearch34")
+
+
+def test_loaded_trace_digest_matches_built(built_trace, tmp_path_factory):
+    """save -> load round trip preserves the content digest exactly."""
+    path = tmp_path_factory.mktemp("digest") / "trace.npz"
+    save_trace(built_trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == built_trace.name
+    assert trace_digest(loaded) == trace_digest(built_trace)
+
+
+def test_sliced_trace_digest_stable(built_trace, tmp_path_factory):
+    """Slices digest identically whether cut before or after a round trip."""
+    limit = min(1000, len(built_trace))
+    path = tmp_path_factory.mktemp("digest") / "trace.npz"
+    save_trace(built_trace, path)
+    loaded = load_trace(path)
+    assert trace_digest(built_trace.slice(limit)) == trace_digest(
+        loaded.slice(limit)
+    )
+
+
+def test_slice_digest_differs_from_full(built_trace):
+    """A strict prefix is distinct content (and a distinct cache key)."""
+    limit = len(built_trace) // 2
+    assert trace_digest(built_trace.slice(limit)) != trace_digest(built_trace)
+
+
+def test_trace_columns_bytes_identical_across_paths(
+    built_trace, tmp_path_factory
+):
+    """The serialized column payloads are byte-identical, not just the hash."""
+    path = tmp_path_factory.mktemp("digest") / "trace.npz"
+    save_trace(built_trace, path)
+    loaded = load_trace(path)
+    built_columns = trace_columns(built_trace)
+    loaded_columns = trace_columns(loaded)
+    assert built_columns.keys() == loaded_columns.keys()
+    for name, column in built_columns.items():
+        other = loaded_columns[name]
+        assert column.dtype == other.dtype, name
+        assert column.tobytes() == other.tobytes(), name
+
+
+def test_columns_use_canonical_dtypes(built_trace):
+    """Column dtypes stay pinned to the serialization contract."""
+    for name, column in built_trace.columns.items():
+        assert column.dtype == np.dtype(COLUMN_DTYPES[name]), name

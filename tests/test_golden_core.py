@@ -1,0 +1,82 @@
+"""Golden equivalence tests for the out-of-order core.
+
+``tests/golden/core_golden.json`` pins, for every paper workload:
+
+* the content digest of the generated trace (and of a 6000-instruction
+  slice) — these digests are the persistent result cache's keys, so
+  they must never drift across refactors of the trace representation;
+* the full ``SimulationResult`` (as ``result_to_dict``) under three
+  processor/memory configurations.
+
+The snapshots were generated with the pre-columnar implementation
+(deque-based core, per-instruction ``Instruction`` objects), so these
+tests prove the SoA trace + decode plane + timing-wheel core rewrite
+is cycle-exact and cache-key-stable against the original model.  Do
+not regenerate this file from current code to make a failure pass —
+a mismatch means behaviour changed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bio.synthetic import SyntheticDatabaseConfig
+from repro.runtime.cache import result_to_dict
+from repro.runtime.keys import trace_digest
+from repro.uarch.config import ME1, ME2, ME3, PROC_4WAY, PROC_8WAY
+from repro.uarch.simulator import simulate
+from repro.workloads.suite import WorkloadSuite
+
+_GOLDEN_PATH = Path(__file__).parent / "golden" / "core_golden.json"
+_GOLDEN = json.loads(_GOLDEN_PATH.read_text())
+
+#: label -> (configuration, track_occupancy), matching the snapshot run.
+_CONFIGS = {
+    "4-way/me1": (PROC_4WAY.with_memory(ME1), True),
+    "4-way/me3": (PROC_4WAY.with_memory(ME3), False),
+    "8-way/me2": (PROC_8WAY.with_memory(ME2), False),
+}
+
+_WORKLOADS = sorted(_GOLDEN["trace_digests"])
+
+
+@pytest.fixture(scope="module")
+def golden_suite() -> WorkloadSuite:
+    parameters = _GOLDEN["suite"]
+    return WorkloadSuite(
+        database_config=SyntheticDatabaseConfig(
+            sequence_count=parameters["sequence_count"],
+            family_count=parameters["family_count"],
+            family_size=parameters["family_size"],
+            seed=parameters["seed"],
+            mean_length=parameters["mean_length"],
+        ),
+        trace_budget=parameters["trace_budget"],
+    )
+
+
+@pytest.mark.parametrize("workload", _WORKLOADS)
+def test_trace_digest_pinned(golden_suite, workload):
+    """Generated traces hash to the pre-refactor cache keys."""
+    trace = golden_suite.trace(workload)
+    assert trace_digest(trace) == _GOLDEN["trace_digests"][workload]
+
+
+@pytest.mark.parametrize("workload", _WORKLOADS)
+def test_slice_digest_pinned(golden_suite, workload):
+    """Zero-copy slices hash identically to materialized prefixes."""
+    sliced = golden_suite.trace(workload).slice(_GOLDEN["suite"]["slice"])
+    assert trace_digest(sliced) == _GOLDEN["slice_digests"][workload]
+
+
+@pytest.mark.parametrize("label", sorted(_CONFIGS))
+@pytest.mark.parametrize("workload", _WORKLOADS)
+def test_simulation_result_matches_golden(golden_suite, workload, label):
+    """The rewritten core is field-for-field identical to the original."""
+    config, track_occupancy = _CONFIGS[label]
+    sliced = golden_suite.trace(workload).slice(_GOLDEN["suite"]["slice"])
+    result = simulate(sliced, config, track_occupancy=track_occupancy)
+    assert result_to_dict(result) == _GOLDEN["results"][f"{workload}|{label}"]
