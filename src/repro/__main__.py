@@ -11,6 +11,9 @@ Usage::
     python -m repro cache clean           # drop every cached artifact
     python -m repro bench                 # hot-path throughput benchmark
     python -m repro bench --quick         # fast CI smoke variant
+    python -m repro lint-trace blast      # static trace invariant check
+    python -m repro lint-trace --all -j 4 # lint every workload, in parallel
+    python -m repro lint-code             # repo-specific AST lint (REP00x)
 
 Experiment-run options:
 
@@ -22,6 +25,8 @@ Experiment-run options:
     --task-timeout S   per-task timeout in seconds (default: none)
     --retries N        per-task retry budget before falling back to
                        in-process execution (default 2)
+    --strict           lint every trace before caching or simulating it
+                       (see docs/verify.md)
 
 Scale with the ``REPRO_SCALE`` environment variable (see README).
 """
@@ -148,6 +153,186 @@ def _bench_command(arguments: list[str]) -> int:
     return 0
 
 
+def _lint_trace_command(arguments: list[str]) -> int:
+    import re
+
+    from repro.kernels.registry import WORKLOAD_NAMES
+    from repro.runtime.engine import ExperimentRuntime
+    from repro.runtime.keys import trace_digest
+    from repro.runtime.tasks import Task
+    from repro.verify.tracelint import TRACE_RULES
+    from repro.workloads.suite import WorkloadSuite
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint-trace",
+        description="Statically verify trace/ISA invariants "
+        "(TR001-TR010, see docs/verify.md) over workload traces or "
+        ".npz archives, without running the simulator.",
+    )
+    parser.add_argument(
+        "targets", nargs="*",
+        help=f"workload names ({', '.join(WORKLOAD_NAMES)}) or .npz paths",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="lint every workload in the suite",
+    )
+    parser.add_argument("--jobs", "-j", type=int, default=1)
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        help="persistent cache: trace generation becomes cache-aware",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument(
+        "--no-roundtrip", action="store_true",
+        help="skip the TR009 serialize round-trip (faster)",
+    )
+    try:
+        options = parser.parse_args(arguments)
+    except SystemExit as exit_:
+        return int(exit_.code or 0)
+
+    targets = list(options.targets)
+    if options.all:
+        targets.extend(
+            name for name in WORKLOAD_NAMES if name not in targets
+        )
+    if not targets:
+        parser.print_usage(sys.stderr)
+        print("no targets: name workloads, paths, or pass --all",
+              file=sys.stderr)
+        return 2
+    names = [t for t in targets if t in WORKLOAD_NAMES]
+    paths = [t for t in targets if t not in WORKLOAD_NAMES]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"unknown workload or missing file: {', '.join(missing)}; "
+              f"workloads: {' '.join(WORKLOAD_NAMES)}", file=sys.stderr)
+        return 2
+
+    roundtrip = not options.no_roundtrip
+    content_address = re.compile(r"^[0-9a-f]{16,64}$")
+    runtime = ExperimentRuntime(
+        jobs=options.jobs, cache_dir=options.cache_dir
+    )
+    try:
+        suite = WorkloadSuite()
+        if names:
+            # Trace generation fans out over the pool and resolves from
+            # the persistent cache when one is configured.
+            runtime.run_workloads(suite, tuple(names))
+        tasks = []
+        for name in names:
+            trace = suite.trace(name)
+            digest = trace_digest(trace)
+            if runtime.executor.inline:
+                ref: object = trace
+            else:
+                ref = str(runtime.cache.store_trace(digest, trace))
+            tasks.append(Task(
+                kind="lint",
+                payload=(ref, digest, roundtrip),
+                label=f"lint:{name}",
+            ))
+        for path in paths:
+            stem = os.path.basename(path).split(".")[0]
+            expected = stem if content_address.match(stem) else None
+            tasks.append(Task(
+                kind="lint",
+                payload=(str(path), expected, roundtrip),
+                label=f"lint:{path}",
+            ))
+        outcomes = runtime.executor.run_many(tasks)
+    finally:
+        runtime.close()
+
+    reports = [outcome.value for outcome in outcomes]
+    failed = [report for report in reports if not report["ok"]]
+    if options.as_json:
+        print(json.dumps({
+            "rules": TRACE_RULES,
+            "traces": reports,
+            "ok": not failed,
+        }, indent=2))
+    else:
+        for report in reports:
+            lines = [f"trace {report['trace']} "
+                     f"({report['instructions']} instructions)"]
+            for check in report["checks"]:
+                status = "ok" if check["passed"] else "FAIL"
+                lines.append(
+                    f"  {check['rule']}  {check['title']:<28} {status}"
+                )
+                for violation in check["violations"]:
+                    where = violation["index"]
+                    anchor = "" if where is None else f" @ {where}"
+                    count = violation["count"]
+                    extra = "" if count <= 1 else f" ({count} instructions)"
+                    lines.append(
+                        f"         {violation['rule']}{anchor}: "
+                        f"{violation['message']}{extra}"
+                    )
+            print("\n".join(lines))
+        clean = len(reports) - len(failed)
+        print(f"{clean}/{len(reports)} traces clean")
+    return 1 if failed else 0
+
+
+def _lint_code_command(arguments: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.verify.repolint import RULES, lint_paths, write_manifest
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint-code",
+        description="Repo-specific AST lint (REP001-REP005, see "
+        "docs/verify.md) over src/repro.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: all of src/repro)",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument(
+        "--update-manifest", action="store_true",
+        help="re-pin the REP004 serialization manifest after a "
+        "deliberate, version-bumped serialization change",
+    )
+    try:
+        options = parser.parse_args(arguments)
+    except SystemExit as exit_:
+        return int(exit_.code or 0)
+
+    if options.update_manifest:
+        manifest = write_manifest()
+        print(f"pinned serialization manifest: schema_version="
+              f"{manifest['schema_version']} digest={manifest['digest']}")
+        return 0
+
+    paths = [Path(p) for p in options.paths] or None
+    violations = lint_paths(paths)
+    if options.as_json:
+        print(json.dumps({
+            "rules": RULES,
+            "ok": not violations,
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "path": v.path,
+                    "line": v.line,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+        }, indent=2))
+    else:
+        for violation in violations:
+            print(violation)
+        print(f"{len(violations)} violation(s)"
+              if violations else "repolint: clean")
+    return 1 if violations else 0
+
+
 def _run_experiments(arguments: list[str]) -> int:
     from repro.runtime.engine import ExperimentRuntime
 
@@ -163,6 +348,7 @@ def _run_experiments(arguments: list[str]) -> int:
     parser.add_argument("--report", default=None)
     parser.add_argument("--task-timeout", type=float, default=None)
     parser.add_argument("--retries", type=int, default=2)
+    parser.add_argument("--strict", action="store_true")
     try:
         options = parser.parse_args(arguments)
     except SystemExit as exit_:
@@ -181,6 +367,7 @@ def _run_experiments(arguments: list[str]) -> int:
         cache_dir=options.cache_dir,
         task_timeout=options.task_timeout,
         retries=options.retries,
+        strict=options.strict,
     )
     context = ExperimentContext(runtime=runtime)
     try:
@@ -221,6 +408,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_command(arguments[1:])
     if arguments[0] == "bench":
         return _bench_command(arguments[1:])
+    if arguments[0] == "lint-trace":
+        return _lint_trace_command(arguments[1:])
+    if arguments[0] == "lint-code":
+        return _lint_code_command(arguments[1:])
     return _run_experiments(arguments)
 
 

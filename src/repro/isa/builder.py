@@ -228,8 +228,15 @@ class TraceBuilder:
         """Instruction breakdown (valid in both modes)."""
         return InstructionMix(counts=tuple(self.counts))
 
-    def build(self) -> Trace:
-        """Finalize into a columnar :class:`Trace` (recording mode only)."""
+    def build(self, *, strict: bool = False) -> Trace:
+        """Finalize into a columnar :class:`Trace` (recording mode only).
+
+        With ``strict=True`` the finished trace is linted
+        (:func:`repro.verify.check_trace`) before being returned — the
+        development gate for new kernels, catching malformed emissions
+        (forward dependencies, missing addresses, phantom dest flags)
+        at build time rather than as skewed statistics later.
+        """
         if not self.record:
             raise ValueError(
                 "builder is in count-only mode; use mix() for statistics"
@@ -249,4 +256,9 @@ class TraceBuilder:
             "targets": np.ascontiguousarray(table[:, 6]),
             "sources": np.ascontiguousarray(table[:, 7:7 + MAX_SOURCES]),
         }
-        return Trace(self.name, columns=columns)
+        trace = Trace(self.name, columns=columns)
+        if strict:
+            from repro.verify import check_trace
+
+            check_trace(trace)
+        return trace

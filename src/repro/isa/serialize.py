@@ -68,11 +68,15 @@ def save_trace(trace: Trace, path: str | Path) -> None:
     )
 
 
-def load_trace(path: str | Path) -> Trace:
+def load_trace(path: str | Path, *, strict: bool = False) -> Trace:
     """Read a trace written by :func:`save_trace`.
 
     The stored arrays become the trace's native columns directly; no
-    instruction objects are materialized.
+    instruction objects are materialized.  With ``strict=True`` the
+    loaded trace is run through :func:`repro.verify.check_trace`, so a
+    corrupted or hand-tampered archive raises
+    :class:`~repro.verify.TraceLintError` instead of poisoning
+    downstream measurements.
     """
     with np.load(path, allow_pickle=False) as archive:
         version = int(archive["version"])
@@ -89,4 +93,9 @@ def load_trace(path: str | Path) -> Trace:
             "targets": archive["targets"],
             "sources": archive["sources"],
         }
-    return Trace(name, columns=columns)
+    trace = Trace(name, columns=columns)
+    if strict:
+        from repro.verify import check_trace
+
+        check_trace(trace)
+    return trace

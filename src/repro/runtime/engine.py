@@ -48,7 +48,11 @@ class ExperimentRuntime:
         fault_hook=None,
         executor=None,
         metrics: RunMetrics | None = None,
+        strict: bool = False,
     ) -> None:
+        #: Refuse to cache or simulate traces that fail lint
+        #: (repro.verify.tracelint); see docs/verify.md.
+        self.strict = strict
         self.metrics = metrics or RunMetrics()
         self.persistent = cache_dir is not None
         self._temporary = None
@@ -136,11 +140,15 @@ class ExperimentRuntime:
         for digest in miss_order:
             trace, config, occupancy = requests[miss_indices[digest][0]]
             if self.executor.inline:
+                if self.strict:
+                    from repro.verify import check_trace
+
+                    check_trace(trace)
                 trace_ref: object = trace
             else:
-                trace_ref = str(
-                    self.cache.store_trace(trace_digest(trace), trace)
-                )
+                trace_ref = str(self.cache.store_trace(
+                    trace_digest(trace), trace, strict=self.strict
+                ))
             tasks.append(Task(
                 kind="simulate",
                 payload=(trace_ref, config, occupancy),
@@ -185,7 +193,7 @@ class ExperimentRuntime:
                 name, budget, suite.database_config, suite.query
             )
             start = time.perf_counter()
-            from_disk = self.cache.load_kernel_run(digest)
+            from_disk = self.cache.load_kernel_run(digest, strict=self.strict)
             if from_disk is not None:
                 runs[name] = from_disk
                 suite.install_run(name, from_disk, budget)
@@ -218,7 +226,9 @@ class ExperimentRuntime:
         outcome: TaskOutcome,
     ) -> KernelRun:
         summary = outcome.value
-        trace = self.cache.load_trace(summary["trace_digest"])
+        trace = self.cache.load_trace(
+            summary["trace_digest"], strict=self.strict
+        )
         if trace is None:
             raise TaskError(
                 f"trace task for {name!r} reported digest "

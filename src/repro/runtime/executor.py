@@ -180,7 +180,9 @@ class PoolExecutor:
         for worker in self._workers:
             try:
                 worker.inbox.put(None)
-            except Exception:
+            except (OSError, ValueError):
+                # A dead worker's queue may already be closed; the join /
+                # terminate pass below still reaps the process.
                 pass
         for worker in self._workers:
             worker.process.join(timeout=1.0)

@@ -100,11 +100,13 @@ def code_salt() -> str:
 _trace_digests: dict[int, tuple[Trace, str]] = {}
 
 
-def trace_digest(trace: Trace) -> str:
-    """Content hash of a trace (name + exact on-disk column bytes)."""
-    memo = _trace_digests.get(id(trace))
-    if memo is not None and memo[0] is trace:
-        return memo[1]
+def compute_trace_digest(trace: Trace) -> str:
+    """Content hash of a trace (name + exact on-disk column bytes).
+
+    Pure recomputation, no memo — this is the single definition of
+    trace content identity, shared by the cache keys and by
+    :mod:`repro.verify`'s digest-recomputation check.
+    """
     from repro.isa.serialize import trace_columns
 
     digest = hashlib.blake2b(digest_size=16)
@@ -115,7 +117,15 @@ def trace_digest(trace: Trace) -> str:
         digest.update(column.encode())
         digest.update(str(array.dtype).encode())
         digest.update(array.tobytes())
-    value = digest.hexdigest()
+    return digest.hexdigest()
+
+
+def trace_digest(trace: Trace) -> str:
+    """Memoized :func:`compute_trace_digest` (keyed on trace identity)."""
+    memo = _trace_digests.get(id(trace))
+    if memo is not None and memo[0] is trace:
+        return memo[1]
+    value = compute_trace_digest(trace)
     _trace_digests[id(trace)] = (trace, value)
     return value
 

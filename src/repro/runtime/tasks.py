@@ -19,6 +19,13 @@ Kinds
     cache at ``cache_root``, and returns a summary dict (mix counts,
     scores, truncation, subjects, trace content digest).  The trace
     itself travels through the cache file, not the result queue.
+``lint``
+    ``(trace_ref, expected_digest, include_roundtrip)`` — runs the
+    TraceLint rules (:mod:`repro.verify.tracelint`) over one trace and
+    returns the report as a plain dict.  ``trace_ref`` follows the
+    ``simulate`` convention (a Trace in-process, a spilled ``.npz``
+    path across the pool), which is what lets ``repro lint-trace
+    --all --jobs N`` fan the workload set out over the worker pool.
 ``selftest``
     Tiny deterministic operations used by the executor's test suite and
     fault-injection scenarios.
@@ -74,6 +81,19 @@ def execute_trace(payload: tuple) -> dict:
     }
 
 
+def execute_lint(payload: tuple) -> dict:
+    from repro.verify import lint_trace
+
+    trace_ref, expected_digest, include_roundtrip = payload
+    trace = trace_ref if isinstance(trace_ref, Trace) else load_trace(trace_ref)
+    report = lint_trace(
+        trace,
+        expected_digest=expected_digest,
+        include_roundtrip=include_roundtrip,
+    )
+    return report.to_dict()
+
+
 def execute_selftest(payload: tuple):
     operation, *arguments = payload
     if operation == "square":
@@ -105,6 +125,7 @@ def execute_selftest(payload: tuple):
 TASK_KINDS = {
     "simulate": execute_simulate,
     "trace": execute_trace,
+    "lint": execute_lint,
     "selftest": execute_selftest,
 }
 

@@ -1,0 +1,53 @@
+"""repro.verify — static trace/ISA invariant checker and domain lint.
+
+Two layers:
+
+* **TraceLint** (:mod:`repro.verify.tracelint`): vectorized
+  well-formedness rules (TR001-TR010) over the SoA trace columns and
+  the decode plane, runnable without simulating.  Exposed on the CLI
+  as ``python -m repro lint-trace`` and as ``strict=True`` hooks in
+  ``load_trace`` / ``TraceBuilder.build`` / the runtime cache.
+* **RepoLint** (:mod:`repro.verify.repolint`): ``ast``-based passes
+  (REP001-REP005) encoding repo-specific hazards — nondeterminism,
+  column mutation, cache-key drift, serialization-version drift, and
+  exception hygiene.  Exposed as ``python -m repro lint-code`` and as
+  a tier-1 pytest gate.
+
+See ``docs/verify.md`` for the rule catalogue and suppression syntax.
+"""
+
+from repro.verify.repolint import (
+    RULES,
+    LintViolation,
+    config_key_coverage,
+    lint_paths,
+    lint_source,
+    serialization_fingerprint,
+    write_manifest,
+)
+from repro.verify.tracelint import (
+    TRACE_RULES,
+    TraceCheck,
+    TraceLintError,
+    TraceLintReport,
+    TraceViolation,
+    check_trace,
+    lint_trace,
+)
+
+__all__ = [
+    "RULES",
+    "TRACE_RULES",
+    "LintViolation",
+    "TraceCheck",
+    "TraceLintError",
+    "TraceLintReport",
+    "TraceViolation",
+    "check_trace",
+    "config_key_coverage",
+    "lint_paths",
+    "lint_source",
+    "lint_trace",
+    "serialization_fingerprint",
+    "write_manifest",
+]

@@ -1,0 +1,601 @@
+"""RepoLint: AST passes encoding this repo's domain-specific hazards.
+
+Generic linters cannot know that a wall-clock read inside a kernel
+poisons trace determinism, that writing into ``trace.columns`` corrupts
+every content digest downstream, or that a configuration knob missing
+from the cache key silently aliases simulation results.  Each rule here
+encodes one such incident class (several were real: the ``memory.name``
+key aliasing of PR 1, digest drift caught by ad-hoc guard tests):
+
+=======  =============================================================
+REP001   nondeterminism in library code: wall-clock reads, unseeded
+         RNG, global NumPy random state (outside the CLI/bench tools)
+REP002   direct mutation of trace columns or the decode plane outside
+         their owning modules (use copy APIs like ``extract_window``)
+REP003   a configuration dataclass field that the cache key builder
+         (``runtime.keys.config_key``) never reads
+REP004   digest-relevant serialization code changed without bumping
+         ``CACHE_SCHEMA_VERSION`` (tracked via a pinned manifest)
+REP005   bare ``except`` or silently swallowed broad ``except`` in the
+         ``repro.runtime`` workers/executors
+=======  =============================================================
+
+Suppression: append ``# repolint: disable=REP00x`` (comma-separated for
+several rules) to the offending line, or put
+``# repolint: disable-file=REP00x`` anywhere in the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+#: The package root this linter audits by default.
+PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+RULES: dict[str, str] = {
+    "REP001": "nondeterminism in library code",
+    "REP002": "trace/decode-plane mutation outside owning modules",
+    "REP003": "config field missing from the cache key",
+    "REP004": "serialization change without a schema-version bump",
+    "REP005": "bare or silently swallowed broad except in repro.runtime",
+}
+
+#: Modules allowed to be nondeterministic (CLI entry point, wall-clock
+#: benchmarking) — REP001 does not apply there.
+REP001_EXEMPT = ("__main__.py", "bench.py")
+
+#: time/datetime attributes that read the wall clock (results-visible
+#: nondeterminism).  perf_counter/monotonic/process_time only measure
+#: durations and sleep only waits, so they stay legal.
+WALL_CLOCK_ATTRS = {
+    "time": {"time", "time_ns", "ctime", "localtime", "gmtime"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+#: random-module attributes that are *not* global-state draws.
+RANDOM_SAFE_ATTRS = {"Random", "SystemRandom", "getstate", "setstate"}
+
+#: Modules that own the trace columns / decode plane and may mutate them.
+REP002_OWNERS = (
+    "isa/trace.py",
+    "isa/builder.py",
+    "isa/serialize.py",
+    "uarch/pipeline/decode.py",
+)
+
+#: Where REP005 applies.
+REP005_SCOPE = "runtime/"
+
+#: Definitions whose source feeds the REP004 manifest digest: any
+#: edit here can change cache-entry bytes or their addresses, so it
+#: must be a conscious, versioned decision.
+DIGEST_RELEVANT: dict[str, tuple[str, ...]] = {
+    "isa/trace.py": ("MAX_SOURCES", "COLUMN_DTYPES"),
+    "isa/serialize.py": (
+        "FORMAT_VERSION", "trace_columns", "save_trace", "load_trace",
+    ),
+    "runtime/keys.py": (
+        "config_key", "compute_trace_digest", "simulate_key",
+        "trace_task_key",
+    ),
+}
+
+MANIFEST_PATH = Path(__file__).resolve().parent / "serialization_manifest.json"
+
+_DISABLE_LINE = re.compile(r"#\s*repolint:\s*disable=([A-Z0-9, ]+)")
+_DISABLE_FILE = re.compile(r"#\s*repolint:\s*disable-file=([A-Z0-9, ]+)")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One repolint finding."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    per_line: dict[int, set[str]] = {}
+    whole_file: set[str] = set()
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_LINE.search(text)
+        if match:
+            per_line[number] = {
+                rule.strip() for rule in match.group(1).split(",")
+            }
+        match = _DISABLE_FILE.search(text)
+        if match:
+            whole_file |= {
+                rule.strip() for rule in match.group(1).split(",")
+            }
+    return per_line, whole_file
+
+
+class _ModuleAliases(ast.NodeVisitor):
+    """Map local names to the modules they import (np -> numpy, ...)."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+        self.from_imports: dict[str, str] = {}  # name -> "module.attr"
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+
+def _root_module(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """The imported module a dotted expression is rooted at, if any."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id)
+    return None
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+# ----------------------------------------------------------------------
+# REP001 — nondeterminism
+# ----------------------------------------------------------------------
+
+def _rep001(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
+    if relative.endswith(REP001_EXEMPT):
+        return []
+    imports = _ModuleAliases()
+    imports.visit(tree)
+    aliases = imports.aliases
+    findings: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            # from-import forms: default_rng(), urandom(), token_bytes()
+            if isinstance(func, ast.Name):
+                target = imports.from_imports.get(func.id, "")
+                if target == "numpy.random.default_rng" and not node.args:
+                    findings.append((
+                        node.lineno, "unseeded numpy default_rng()"
+                    ))
+                elif target in {"os.urandom", "uuid.uuid4", "uuid.uuid1"}:
+                    findings.append((node.lineno, f"{target} call"))
+            continue
+        chain = _attr_chain(func)
+        root = aliases.get(chain[0]) if chain else None
+        if root == "random":
+            if func.attr == "Random" and not node.args:
+                findings.append((
+                    node.lineno,
+                    "unseeded random.Random(); pass an explicit seed",
+                ))
+            elif func.attr not in RANDOM_SAFE_ATTRS:
+                findings.append((
+                    node.lineno,
+                    f"global random.{func.attr}(); use a seeded "
+                    "random.Random instance",
+                ))
+        elif root == "numpy" and len(chain) >= 3 and chain[1] == "random":
+            if func.attr == "default_rng" and node.args:
+                continue  # seeded generator construction is fine
+            findings.append((
+                node.lineno,
+                f"numpy global random state (np.random.{func.attr}); "
+                "use a seeded Generator",
+            ))
+        elif root == "time" and func.attr in WALL_CLOCK_ATTRS["time"]:
+            findings.append((
+                node.lineno,
+                f"wall-clock read time.{func.attr}(); timings belong in "
+                "the CLI/bench layers",
+            ))
+        elif root == "datetime" and func.attr in (
+            WALL_CLOCK_ATTRS["datetime"] | WALL_CLOCK_ATTRS["date"]
+        ):
+            findings.append((
+                node.lineno, f"wall-clock read datetime {func.attr}()"
+            ))
+        elif root == "os" and func.attr == "urandom":
+            findings.append((node.lineno, "os.urandom() entropy read"))
+        elif root == "uuid" and func.attr in {"uuid1", "uuid4"}:
+            findings.append((node.lineno, f"uuid.{func.attr}() call"))
+        elif root == "secrets":
+            findings.append((node.lineno, f"secrets.{func.attr}() call"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP002 — column / decode-plane mutation
+# ----------------------------------------------------------------------
+
+def _subscript_base(node: ast.expr) -> ast.expr:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _targets_columns(node: ast.expr) -> bool:
+    base = _subscript_base(node)
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(base, ast.Attribute)
+        and base.attr == "columns"
+    )
+
+
+def _rep002(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
+    if relative.endswith(REP002_OWNERS):
+        return []
+    findings: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            elements = (
+                target.elts
+                if isinstance(target, (ast.Tuple, ast.List))
+                else [target]
+            )
+            for element in elements:
+                if _targets_columns(element):
+                    findings.append((
+                        node.lineno,
+                        "writes into trace columns; columns are "
+                        "immutable outside repro.isa — copy via "
+                        "extract_window-style APIs",
+                    ))
+                elif (
+                    isinstance(element, ast.Attribute)
+                    and element.attr == "_decoded"
+                ):
+                    findings.append((
+                        node.lineno,
+                        "writes the cached decode plane; only "
+                        "repro.uarch.pipeline.decode may do that",
+                    ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP003 — config-key field coverage
+# ----------------------------------------------------------------------
+
+def _dataclass_fields_from_source(source: str) -> dict[str, dict[str, int]]:
+    """``class name -> {field name -> line}`` for @dataclass definitions."""
+    tree = ast.parse(source)
+    result: dict[str, dict[str, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        is_dataclass = any(
+            (isinstance(d, ast.Name) and d.id == "dataclass")
+            or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+            or (
+                isinstance(d, ast.Call)
+                and (
+                    (isinstance(d.func, ast.Name)
+                     and d.func.id == "dataclass")
+                    or (isinstance(d.func, ast.Attribute)
+                        and d.func.attr == "dataclass")
+                )
+            )
+            for d in node.decorator_list
+        )
+        if not is_dataclass:
+            continue
+        fields: dict[str, int] = {}
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                fields[statement.target.id] = statement.lineno
+        result[node.name] = fields
+    return result
+
+
+def _attrs_read_in_function(source: str, function: str) -> set[str]:
+    """All attribute names read anywhere inside one top-level function."""
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == function:
+            return {
+                sub.attr
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Attribute)
+            }
+    return set()
+
+
+def config_key_coverage(
+    config_source: str | None = None, keys_source: str | None = None
+) -> dict[str, list[tuple[str, int]]]:
+    """``class -> [(field, line), ...]`` fields the cache key never reads.
+
+    The shared implementation behind REP003 and
+    ``tests/test_config_key_guard.py``: every field of every
+    configuration dataclass in ``uarch/config.py`` must appear as an
+    attribute read inside ``runtime.keys.config_key`` (or be explicitly
+    suppressed there).
+    """
+    if config_source is None:
+        config_source = (PACKAGE_ROOT / "uarch" / "config.py").read_text()
+    if keys_source is None:
+        keys_source = (PACKAGE_ROOT / "runtime" / "keys.py").read_text()
+    classes = _dataclass_fields_from_source(config_source)
+    read = _attrs_read_in_function(keys_source, "config_key")
+    missing: dict[str, list[tuple[str, int]]] = {}
+    for name, fields in classes.items():
+        gaps = [
+            (field, line)
+            for field, line in fields.items()
+            if field not in read
+        ]
+        if gaps:
+            missing[name] = gaps
+    return missing
+
+
+def _rep003() -> list[LintViolation]:
+    config_path = PACKAGE_ROOT / "uarch" / "config.py"
+    relative = str(config_path.relative_to(PACKAGE_ROOT.parent))
+    violations = []
+    for class_name, gaps in config_key_coverage().items():
+        for field_name, line in gaps:
+            violations.append(LintViolation(
+                "REP003",
+                relative,
+                line,
+                f"{class_name}.{field_name} is never read by "
+                "runtime.keys.config_key: different configurations "
+                "would alias one cache entry",
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# REP004 — serialization manifest
+# ----------------------------------------------------------------------
+
+def _definition_source(source: str, names: tuple[str, ...]) -> str:
+    """Concatenated source segments of the named top-level definitions."""
+    tree = ast.parse(source)
+    segments = []
+    for node in tree.body:
+        matched = None
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and node.name in names:
+            matched = node.name
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in names:
+                    matched = target.id
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ) and node.target.id in names:
+            matched = node.target.id
+        if matched is not None:
+            segment = ast.get_source_segment(source, node) or ""
+            segments.append(f"### {matched}\n{segment}")
+    return "\n".join(segments)
+
+
+def _current_schema_version() -> int:
+    source = (PACKAGE_ROOT / "runtime" / "keys.py").read_text()
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "CACHE_SCHEMA_VERSION"
+                ):
+                    return int(ast.literal_eval(node.value))
+    raise LookupError("CACHE_SCHEMA_VERSION not found in runtime/keys.py")
+
+
+def serialization_fingerprint() -> dict:
+    """Digest of every digest-relevant definition plus the schema version."""
+    digest = hashlib.blake2b(digest_size=16)
+    for relative in sorted(DIGEST_RELEVANT):
+        source = (PACKAGE_ROOT / relative).read_text()
+        digest.update(relative.encode())
+        digest.update(
+            _definition_source(source, DIGEST_RELEVANT[relative]).encode()
+        )
+    return {
+        "schema_version": _current_schema_version(),
+        "digest": digest.hexdigest(),
+    }
+
+
+def write_manifest(path: Path | None = None) -> dict:
+    """Refresh the pinned manifest (``repro lint-code --update-manifest``)."""
+    manifest = serialization_fingerprint()
+    target = MANIFEST_PATH if path is None else path
+    target.write_text(json.dumps(manifest, indent=2) + "\n")
+    return manifest
+
+
+def _rep004() -> list[LintViolation]:
+    relative = "repro/runtime/keys.py"
+    try:
+        manifest = json.loads(MANIFEST_PATH.read_text())
+    except (OSError, ValueError):
+        return [LintViolation(
+            "REP004", relative, 1,
+            "serialization manifest missing/corrupt; run "
+            "`python -m repro lint-code --update-manifest`",
+        )]
+    current = serialization_fingerprint()
+    if current == manifest:
+        return []
+    if (
+        current["digest"] != manifest.get("digest")
+        and current["schema_version"] == manifest.get("schema_version")
+    ):
+        return [LintViolation(
+            "REP004", relative, 1,
+            "digest-relevant serialization code changed without bumping "
+            "CACHE_SCHEMA_VERSION; bump it in runtime/keys.py, then run "
+            "`python -m repro lint-code --update-manifest`",
+        )]
+    return [LintViolation(
+        "REP004", relative, 1,
+        "serialization manifest is stale; run "
+        "`python -m repro lint-code --update-manifest`",
+    )]
+
+
+# ----------------------------------------------------------------------
+# REP005 — exception hygiene in repro.runtime
+# ----------------------------------------------------------------------
+
+def _rep005(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
+    if REP005_SCOPE not in relative.replace("\\", "/"):
+        return []
+    findings: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append((
+                node.lineno,
+                "bare `except:`; name the exceptions this worker code "
+                "expects",
+            ))
+            continue
+        names = []
+        candidates = (
+            node.type.elts
+            if isinstance(node.type, ast.Tuple)
+            else [node.type]
+        )
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name):
+                names.append(candidate.id)
+            elif isinstance(candidate, ast.Attribute):
+                names.append(candidate.attr)
+        broad = {"Exception", "BaseException"} & set(names)
+        swallows = all(
+            isinstance(statement, ast.Pass)
+            or (
+                isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)
+            )
+            for statement in node.body
+        )
+        if broad and swallows:
+            findings.append((
+                node.lineno,
+                f"`except {'/'.join(sorted(broad))}` silently swallows "
+                "errors; narrow the exception types or handle the error",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+_PER_FILE_RULES = {
+    "REP001": _rep001,
+    "REP002": _rep002,
+    "REP005": _rep005,
+}
+
+
+def lint_source(
+    source: str,
+    relative: str,
+    rules: set[str] | None = None,
+) -> list[LintViolation]:
+    """Run the per-file rules over one module's source text."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [LintViolation(
+            "REP000", relative, error.lineno or 1,
+            f"syntax error: {error.msg}",
+        )]
+    per_line, whole_file = _suppressions(source)
+    violations: list[LintViolation] = []
+    for rule, implementation in _PER_FILE_RULES.items():
+        if rules is not None and rule not in rules:
+            continue
+        if rule in whole_file:
+            continue
+        for line, message in implementation(tree, relative):
+            if rule in per_line.get(line, ()):
+                continue
+            violations.append(LintViolation(rule, relative, line, message))
+    return violations
+
+
+def lint_paths(
+    paths: list[Path] | None = None,
+    rules: set[str] | None = None,
+) -> list[LintViolation]:
+    """Run RepoLint over source files (defaults to all of ``src/repro``).
+
+    Repo-level rules (REP003, REP004) run whenever their subjects are
+    in scope, i.e. always for the default full-package run.
+    """
+    if paths is None:
+        files = sorted(PACKAGE_ROOT.rglob("*.py"))
+        repo_level = True
+    else:
+        files = []
+        for path in paths:
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+        repo_level = True
+    violations: list[LintViolation] = []
+    for path in files:
+        try:
+            relative = str(path.resolve().relative_to(PACKAGE_ROOT.parent))
+        except ValueError:
+            relative = str(path)
+        violations.extend(
+            lint_source(path.read_text(), relative, rules=rules)
+        )
+    if repo_level:
+        if rules is None or "REP003" in rules:
+            violations.extend(_rep003())
+        if rules is None or "REP004" in rules:
+            violations.extend(_rep004())
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations

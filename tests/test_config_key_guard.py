@@ -1,209 +1,73 @@
 """Guard: the structural config key must cover every configuration knob.
 
-The persistent result cache addresses simulation results by
-``analysis.context._config_key``.  A field added to any configuration
-dataclass but forgotten in the key would silently alias cache entries
-(two different machines sharing one cached result).  These tests
-enumerate ``dataclasses.fields`` of every config dataclass and require
-(a) an explicit mutation for each field in the tables below — so adding
-a knob fails the suite until the key question is answered — and (b)
-that each mutation actually changes the key.
+A field added to any configuration dataclass but forgotten in
+``runtime.keys.config_key`` would silently alias cache entries (two
+different machines sharing one cached result).  The mutation tables and
+both guard predicates now live in :mod:`repro.verify.guards`, shared
+with ``repro lint-code`` (REP003); this module is the thin tier-1
+caller that turns each gap into a named assertion failure.
 """
 
-import dataclasses
-from dataclasses import replace
+from __future__ import annotations
 
-from repro.analysis.context import _config_key
-from repro.isa.opcodes import FunctionalUnit
-from repro.uarch.config import (
-    ME1,
-    PROC_4WAY,
-    BranchPredictorConfig,
-    CacheConfig,
-    MemoryConfig,
-    ProcessorConfig,
-    TlbConfig,
+import pytest
+
+from repro.verify.guards import (
+    GUARDED_CONFIGS,
+    NESTED_CONFIGS,
+    config_key_blind_spots,
+    config_mutation_gaps,
 )
-
-BASE = PROC_4WAY.with_memory(ME1)
-
-
-def bump_units(config):
-    units = dict(config.units)
-    units[FunctionalUnit.FX] += 1
-    return replace(config, units=units)
+from repro.verify.repolint import config_key_coverage
 
 
-#: field name -> mutation producing a valid, structurally different config.
-PROCESSOR_MUTATIONS = {
-    "name": lambda c: replace(c, name=c.name + "-x"),
-    "fetch_width": lambda c: replace(c, fetch_width=c.fetch_width + 1),
-    "dispatch_width": lambda c: replace(c, dispatch_width=c.dispatch_width + 1),
-    "retire_width": lambda c: replace(c, retire_width=c.retire_width + 1),
-    "inflight": lambda c: replace(c, inflight=c.inflight + 1),
-    "gpr": lambda c: replace(c, gpr=c.gpr + 1),
-    "vpr": lambda c: replace(c, vpr=c.vpr + 1),
-    "fpr": lambda c: replace(c, fpr=c.fpr + 1),
-    "units": bump_units,
-    "issue_queue_size": lambda c: replace(
-        c, issue_queue_size=c.issue_queue_size + 1
-    ),
-    "ibuffer_size": lambda c: replace(c, ibuffer_size=c.ibuffer_size + 1),
-    "retire_queue": lambda c: replace(c, retire_queue=c.retire_queue + 1),
-    "dcache_read_ports": lambda c: replace(
-        c, dcache_read_ports=c.dcache_read_ports + 1
-    ),
-    "dcache_write_ports": lambda c: replace(
-        c, dcache_write_ports=c.dcache_write_ports + 1
-    ),
-    "max_outstanding_misses": lambda c: replace(
-        c, max_outstanding_misses=c.max_outstanding_misses + 1
-    ),
-    "store_queue_size": lambda c: replace(
-        c, store_queue_size=c.store_queue_size + 1
-    ),
-    "memory": lambda c: c.with_memory(
-        replace(c.memory, memory_latency=c.memory.memory_latency + 1)
-    ),
-    "branch": lambda c: c.with_branch(
-        replace(c.branch, mispredict_recovery=c.branch.mispredict_recovery + 1)
-    ),
-    "wide_load_extra_latency": lambda c: replace(
-        c, wide_load_extra_latency=c.wide_load_extra_latency + 1
-    ),
-}
-
-MEMORY_MUTATIONS = {
-    "name": lambda m: replace(m, name=m.name + "-x"),
-    "il1": lambda m: replace(
-        m, il1=replace(m.il1, latency=m.il1.latency + 1)
-    ),
-    "dl1": lambda m: replace(
-        m, dl1=replace(m.dl1, latency=m.dl1.latency + 1)
-    ),
-    "l2": lambda m: replace(m, l2=replace(m.l2, latency=m.l2.latency + 1)),
-    "memory_latency": lambda m: replace(
-        m, memory_latency=m.memory_latency + 1
-    ),
-    "itlb": lambda m: replace(
-        m, itlb=replace(m.itlb, miss_penalty=m.itlb.miss_penalty + 1)
-    ),
-    "dtlb": lambda m: replace(
-        m, dtlb=replace(m.dtlb, miss_penalty=m.dtlb.miss_penalty + 1)
-    ),
-    "sequential_prefetch": lambda m: replace(
-        m, sequential_prefetch=not m.sequential_prefetch
-    ),
-}
-
-CACHE_MUTATIONS = {
-    "size_bytes": lambda c: replace(c, size_bytes=c.size_bytes * 2),
-    "associativity": lambda c: replace(
-        c, associativity=c.associativity * 2
-    ),
-    "line_bytes": lambda c: replace(c, line_bytes=c.line_bytes // 2),
-    "latency": lambda c: replace(c, latency=c.latency + 1),
-}
-
-TLB_MUTATIONS = {
-    "entries": lambda t: replace(t, entries=t.entries * 2),
-    "associativity": lambda t: replace(t, associativity=t.associativity * 2),
-    "page_bytes": lambda t: replace(t, page_bytes=t.page_bytes * 2),
-    "miss_penalty": lambda t: replace(t, miss_penalty=t.miss_penalty + 1),
-}
-
-BRANCH_MUTATIONS = {
-    "kind": lambda b: replace(b, kind="gshare"),
-    "table_entries": lambda b: replace(b, table_entries=b.table_entries * 2),
-    "btb_entries": lambda b: replace(b, btb_entries=b.btb_entries * 2),
-    "btb_associativity": lambda b: replace(
-        b, btb_associativity=b.btb_associativity * 2
-    ),
-    "btb_miss_penalty": lambda b: replace(
-        b, btb_miss_penalty=b.btb_miss_penalty + 1
-    ),
-    "max_predicted_branches": lambda b: replace(
-        b, max_predicted_branches=b.max_predicted_branches + 1
-    ),
-    "mispredict_recovery": lambda b: replace(
-        b, mispredict_recovery=b.mispredict_recovery + 1
-    ),
-}
+def test_every_config_field_has_a_mutation():
+    assert config_mutation_gaps() == {}, (
+        "a config dataclass and its mutation table disagree; decide "
+        "whether the new/removed knob addresses the cache, then update "
+        "repro.verify.guards and runtime.keys.config_key together"
+    )
 
 
-def field_names(dataclass_type) -> set:
-    return {field.name for field in dataclasses.fields(dataclass_type)}
+def test_every_mutation_changes_the_key():
+    assert config_key_blind_spots() == [], (
+        "these knobs are not part of config_key: different "
+        "configurations would alias one cache entry"
+    )
 
 
-class TestProcessorCoverage:
-    def test_every_field_has_a_mutation(self):
-        assert field_names(ProcessorConfig) == set(PROCESSOR_MUTATIONS), (
-            "ProcessorConfig grew a field; add it to _config_key (or "
-            "justify its exclusion) and to PROCESSOR_MUTATIONS"
-        )
-
-    def test_every_mutation_changes_the_key(self):
-        for name, mutate in PROCESSOR_MUTATIONS.items():
-            changed = mutate(BASE)
-            assert _config_key(changed) != _config_key(BASE), (
-                f"ProcessorConfig.{name} is not part of _config_key: "
-                f"different configurations would alias one cache entry"
-            )
+def test_static_coverage_agrees_with_dynamic_guards():
+    """REP003's AST pass must see the same world as the dynamic guards."""
+    assert config_key_coverage() == {}
 
 
-class TestMemoryCoverage:
-    def test_every_field_has_a_mutation(self):
-        assert field_names(MemoryConfig) == set(MEMORY_MUTATIONS)
-
-    def test_every_mutation_changes_the_key(self):
-        for name, mutate in MEMORY_MUTATIONS.items():
-            changed = BASE.with_memory(mutate(BASE.memory))
-            assert _config_key(changed) != _config_key(BASE), (
-                f"MemoryConfig.{name} is not part of _config_key"
-            )
-
-
-class TestCacheCoverage:
-    def test_every_field_has_a_mutation(self):
-        assert field_names(CacheConfig) == set(CACHE_MUTATIONS)
-
-    def test_every_mutation_changes_the_key(self):
-        for level in ("il1", "dl1", "l2"):
-            for name, mutate in CACHE_MUTATIONS.items():
-                memory = replace(
-                    BASE.memory, **{level: mutate(getattr(BASE.memory, level))}
-                )
-                changed = BASE.with_memory(memory)
-                assert _config_key(changed) != _config_key(BASE), (
-                    f"CacheConfig.{name} (via {level}) is not part of "
-                    f"_config_key"
-                )
+def test_guard_tables_cover_all_config_dataclasses():
+    names = {cls.__name__ for cls in GUARDED_CONFIGS} | {
+        cls.__name__ for cls in NESTED_CONFIGS
+    }
+    assert names == {
+        "ProcessorConfig",
+        "MemoryConfig",
+        "BranchPredictorConfig",
+        "CacheConfig",
+        "TlbConfig",
+    }
 
 
-class TestTlbCoverage:
-    def test_every_field_has_a_mutation(self):
-        assert field_names(TlbConfig) == set(TLB_MUTATIONS)
+def test_blind_spot_reporting_names_the_field():
+    """A key that ignores a knob is reported as ``Class.field``."""
+    from dataclasses import replace
 
-    def test_every_mutation_changes_the_key(self):
-        for side in ("itlb", "dtlb"):
-            for name, mutate in TLB_MUTATIONS.items():
-                memory = replace(
-                    BASE.memory, **{side: mutate(getattr(BASE.memory, side))}
-                )
-                changed = BASE.with_memory(memory)
-                assert _config_key(changed) != _config_key(BASE), (
-                    f"TlbConfig.{name} (via {side}) is not part of "
-                    f"_config_key"
-                )
+    from repro.verify import guards
 
-
-class TestBranchCoverage:
-    def test_every_field_has_a_mutation(self):
-        assert field_names(BranchPredictorConfig) == set(BRANCH_MUTATIONS)
-
-    def test_every_mutation_changes_the_key(self):
-        for name, mutate in BRANCH_MUTATIONS.items():
-            changed = BASE.with_branch(mutate(BASE.branch))
-            assert _config_key(changed) != _config_key(BASE), (
-                f"BranchPredictorConfig.{name} is not part of _config_key"
-            )
+    broken = dict(GUARDED_CONFIGS)
+    broken[guards.ProcessorConfig] = (
+        {"fetch_width": lambda c: replace(c, fetch_width=c.fetch_width)},
+        lambda mutate: mutate(guards.BASE),
+    )
+    with pytest.MonkeyPatch.context() as patcher:
+        patcher.setattr(guards, "GUARDED_CONFIGS", broken)
+        patcher.setattr(guards, "NESTED_CONFIGS", {})
+        assert guards.config_key_blind_spots() == [
+            "ProcessorConfig.fetch_width"
+        ]

@@ -1,22 +1,22 @@
 """Digest stability across trace storage paths.
 
 The persistent result cache addresses traces by content digest
-(``repro.runtime.keys.trace_digest`` over the exact serialized column
-bytes).  Three code paths produce a trace object: the kernel ->
-``TraceBuilder`` path, ``load_trace`` on a saved archive, and
-``Trace.slice`` (zero-copy column views).  All three must digest
-byte-identically, otherwise cached results would silently miss (or
-worse, collide) after a representation change.
+(``repro.runtime.keys.compute_trace_digest`` over the exact serialized
+column bytes).  The byte-identity and round-trip assertions now live in
+:mod:`repro.verify.tracelint` (rules TR007/TR008/TR009), shared with
+``repro lint-trace``; this module drives those shared checks against a
+real built trace and keeps the slice-identity properties that are
+specific to ``Trace.slice``.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.isa.serialize import load_trace, save_trace, trace_columns
-from repro.isa.trace import COLUMN_DTYPES, Trace
-from repro.runtime.keys import trace_digest
+from repro.isa.serialize import load_trace, save_trace
+from repro.isa.trace import Trace
+from repro.runtime.keys import compute_trace_digest, trace_digest
+from repro.verify.tracelint import check_digest, check_roundtrip, check_schema
 
 
 @pytest.fixture(scope="module")
@@ -24,8 +24,28 @@ def built_trace(small_suite) -> Trace:
     return small_suite.trace("ssearch34")
 
 
+def test_roundtrip_is_column_byte_identical(built_trace):
+    """TR009 over a real trace: save -> load preserves name, dtypes,
+    column bytes, and therefore the content digest."""
+    assert check_roundtrip(built_trace) == []
+
+
+def test_digest_check_accepts_the_built_digest(built_trace):
+    assert check_digest(built_trace, trace_digest(built_trace)) == []
+
+
+def test_digest_check_rejects_a_foreign_digest(built_trace):
+    violations = check_digest(built_trace, "0" * 32)
+    assert [violation.rule for violation in violations] == ["TR008"]
+
+
+def test_memoized_digest_matches_pure_recomputation(built_trace):
+    """``trace_digest`` (memoized) and ``compute_trace_digest`` (pure,
+    used by TraceLint) are the same function on the same bytes."""
+    assert trace_digest(built_trace) == compute_trace_digest(built_trace)
+
+
 def test_loaded_trace_digest_matches_built(built_trace, tmp_path_factory):
-    """save -> load round trip preserves the content digest exactly."""
     path = tmp_path_factory.mktemp("digest") / "trace.npz"
     save_trace(built_trace, path)
     loaded = load_trace(path)
@@ -50,23 +70,6 @@ def test_slice_digest_differs_from_full(built_trace):
     assert trace_digest(built_trace.slice(limit)) != trace_digest(built_trace)
 
 
-def test_trace_columns_bytes_identical_across_paths(
-    built_trace, tmp_path_factory
-):
-    """The serialized column payloads are byte-identical, not just the hash."""
-    path = tmp_path_factory.mktemp("digest") / "trace.npz"
-    save_trace(built_trace, path)
-    loaded = load_trace(path)
-    built_columns = trace_columns(built_trace)
-    loaded_columns = trace_columns(loaded)
-    assert built_columns.keys() == loaded_columns.keys()
-    for name, column in built_columns.items():
-        other = loaded_columns[name]
-        assert column.dtype == other.dtype, name
-        assert column.tobytes() == other.tobytes(), name
-
-
 def test_columns_use_canonical_dtypes(built_trace):
-    """Column dtypes stay pinned to the serialization contract."""
-    for name, column in built_trace.columns.items():
-        assert column.dtype == np.dtype(COLUMN_DTYPES[name]), name
+    """TR007: column dtypes stay pinned to the serialization contract."""
+    assert check_schema(built_trace) == []

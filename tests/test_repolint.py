@@ -1,0 +1,315 @@
+"""RepoLint: rule units on synthetic sources, suppression, repo gate.
+
+The final class is the tier-1 gate the ISSUE requires: the shipped
+package must be clean under every REP rule, so any regression (a new
+wall-clock read in library code, a column mutation outside repro.isa, a
+config knob missing from the cache key, a serialization edit without a
+version bump, a swallowed except in the runtime) fails the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.verify import lint_paths, lint_source
+from repro.verify.repolint import (
+    MANIFEST_PATH,
+    config_key_coverage,
+    serialization_fingerprint,
+    write_manifest,
+)
+
+LIB = "repro/analysis/synthetic_module.py"
+RUNTIME = "repro/runtime/synthetic_module.py"
+
+
+def rules_of(violations) -> list[str]:
+    return [violation.rule for violation in violations]
+
+
+def lint(source: str, relative: str = LIB):
+    return lint_source(textwrap.dedent(source), relative)
+
+
+class TestRep001Nondeterminism:
+    def test_wall_clock_and_global_random_flagged(self):
+        violations = lint(
+            """
+            import random
+            import time
+
+            def jitter():
+                return random.random() + time.time()
+            """
+        )
+        assert rules_of(violations) == ["REP001", "REP001"]
+        messages = " ".join(violation.message for violation in violations)
+        assert "random.random" in messages
+        assert "time.time" in messages
+
+    def test_seeded_rng_and_duration_timers_are_legal(self):
+        assert lint(
+            """
+            import random
+            import time
+            from numpy.random import default_rng
+
+            def sample(seed):
+                rng = random.Random(seed)
+                generator = default_rng(seed)
+                start = time.perf_counter()
+                return rng.random(), generator.random(), start
+            """
+        ) == []
+
+    def test_unseeded_generators_flagged(self):
+        violations = lint(
+            """
+            import random
+            import numpy as np
+            from numpy.random import default_rng
+
+            def entropy():
+                return random.Random(), np.random.rand(), default_rng()
+            """
+        )
+        assert rules_of(violations) == ["REP001"] * 3
+
+    def test_uuid_and_secrets_flagged(self):
+        violations = lint(
+            """
+            import os
+            import secrets
+            import uuid
+
+            def token():
+                return uuid.uuid4(), secrets.token_hex(), os.urandom(8)
+            """
+        )
+        assert rules_of(violations) == ["REP001"] * 3
+
+    def test_cli_and_bench_modules_exempt(self):
+        source = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert lint(source, "repro/__main__.py") == []
+        assert lint(source, "repro/bench.py") == []
+        assert rules_of(lint(source, LIB)) == ["REP001"]
+
+
+class TestRep002ColumnMutation:
+    def test_column_write_flagged_outside_owners(self):
+        violations = lint(
+            """
+            def clamp(trace):
+                trace.columns["sizes"][0] = 8
+                trace.columns["ops"][:10] += 1
+            """
+        )
+        assert rules_of(violations) == ["REP002", "REP002"]
+
+    def test_decode_plane_write_flagged(self):
+        violations = lint(
+            """
+            def invalidate(trace):
+                trace._decoded = None
+            """
+        )
+        assert rules_of(violations) == ["REP002"]
+
+    def test_owning_modules_may_mutate(self):
+        source = """
+        def build(trace):
+            trace.columns["sizes"][0] = 8
+            trace._decoded = None
+        """
+        assert lint(source, "repro/isa/trace.py") == []
+        assert lint(source, "repro/uarch/pipeline/decode.py") == []
+
+    def test_reads_and_fresh_dicts_are_legal(self):
+        assert lint(
+            """
+            def window(trace, limit):
+                columns = {
+                    name: column[:limit]
+                    for name, column in trace.columns.items()
+                }
+                first = trace.columns["ops"][0]
+                return columns, first
+            """
+        ) == []
+
+
+class TestRep005ExceptionHygiene:
+    def test_bare_and_swallowed_broad_except_flagged(self):
+        violations = lint(
+            """
+            def drain(queue):
+                try:
+                    queue.get()
+                except:
+                    pass
+                try:
+                    queue.put(None)
+                except Exception:
+                    pass
+            """,
+            RUNTIME,
+        )
+        assert rules_of(violations) == ["REP005", "REP005"]
+
+    def test_handled_or_narrow_excepts_are_legal(self):
+        assert lint(
+            """
+            def drain(queue, log):
+                try:
+                    queue.get()
+                except Exception as error:
+                    log(error)
+                try:
+                    queue.put(None)
+                except (OSError, ValueError):
+                    pass
+            """,
+            RUNTIME,
+        ) == []
+
+    def test_rule_scoped_to_runtime(self):
+        source = """
+        def best_effort(callback):
+            try:
+                callback()
+            except Exception:
+                pass
+        """
+        assert rules_of(lint(source, RUNTIME)) == ["REP005"]
+        assert lint(source, LIB) == []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        violations = lint(
+            """
+            import time
+
+            def stamps():
+                first = time.time()  # repolint: disable=REP001
+                second = time.time()
+                return first, second
+            """
+        )
+        assert len(violations) == 1
+        assert violations[0].line == 6
+
+    def test_file_suppression(self):
+        assert lint(
+            """
+            # repolint: disable-file=REP001
+            import time
+
+            def stamps():
+                return time.time(), time.time()
+            """
+        ) == []
+
+    def test_suppression_is_per_rule(self):
+        violations = lint(
+            """
+            import time
+
+            def touch(trace):
+                trace.columns["ops"][0] = 1  # repolint: disable=REP001
+                return time.time()
+            """
+        )
+        assert rules_of(violations) == ["REP001", "REP002"]
+
+
+class TestRep003Coverage:
+    def test_uncovered_field_reported_with_line(self):
+        config_source = textwrap.dedent(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class FooConfig:
+                width: int
+                depth: int
+            """
+        )
+        keys_source = textwrap.dedent(
+            """
+            def config_key(config):
+                return ("w", config.width)
+            """
+        )
+        coverage = config_key_coverage(config_source, keys_source)
+        assert list(coverage) == ["FooConfig"]
+        [(field, line)] = coverage["FooConfig"]
+        assert field == "depth"
+        assert config_source.splitlines()[line - 1].strip() == "depth: int"
+
+    def test_fully_read_dataclass_is_clean(self):
+        config_source = "from dataclasses import dataclass\n" \
+            "@dataclass\nclass Foo:\n    width: int\n"
+        keys_source = "def config_key(c):\n    return (c.width,)\n"
+        assert config_key_coverage(config_source, keys_source) == {}
+
+
+class TestRep004Manifest:
+    def test_fingerprint_is_deterministic(self):
+        assert serialization_fingerprint() == serialization_fingerprint()
+
+    def test_pinned_manifest_matches_current_sources(self):
+        pinned = json.loads(MANIFEST_PATH.read_text())
+        assert pinned == serialization_fingerprint(), (
+            "digest-relevant serialization code changed; bump "
+            "CACHE_SCHEMA_VERSION and run "
+            "`python -m repro lint-code --update-manifest`"
+        )
+
+    def test_write_manifest_to_explicit_path(self, tmp_path):
+        target = tmp_path / "manifest.json"
+        manifest = write_manifest(target)
+        assert json.loads(target.read_text()) == manifest
+        assert set(manifest) == {"schema_version", "digest"}
+
+    def test_drift_names_the_version_bump(self, monkeypatch, tmp_path):
+        from repro.verify import repolint
+
+        stale = serialization_fingerprint()
+        stale["digest"] = "0" * 32
+        target = tmp_path / "manifest.json"
+        target.write_text(json.dumps(stale))
+        monkeypatch.setattr(repolint, "MANIFEST_PATH", target)
+        violations = repolint._rep004()
+        assert rules_of(violations) == ["REP004"]
+        assert "CACHE_SCHEMA_VERSION" in violations[0].message
+
+    def test_missing_manifest_reported(self, monkeypatch, tmp_path):
+        from repro.verify import repolint
+
+        monkeypatch.setattr(
+            repolint, "MANIFEST_PATH", tmp_path / "absent.json"
+        )
+        violations = repolint._rep004()
+        assert rules_of(violations) == ["REP004"]
+        assert "--update-manifest" in violations[0].message
+
+
+class TestSyntaxErrors:
+    def test_unparsable_source_is_rep000(self):
+        violations = lint_source("def broken(:\n", LIB)
+        assert rules_of(violations) == ["REP000"]
+
+
+class TestRepoGate:
+    def test_shipped_package_is_clean(self):
+        violations = lint_paths()
+        assert violations == [], "\n".join(
+            str(violation) for violation in violations
+        )

@@ -1,0 +1,138 @@
+"""TraceLint: clean traces pass, every corruption class is named.
+
+The golden workloads must lint clean (the CI ``lint-trace --all`` gate
+depends on it), and each corruption operator in
+``tracelint_corruptions.CORRUPTIONS`` must be flagged under exactly the
+rule that owns its invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.builder import TraceBuilder
+from repro.runtime.cache import ResultCache
+from repro.runtime.keys import trace_digest
+from repro.verify import TraceLintError, check_trace, lint_trace
+from repro.verify.tracelint import TRACE_RULES
+from tracelint_corruptions import CORRUPTIONS, build_sample_trace, fresh_copy
+
+
+@pytest.fixture(scope="module")
+def sample_trace():
+    return build_sample_trace()
+
+
+def violated_rules(report) -> set[str]:
+    return {violation.rule for violation in report.violations}
+
+
+class TestCleanTraces:
+    def test_sample_trace_is_clean(self, sample_trace):
+        report = lint_trace(
+            sample_trace, expected_digest=trace_digest(sample_trace)
+        )
+        assert report.ok, report.format_table()
+
+    def test_every_rule_ran(self, sample_trace):
+        report = lint_trace(
+            sample_trace, expected_digest=trace_digest(sample_trace)
+        )
+        assert {check.rule for check in report.checks} == set(TRACE_RULES)
+
+    @pytest.mark.parametrize(
+        "name", ["ssearch34", "sw_vmx128", "sw_vmx256", "fasta34", "blast"]
+    )
+    def test_golden_workloads_lint_clean(self, small_suite, name):
+        trace = small_suite.trace(name)
+        report = lint_trace(trace, expected_digest=trace_digest(trace))
+        assert report.ok, report.format_table()
+
+    def test_empty_trace_is_clean(self):
+        report = lint_trace(TraceBuilder("empty").build())
+        assert report.ok, report.format_table()
+
+
+class TestCorruptions:
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_corruption_flagged_under_its_rule(self, sample_trace, name):
+        mutate, rule = CORRUPTIONS[name]
+        corrupted = fresh_copy(sample_trace)
+        mutate(corrupted)
+        report = lint_trace(corrupted, include_roundtrip=False)
+        assert not report.ok, f"{name} went undetected"
+        assert rule in violated_rules(report), (
+            f"{name} should be flagged under {rule}, "
+            f"got {sorted(violated_rules(report))}"
+        )
+
+    def test_digest_mismatch_is_tr008(self, sample_trace):
+        report = lint_trace(sample_trace, expected_digest="0" * 32)
+        assert violated_rules(report) == {"TR008"}
+
+    def test_violations_carry_an_anchor_index(self, sample_trace):
+        corrupted = fresh_copy(sample_trace)
+        CORRUPTIONS["forward-dependency"][0](corrupted)
+        report = lint_trace(corrupted, include_roundtrip=False)
+        violation = report.violations[0]
+        assert violation.index == 10
+        assert "instruction 10" in str(violation)
+
+
+class TestStrictHooks:
+    def test_check_trace_returns_the_trace(self, sample_trace):
+        assert check_trace(sample_trace) is sample_trace
+
+    def test_check_trace_raises_on_corruption(self, sample_trace):
+        corrupted = fresh_copy(sample_trace)
+        CORRUPTIONS["forward-dependency"][0](corrupted)
+        with pytest.raises(TraceLintError) as excinfo:
+            check_trace(corrupted)
+        assert "TR002" in str(excinfo.value)
+        assert not excinfo.value.report.ok
+
+    def test_builder_strict_build_lints(self):
+        builder = TraceBuilder("strict")
+        value = builder.ialu("seed")
+        builder.istore("out", builder.alloc("cell", 8), sources=(value,))
+        assert len(builder.build(strict=True)) == 2
+
+    def test_cache_refuses_misaddressed_trace(self, sample_trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(TraceLintError) as excinfo:
+            cache.store_trace("f" * 32, sample_trace, strict=True)
+        assert "TR008" in str(excinfo.value)
+
+    def test_cache_strict_roundtrip_accepts_good_trace(
+        self, sample_trace, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        digest = trace_digest(sample_trace)
+        cache.store_trace(digest, sample_trace, strict=True)
+        loaded = cache.load_trace(digest, strict=True)
+        assert loaded is not None
+        assert trace_digest(loaded) == digest
+
+    def test_cache_strict_load_rejects_tampered_entry(
+        self, sample_trace, tmp_path
+    ):
+        import numpy as np
+
+        from repro.isa.opcodes import OpClass
+        from repro.isa.serialize import save_trace
+
+        cache = ResultCache(tmp_path)
+        digest = trace_digest(sample_trace)
+        tampered = fresh_copy(sample_trace)
+        # Flip one branch outcome: structurally legal, so only the
+        # content-address check (TR008) can catch the tampering.
+        ctrl = int(np.flatnonzero(
+            tampered.columns["ops"] == int(OpClass.CTRL)
+        )[0])
+        tampered.columns["takens"][ctrl] ^= 1
+        target = cache.trace_path(digest)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        save_trace(tampered, target)
+        assert cache.load_trace(digest) is not None  # lax load misses it
+        with pytest.raises(TraceLintError):
+            cache.load_trace(digest, strict=True)

@@ -1,0 +1,98 @@
+"""Property-based hardening of TraceLint (pairs with test_kernel_engine_fuzz).
+
+Two properties over randomized corruption:
+
+* every operator in the corruption catalogue is flagged under its
+  owning rule regardless of where in the trace it strikes, and
+* *any* single-element column mutation — even one that produces another
+  structurally legal trace — is caught by the content-digest rule
+  (TR008), which is what the strict cache hooks rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.runtime.keys import compute_trace_digest
+from repro.verify import lint_trace
+from tracelint_corruptions import CORRUPTIONS, build_sample_trace, fresh_copy
+
+BASE_TRACE = build_sample_trace()
+BASE_DIGEST = compute_trace_digest(BASE_TRACE)
+
+#: Single-element mutable columns and a value delta domain for each.
+FLIPPABLE = {
+    "ops": (0, 10),
+    "pcs": (1, 1 << 20),
+    "dests": (0, 1),
+    "addresses": (1, 1 << 40),
+    "sizes": (1, 64),
+    "takens": (0, 1),
+    "targets": (0, 1 << 20),
+}
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=st.sampled_from(sorted(CORRUPTIONS)))
+def test_every_corruption_class_is_flagged(name):
+    mutate, rule = CORRUPTIONS[name]
+    corrupted = fresh_copy(BASE_TRACE)
+    mutate(corrupted)
+    report = lint_trace(corrupted, include_roundtrip=False)
+    assert not report.ok, f"{name} went undetected"
+    rules = {violation.rule for violation in report.violations}
+    assert rule in rules, f"{name}: expected {rule}, got {sorted(rules)}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    column=st.sampled_from(sorted(FLIPPABLE)),
+    position=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    value=st.integers(min_value=0, max_value=1 << 40),
+)
+def test_any_column_flip_breaks_the_digest(column, position, value):
+    low, high = FLIPPABLE[column]
+    corrupted = fresh_copy(BASE_TRACE)
+    target = corrupted.columns[column]
+    index = int(position * len(target))
+    new_value = low + value % (high - low + 1)
+    assume(int(target[index]) != new_value)
+    target[index] = new_value
+    report = lint_trace(
+        corrupted, expected_digest=BASE_DIGEST, include_roundtrip=False
+    )
+    assert not report.ok, (
+        f"flipping {column}[{index}] to {new_value} went undetected"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    row=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    slot=st.integers(min_value=0, max_value=2),
+    value=st.integers(min_value=-1, max_value=500),
+)
+def test_any_source_flip_breaks_the_digest(row, slot, value):
+    corrupted = fresh_copy(BASE_TRACE)
+    sources = corrupted.columns["sources"]
+    index = int(row * sources.shape[0])
+    assume(int(sources[index, slot]) != value)
+    sources[index, slot] = value
+    report = lint_trace(
+        corrupted, expected_digest=BASE_DIGEST, include_roundtrip=False
+    )
+    assert not report.ok
+
+
+@settings(max_examples=10, deadline=None)
+@given(iterations=st.integers(min_value=0, max_value=40))
+def test_builder_traces_always_lint_clean(iterations):
+    trace = build_sample_trace(iterations)
+    report = lint_trace(
+        trace, expected_digest=compute_trace_digest(trace)
+    )
+    assert report.ok, report.format_table()
+    assert np.array_equal(
+        trace.columns["ops"], BASE_TRACE.columns["ops"][: len(trace)]
+    ) or iterations > 24

@@ -1,0 +1,204 @@
+"""Shared corruption operators for the TraceLint tests.
+
+``build_sample_trace`` emits a small but representative trace through
+the real :class:`~repro.isa.builder.TraceBuilder` (every opcode class,
+scalar and vector memory, sub-word accesses, loop branches).
+``CORRUPTIONS`` maps a corruption-class name to ``(mutator, rule)``:
+the mutator edits the trace's columns in place and the rule is the
+TraceLint rule that must flag the damage.  Both ``test_tracelint`` and
+``test_tracelint_fuzz`` drive the same table, so a new rule only needs
+one new entry here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.builder import TraceBuilder
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import Trace
+from repro.uarch.pipeline.decode import decode_trace
+from repro.verify.tracelint import ADDRESS_SPACE_LIMIT
+
+
+def build_sample_trace(iterations: int = 24) -> Trace:
+    """A small well-formed trace covering every rule's subject matter."""
+    builder = TraceBuilder("sample")
+    base = builder.alloc("array", 8192)
+    for i in range(iterations):
+        index = builder.ialu("index")
+        loaded = builder.iload(
+            "load8", base + 8 * i, sources=(index,), size=8
+        )
+        vector = builder.vload(
+            "vload", base + 16 * i, sources=(index,), size=16
+        )
+        summed = builder.vsimple("vadd", sources=(vector,))
+        builder.vstore("vstore", base + 16 * i, sources=(summed,), size=16)
+        builder.istore(
+            "store8", base + 8 * i, sources=(loaded, index), size=8
+        )
+        builder.ctrl(
+            "loop", taken=i < iterations - 1, sources=(index,), backward=True
+        )
+        builder.fpu("fma", sources=(loaded,))
+        builder.iload("load2", base + 2 * i, sources=(), size=2)
+        builder.iload("load1", base + i, sources=(), size=1)
+    return builder.build()
+
+
+def fresh_copy(trace: Trace) -> Trace:
+    """An independent trace whose columns can be mutated freely."""
+    return Trace(
+        trace.name,
+        columns={name: column.copy() for name, column in trace.columns.items()},
+    )
+
+
+def _first_of(trace: Trace, op: OpClass) -> int:
+    return int(np.flatnonzero(trace.columns["ops"] == int(op))[0])
+
+
+def _after(trace: Trace, op: OpClass, index: int) -> int:
+    positions = np.flatnonzero(trace.columns["ops"] == int(op))
+    return int(positions[positions > index][0])
+
+
+def _unknown_opcode(trace: Trace) -> None:
+    trace.columns["ops"][5] = len(OpClass) + 7
+
+
+def _forward_dependency(trace: Trace) -> None:
+    trace.columns["sources"][10, 0] = len(trace) - 1
+
+
+def _destless_producer(trace: Trace) -> None:
+    store = _first_of(trace, OpClass.ISTORE)
+    consumer = _after(trace, OpClass.FPU, store)
+    trace.columns["sources"][consumer, 0] = store
+
+
+def _padding_below_minus_one(trace: Trace) -> None:
+    trace.columns["sources"][4, 0] = -7
+
+
+def _interior_padding(trace: Trace) -> None:
+    producer = _first_of(trace, OpClass.IALU)
+    trace.columns["sources"][20, 0] = -1
+    trace.columns["sources"][20, 1] = producer
+
+
+def _address_on_alu(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.IALU)
+    trace.columns["addresses"][index] = 0x1000_0000
+
+
+def _size_on_alu(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.IALU)
+    trace.columns["sizes"][index] = 8
+
+
+def _address_below_data_segment(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.ILOAD)
+    trace.columns["addresses"][index] = 0x10
+
+
+def _address_past_limit(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.ILOAD)
+    trace.columns["addresses"][index] = ADDRESS_SPACE_LIMIT
+
+
+def _scalar_size_illegal(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.ILOAD)
+    trace.columns["sizes"][index] = 3
+
+
+def _vector_size_illegal(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.VLOAD)
+    trace.columns["sizes"][index] = 24
+
+
+def _misaligned_subword(trace: Trace) -> None:
+    sizes = trace.columns["sizes"]
+    ops = trace.columns["ops"]
+    index = int(np.flatnonzero((ops == int(OpClass.ILOAD)) & (sizes == 2))[0])
+    trace.columns["addresses"][index] += 1
+
+
+def _taken_on_alu(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.IALU)
+    trace.columns["takens"][index] = 1
+
+
+def _taken_out_of_range(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.CTRL)
+    trace.columns["takens"][index] = 2
+
+
+def _target_on_alu(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.IALU)
+    trace.columns["targets"][index] = 0x2_0000
+
+
+def _nonpositive_branch_target(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.CTRL)
+    trace.columns["targets"][index] = 0
+
+
+def _dest_on_store(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.ISTORE)
+    trace.columns["dests"][index] = 1
+
+
+def _missing_dest(trace: Trace) -> None:
+    index = _first_of(trace, OpClass.IALU)
+    trace.columns["dests"][index] = 0
+
+
+def _dtype_drift(trace: Trace) -> None:
+    trace.columns["sizes"] = trace.columns["sizes"].astype(np.int64)
+
+
+def _length_mismatch(trace: Trace) -> None:
+    trace.columns["pcs"] = trace.columns["pcs"][:-1]
+
+
+def _missing_column(trace: Trace) -> None:
+    trace.columns = {
+        name: column
+        for name, column in trace.columns.items()
+        if name != "targets"
+    }
+
+
+def _stale_decode_plane(trace: Trace) -> None:
+    decode_trace(trace)  # cache the plane, then invalidate it
+    index = _first_of(trace, OpClass.IALU)
+    trace.columns["ops"][index] = int(OpClass.VSIMPLE)
+
+
+#: corruption-class name -> (mutator, rule that must flag it).
+CORRUPTIONS = {
+    "unknown-opcode": (_unknown_opcode, "TR001"),
+    "forward-dependency": (_forward_dependency, "TR002"),
+    "destless-producer": (_destless_producer, "TR002"),
+    "padding-below-minus-one": (_padding_below_minus_one, "TR003"),
+    "interior-padding": (_interior_padding, "TR003"),
+    "address-on-alu": (_address_on_alu, "TR004"),
+    "size-on-alu": (_size_on_alu, "TR004"),
+    "address-below-data-segment": (_address_below_data_segment, "TR004"),
+    "address-past-limit": (_address_past_limit, "TR004"),
+    "scalar-size-illegal": (_scalar_size_illegal, "TR004"),
+    "vector-size-illegal": (_vector_size_illegal, "TR004"),
+    "misaligned-subword": (_misaligned_subword, "TR004"),
+    "taken-on-alu": (_taken_on_alu, "TR005"),
+    "taken-out-of-range": (_taken_out_of_range, "TR005"),
+    "target-on-alu": (_target_on_alu, "TR005"),
+    "nonpositive-branch-target": (_nonpositive_branch_target, "TR005"),
+    "dest-on-store": (_dest_on_store, "TR006"),
+    "missing-dest": (_missing_dest, "TR006"),
+    "dtype-drift": (_dtype_drift, "TR007"),
+    "length-mismatch": (_length_mismatch, "TR007"),
+    "missing-column": (_missing_column, "TR007"),
+    "stale-decode-plane": (_stale_decode_plane, "TR010"),
+}
