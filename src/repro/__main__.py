@@ -10,7 +10,9 @@ Usage::
     python -m repro cache stats           # persistent result cache usage
     python -m repro cache clean           # drop every cached artifact
     python -m repro bench                 # hot-path throughput benchmark
-    python -m repro bench --quick         # fast CI smoke variant
+    python -m repro bench --quick --check # fast CI smoke + regression gate
+    python -m repro serve --port 7717     # alignment-search service (TCP)
+    python -m repro loadgen --requests 50 # benchmark a service (loopback)
     python -m repro lint-trace blast      # static trace invariant check
     python -m repro lint-trace --all -j 4 # lint every workload, in parallel
     python -m repro lint-code             # repo-specific AST lint (REP00x)
@@ -91,6 +93,7 @@ def _cache_command(arguments: list[str]) -> int:
         stats = cache.stats()
         print(f"cache {cache.root}: {stats.results} simulation results, "
               f"{stats.runs} kernel runs, {stats.traces} traces, "
+              f"{stats.searches} search scans, "
               f"{stats.total_bytes / 1e6:.1f} MB")
     else:
         removed = cache.clean()
@@ -125,6 +128,12 @@ def _bench_command(arguments: list[str]) -> int:
         "regression beyond --fail-threshold",
     )
     parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed BENCH_core.json with a "
+        "tight threshold (exit non-zero on a >25%% throughput drop "
+        "after normalizing for machine speed)",
+    )
+    parser.add_argument(
         "--fail-threshold", type=float, default=3.0,
         help="regression factor that fails the run (default 3.0)",
     )
@@ -138,6 +147,15 @@ def _bench_command(arguments: list[str]) -> int:
     if options.out:
         write_report(report, options.out)
         print(f"wrote {options.out}")
+    if options.check:
+        from repro.bench import COMMITTED_BASELINE, check_baseline
+
+        failures = check_baseline(report)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"no regression beyond 25% vs {COMMITTED_BASELINE}")
     if options.baseline:
         with open(options.baseline, encoding="utf-8") as stream:
             baseline = json.load(stream)
@@ -408,6 +426,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_command(arguments[1:])
     if arguments[0] == "bench":
         return _bench_command(arguments[1:])
+    if arguments[0] == "serve":
+        from repro.serve.server import main_serve
+
+        return main_serve(arguments[1:])
+    if arguments[0] == "loadgen":
+        from repro.serve.loadgen import main_loadgen
+
+        return main_loadgen(arguments[1:])
     if arguments[0] == "lint-trace":
         return _lint_trace_command(arguments[1:])
     if arguments[0] == "lint-code":

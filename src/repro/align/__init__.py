@@ -1,6 +1,14 @@
 """Alignment applications: SW (scalar + SIMD), BLAST, FASTA."""
 
 from repro.align.banded import banded_sw_score
+from repro.align.batch import (
+    ALGORITHMS,
+    SearchParams,
+    make_engine,
+    merge_shards,
+    scan_shard,
+    search_one,
+)
 from repro.align.blast.engine import BlastEngine, BlastOptions, blast_search
 from repro.align.fasta.engine import FastaEngine, FastaOptions, fasta_search
 from repro.align.msa import MultipleAlignment, star_msa
@@ -14,16 +22,28 @@ from repro.align.statistics import (
 )
 from repro.align.simd.sw_vmx import sw_score_vmx, sw_score_vmx128, sw_score_vmx256
 from repro.align.smith_waterman import smith_waterman, sw_score, sw_score_swat
-from repro.align.ssearch import SsearchOptions, format_report, search as ssearch
+from repro.align.ssearch import (
+    SsearchEngine,
+    SsearchOptions,
+    format_report,
+    search as ssearch,
+)
 from repro.align.types import (
     AlignmentResult,
     GapPenalties,
     PAPER_GAPS,
     SearchHit,
     SearchResult,
+    ShardScan,
 )
 
 __all__ = [
+    "ALGORITHMS",
+    "SearchParams",
+    "make_engine",
+    "merge_shards",
+    "scan_shard",
+    "search_one",
     "banded_sw_score",
     "BlastEngine",
     "BlastOptions",
@@ -48,6 +68,7 @@ __all__ = [
     "smith_waterman",
     "sw_score",
     "sw_score_swat",
+    "SsearchEngine",
     "SsearchOptions",
     "format_report",
     "ssearch",
@@ -56,4 +77,5 @@ __all__ = [
     "PAPER_GAPS",
     "SearchHit",
     "SearchResult",
+    "ShardScan",
 ]

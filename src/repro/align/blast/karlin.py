@@ -127,8 +127,18 @@ def estimate_parameters(matrix: ScoringMatrix) -> KarlinParameters:
     of the tabulated BLOSUM values, which is accurate enough for E-value
     ranking (scores drive the paper's behaviour, not E-values).
     """
-    lam = solve_lambda(matrix)
-    h = relative_entropy(matrix, lam)
-    ratio = h / lam
-    k = max(1e-3, min(0.5, ratio * math.exp(-1.9 * ratio) * 0.7))
-    return KarlinParameters(lam=lam, k=k, h=h)
+    parameters = _PARAMETER_MEMO.get(matrix.name)
+    if parameters is None:
+        lam = solve_lambda(matrix)
+        h = relative_entropy(matrix, lam)
+        ratio = h / lam
+        k = max(1e-3, min(0.5, ratio * math.exp(-1.9 * ratio) * 0.7))
+        parameters = KarlinParameters(lam=lam, k=k, h=h)
+        _PARAMETER_MEMO[matrix.name] = parameters
+    return parameters
+
+
+#: Memoized parameters per matrix name — the equivalent of BLAST's
+#: tabulated lambda/K/H, so engine construction pays the root-solve
+#: once per process instead of per query.
+_PARAMETER_MEMO: dict[str, KarlinParameters] = {}

@@ -24,7 +24,13 @@ from repro.align.fasta.ktup import (
     find_initial_regions,
     rescore_region,
 )
-from repro.align.types import GapPenalties, PAPER_GAPS, SearchHit, SearchResult
+from repro.align.types import (
+    GapPenalties,
+    PAPER_GAPS,
+    SearchHit,
+    SearchResult,
+    ShardScan,
+)
 from repro.bio.database import SequenceDatabase
 from repro.bio.matrices import BLOSUM62, ScoringMatrix
 from repro.bio.sequence import Sequence, as_sequence
@@ -100,29 +106,47 @@ class FastaEngine:
             )
         return FastaScores(init1=init1, initn=initn, opt=opt)
 
-    def search(self, database: SequenceDatabase) -> SearchResult:
-        """Search the database and rank by the reported FASTA score.
+    def scan_raw(
+        self, database: SequenceDatabase, offset: int = 0
+    ) -> ShardScan:
+        """Raw shard scan: reported FASTA scores with global indices."""
+        raw: list[tuple[int, int, int, str]] = []
+        residues = 0
+        for local, subject in enumerate(database):
+            residues += len(subject)
+            scores = self.score_subject(subject)
+            if scores.reported <= 0:
+                continue
+            raw.append(
+                (
+                    scores.reported,
+                    len(subject),
+                    offset + local,
+                    subject.identifier,
+                )
+            )
+        return ShardScan(
+            raw=tuple(raw), sequences=len(database), residues=residues
+        )
 
-        When the database is large enough to fit the score-vs-length
-        baseline (>= 3 scoring subjects), hits are annotated with
-        FASTA-style z-scores (``bit_score``) and expectations
-        (``evalue``) from :mod:`repro.align.fasta.stats`.
+    def finalize(
+        self, scans: list[ShardScan], database_name: str
+    ) -> SearchResult:
+        """Merge raw shard scans into the ranked FASTA result.
+
+        The score-vs-length regression behind the z-score/expectation
+        annotations is fitted over the hits of *all* shards (>= 3
+        scoring subjects, as in the unsharded scan), so a sharded scan
+        finalizes to exactly the unsharded search result.
         """
         from repro.align.fasta.stats import (
             expectation,
             fit_length_regression,
         )
 
-        raw: list[tuple[int, int, int, str]] = []
-        residues = 0
-        for index, subject in enumerate(database):
-            residues += len(subject)
-            scores = self.score_subject(subject)
-            if scores.reported <= 0:
-                continue
-            raw.append(
-                (scores.reported, len(subject), index, subject.identifier)
-            )
+        raw = [entry for scan in scans for entry in scan.raw]
+        sequences = sum(scan.sequences for scan in scans)
+        residues = sum(scan.residues for scan in scans)
 
         regression = None
         if len(raw) >= 3:
@@ -137,7 +161,7 @@ class FastaEngine:
             evalue = float("inf")
             if regression is not None:
                 zscore = regression.zscore(score, length)
-                evalue = expectation(zscore, len(database))
+                evalue = expectation(zscore, sequences)
             hits.append(
                 SearchHit(
                     score=score,
@@ -151,11 +175,21 @@ class FastaEngine:
         hits.sort(key=lambda hit: (-hit.score, hit.subject_index))
         return SearchResult(
             query_id=self.query.identifier,
-            database_name=database.name,
+            database_name=database_name,
             hits=tuple(hits[: self.options.best_count]),
-            sequences_searched=len(database),
+            sequences_searched=sequences,
             residues_searched=residues,
         )
+
+    def search(self, database: SequenceDatabase) -> SearchResult:
+        """Search the database and rank by the reported FASTA score.
+
+        When the database is large enough to fit the score-vs-length
+        baseline (>= 3 scoring subjects), hits are annotated with
+        FASTA-style z-scores (``bit_score``) and expectations
+        (``evalue``) from :mod:`repro.align.fasta.stats`.
+        """
+        return self.finalize([self.scan_raw(database)], database.name)
 
 
 def fasta_search(

@@ -17,7 +17,13 @@ from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.align.smith_waterman import sw_score_swat
-from repro.align.types import GapPenalties, PAPER_GAPS, SearchHit, SearchResult
+from repro.align.types import (
+    GapPenalties,
+    PAPER_GAPS,
+    SearchHit,
+    SearchResult,
+    ShardScan,
+)
 from repro.bio.database import SequenceDatabase
 from repro.bio.matrices import BLOSUM62, ScoringMatrix
 from repro.bio.sequence import Sequence, as_sequence
@@ -42,6 +48,73 @@ class SupportsScore(Protocol):
     def __call__(self, query, subject, matrix, gaps) -> int: ...
 
 
+class SsearchEngine:
+    """A query-bound SSEARCH driver with the shard-scan interface.
+
+    Mirrors ``BlastEngine``/``FastaEngine`` so the batch search layer
+    (:mod:`repro.align.batch`) can treat all three applications
+    uniformly: ``scan_raw`` over any shard, ``finalize`` to merge.
+    """
+
+    def __init__(
+        self,
+        query: Sequence | str,
+        options: SsearchOptions = SsearchOptions(),
+        scorer: Scorer = sw_score_swat,
+    ) -> None:
+        self.query = as_sequence(query, identifier="query")
+        self.options = options
+        self.scorer = scorer
+
+    def scan_raw(
+        self, database: SequenceDatabase, offset: int = 0
+    ) -> ShardScan:
+        """Raw shard scan: rigorous SW scores for every subject."""
+        raw: list[tuple[int, int, int, str]] = []
+        residues = 0
+        for local, subject in enumerate(database):
+            residues += len(subject)
+            score = self.scorer(
+                self.query,
+                subject,
+                matrix=self.options.matrix,
+                gaps=self.options.gaps,
+            )
+            raw.append(
+                (score, len(subject), offset + local, subject.identifier)
+            )
+        return ShardScan(
+            raw=tuple(raw), sequences=len(database), residues=residues
+        )
+
+    def finalize(
+        self, scans: list[ShardScan], database_name: str
+    ) -> SearchResult:
+        """Merge raw shard scans into the ranked SSEARCH result."""
+        hits = [
+            SearchHit(
+                score=score,
+                subject_id=identifier,
+                subject_index=index,
+                subject_length=length,
+            )
+            for scan in scans
+            for score, length, index, identifier in scan.raw
+        ]
+        hits.sort(key=lambda hit: (-hit.score, hit.subject_index))
+        return SearchResult(
+            query_id=self.query.identifier,
+            database_name=database_name,
+            hits=tuple(hits[: self.options.best_count]),
+            sequences_searched=sum(scan.sequences for scan in scans),
+            residues_searched=sum(scan.residues for scan in scans),
+        )
+
+    def search(self, database: SequenceDatabase) -> SearchResult:
+        """Search the whole database (scan + finalize in one step)."""
+        return self.finalize([self.scan_raw(database)], database.name)
+
+
 def search(
     query: Sequence | str,
     database: SequenceDatabase,
@@ -54,30 +127,7 @@ def search(
     then database order, truncated to ``options.best_count`` (the
     driver's ``-b`` limit).
     """
-    query_seq = as_sequence(query, identifier="query")
-    hits: list[SearchHit] = []
-    residues = 0
-    for index, subject in enumerate(database):
-        residues += len(subject)
-        score = scorer(
-            query_seq, subject, matrix=options.matrix, gaps=options.gaps
-        )
-        hits.append(
-            SearchHit(
-                score=score,
-                subject_id=subject.identifier,
-                subject_index=index,
-                subject_length=len(subject),
-            )
-        )
-    hits.sort(key=lambda hit: (-hit.score, hit.subject_index))
-    return SearchResult(
-        query_id=query_seq.identifier,
-        database_name=database.name,
-        hits=tuple(hits[: options.best_count]),
-        sequences_searched=len(database),
-        residues_searched=residues,
-    )
+    return SsearchEngine(query, options, scorer).search(database)
 
 
 def format_report(result: SearchResult, options: SsearchOptions = SsearchOptions(),

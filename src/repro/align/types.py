@@ -127,6 +127,45 @@ class SearchHit:
 
 
 @dataclass(frozen=True)
+class ShardScan:
+    """Raw per-subject scores from scanning one database shard.
+
+    ``raw`` holds one ``(score, subject_length, subject_index,
+    subject_id)`` tuple per reported subject, with *global* database
+    indices, in database order.  Engines split their searches into a
+    raw scan plus a finalize step so shards scanned by different
+    workers merge back into the exact unsharded ranking; the search
+    statistics (E-values, z-scores) that depend on whole-database
+    aggregates are computed at finalize time from the summed
+    ``sequences``/``residues``.
+    """
+
+    raw: tuple[tuple[int, int, int, str], ...]
+    sequences: int
+    residues: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for cache entries and the wire)."""
+        return {
+            "raw": [list(entry) for entry in self.raw],
+            "sequences": self.sequences,
+            "residues": self.residues,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardScan":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            raw=tuple(
+                (int(score), int(length), int(index), str(identifier))
+                for score, length, index, identifier in data["raw"]
+            ),
+            sequences=int(data["sequences"]),
+            residues=int(data["residues"]),
+        )
+
+
+@dataclass(frozen=True)
 class SearchResult:
     """The outcome of searching one query against a database."""
 

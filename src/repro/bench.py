@@ -22,9 +22,11 @@ rework, so reports can show the speedup without needing the old code.
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 import time
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.bio.synthetic import SyntheticDatabaseConfig
@@ -150,6 +152,48 @@ def run_bench(quick: bool = False) -> dict[str, Any]:
         "reference_ips": dict(REFERENCE_IPS),
         "speedup_vs_reference": speedups,
     }
+
+
+#: The pinned baseline report at the repo root (``repro bench --check``).
+COMMITTED_BASELINE = Path(__file__).resolve().parents[2] / "BENCH_core.json"
+
+
+def check_baseline(
+    report: dict[str, Any],
+    baseline_path: str | Path | None = None,
+    allowed_drop: float = 0.25,
+) -> list[str]:
+    """Tight regression gate against the committed baseline report.
+
+    Absolute throughput varies wildly across CI machines, so the check
+    normalizes for machine speed first: each metric's measured/baseline
+    ratio is divided by the geometric mean of all the ratios.  A metric
+    fails when its normalized throughput dropped more than
+    ``allowed_drop`` (default 25%) — i.e. one stage got slower relative
+    to the others, which is what an algorithmic regression looks like,
+    while a uniformly slower machine passes.
+    """
+    path = Path(baseline_path or COMMITTED_BASELINE)
+    baseline = json.loads(path.read_text())
+    ratios: dict[str, float] = {}
+    for name, measured in report["metrics"].items():
+        reference = baseline.get("metrics", {}).get(name, {}).get("ips")
+        if reference:
+            ratios[name] = measured["ips"] / reference
+    if not ratios:
+        return [f"baseline {path} shares no metrics with this report"]
+    scale = math.exp(
+        sum(math.log(ratio) for ratio in ratios.values()) / len(ratios)
+    )
+    failures = []
+    for name, ratio in sorted(ratios.items()):
+        if ratio < scale * (1.0 - allowed_drop):
+            failures.append(
+                f"{name}: normalized throughput {ratio / scale:.2f}x of "
+                f"baseline (machine-speed factor {scale:.2f}) is more "
+                f"than {allowed_drop:.0%} below {path.name}"
+            )
+    return failures
 
 
 def check_regression(

@@ -98,6 +98,38 @@ class SequenceDatabase:
             alphabet=self.alphabet,
         )
 
+    def shard_bounds(self, shard_count: int) -> tuple[tuple[int, int], ...]:
+        """Deterministic contiguous ``(start, stop)`` ranges for sharding.
+
+        Shard sizes differ by at most one sequence and concatenating the
+        shards in index order reproduces the database exactly, which is
+        what lets a sharded scan merge back to the unsharded ranking
+        byte-for-byte (hits carry global subject indices).
+        """
+        if shard_count < 1:
+            raise ValueError("shard_count must be positive")
+        total = len(self._sequences)
+        return tuple(
+            (index * total // shard_count, (index + 1) * total // shard_count)
+            for index in range(shard_count)
+        )
+
+    def shard(
+        self, shard_index: int, shard_count: int, name: str | None = None
+    ) -> "SequenceDatabase":
+        """One contiguous shard (see :meth:`shard_bounds`)."""
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard_index {shard_index} out of range for "
+                f"{shard_count} shards"
+            )
+        start, stop = self.shard_bounds(shard_count)[shard_index]
+        return SequenceDatabase(
+            self._sequences[start:stop],
+            name=name or f"{self.name}[shard {shard_index}/{shard_count}]",
+            alphabet=self.alphabet,
+        )
+
     def stats(self) -> DatabaseStats:
         """Compute aggregate statistics."""
         lengths = [len(sequence) for sequence in self._sequences]

@@ -162,3 +162,28 @@ def trace_task_key(name: str, budget: int, database_config, query) -> str:
         query.text,
         scale_factor(),
     ))
+
+
+def search_shard_key(
+    params_key: tuple,
+    query_text: str,
+    database_config,
+    shard_index: int,
+    shard_count: int,
+) -> str:
+    """Cache address of one per-query ``search_shard`` scan.
+
+    Keyed on the query *residues* (not its identifier): a shard scan's
+    raw scores depend only on the sequence content, the search params,
+    and the shard geometry, so renamed queries still hit.
+    """
+    return _hash_material((
+        "search-shard",
+        CACHE_SCHEMA_VERSION,
+        code_salt(),
+        tuple(params_key),
+        query_text,
+        dataclasses.astuple(database_config),
+        int(shard_index),
+        int(shard_count),
+    ))

@@ -13,6 +13,32 @@ import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+#: Default percentile points for latency summaries.
+DEFAULT_PERCENTILES = (50, 95, 99)
+
+
+def percentiles(
+    values: list[float],
+    points: tuple[int, ...] = DEFAULT_PERCENTILES,
+) -> dict[str, float]:
+    """Nearest-rank percentiles of ``values`` as ``{"p50": ...}``.
+
+    The single percentile definition shared by run reports
+    (:meth:`RunMetrics.to_dict`) and the serving telemetry histograms
+    (:class:`repro.serve.telemetry.Histogram`), so latency numbers from
+    both layers are directly comparable.  Empty input yields ``{}``.
+    """
+    if not values:
+        return {}
+    ordered = sorted(values)
+    count = len(ordered)
+    result = {}
+    for point in points:
+        # Nearest-rank: ceil(p/100 * n), clamped to [1, n].
+        rank = max(1, min(count, -(-point * count // 100)))
+        result[f"p{point}"] = ordered[rank - 1]
+    return result
+
 
 @dataclass(frozen=True)
 class TaskRecord:
@@ -80,6 +106,7 @@ class RunMetrics:
             "cache_misses": self.cache_misses,
             "simulate_executions": self.executions("simulate"),
             "trace_executions": self.executions("trace"),
+            "search_executions": self.executions("search"),
             "retries": self.total_retries,
         }
 
@@ -91,6 +118,12 @@ class RunMetrics:
         totals["wall_time"] = round(
             sum(record.wall_time for record in self.records), 6
         )
+        totals["wall_time_percentiles"] = {
+            point: round(value, 6)
+            for point, value in percentiles(
+                [record.wall_time for record in self.records]
+            ).items()
+        }
         return {
             **extra,
             "totals": totals,

@@ -26,6 +26,19 @@ Kinds
     ``simulate`` convention (a Trace in-process, a spilled ``.npz``
     path across the pool), which is what lets ``repro lint-trace
     --all --jobs N`` fan the workload set out over the worker pool.
+``search_shard``
+    ``(params_key, queries, database_config, shard_index, shard_count)``
+    — scans one deterministic shard of the synthetic database for a
+    *batch* of queries (``queries`` is a tuple of ``(id, residues)``
+    pairs) and returns ``{"scans": [ShardScan dict, ...]}`` in query
+    order.  Workers memoize the generated database and the compiled
+    per-query engines across tasks, so a serving workload pays the
+    expensive setup once per worker rather than once per request.
+``precompute_words``
+    ``(threshold, word_size)`` — expands every possible BLAST word's
+    neighborhood into the worker's memo (the moral equivalent of
+    BLAST's shipped neighbor tables).  The serving layer dispatches one
+    per worker at startup so later query compiles are memo lookups.
 ``selftest``
     Tiny deterministic operations used by the executor's test suite and
     fault-injection scenarios.
@@ -94,6 +107,75 @@ def execute_lint(payload: tuple) -> dict:
     return report.to_dict()
 
 
+#: Worker-side memo of generated databases, keyed by config identity.
+#: Synthetic generation is deterministic, so equality of the config
+#: repr implies equality of the database.  Small cap: a serving worker
+#: sees one or two database configs, never an unbounded stream.
+_database_memo: dict[str, object] = {}
+_DATABASE_MEMO_CAP = 4
+
+#: Worker-side memo of compiled query engines, keyed by
+#: (params_key, query_text).  Engine compilation (BLAST neighbourhood
+#: expansion in particular) dominates short-query scan time, so reuse
+#: across requests is what makes batched serving fast.
+_engine_memo: dict[tuple, object] = {}
+_ENGINE_MEMO_CAP = 128
+
+
+def _memo_database(database_config):
+    from repro.bio.synthetic import generate_database
+
+    key = repr(database_config)
+    database = _database_memo.get(key)
+    if database is None:
+        if len(_database_memo) >= _DATABASE_MEMO_CAP:
+            _database_memo.clear()
+        database = generate_database(database_config)
+        _database_memo[key] = database
+    return database
+
+
+def _memo_engine(params, params_key: tuple, query_id: str, query_text: str):
+    from repro.align.batch import make_engine, make_query
+
+    key = (params_key, query_text)
+    engine = _engine_memo.get(key)
+    if engine is None:
+        if len(_engine_memo) >= _ENGINE_MEMO_CAP:
+            _engine_memo.clear()
+        engine = make_engine(params, make_query(query_id, query_text))
+        _engine_memo[key] = engine
+    return engine
+
+
+def execute_search_shard(payload: tuple) -> dict:
+    from repro.align.batch import SearchParams, scan_shard
+
+    params_key, queries, database_config, shard_index, shard_count = payload
+    params = SearchParams.from_key(params_key)
+    database = _memo_database(database_config)
+    engines = [
+        _memo_engine(params, tuple(params_key), query_id, query_text)
+        for query_id, query_text in queries
+    ]
+    scans = scan_shard(params, engines, database, shard_index, shard_count)
+    return {"scans": [scan.to_dict() for scan in scans]}
+
+
+def execute_precompute_words(payload: tuple) -> dict:
+    from repro.align.blast.wordfinder import precompute_neighborhoods
+
+    threshold, word_size = payload
+    start = time.perf_counter()
+    entries = precompute_neighborhoods(
+        threshold=threshold, word_size=word_size
+    )
+    return {
+        "entries": entries,
+        "seconds": time.perf_counter() - start,
+    }
+
+
 def execute_selftest(payload: tuple):
     operation, *arguments = payload
     if operation == "square":
@@ -126,6 +208,8 @@ TASK_KINDS = {
     "simulate": execute_simulate,
     "trace": execute_trace,
     "lint": execute_lint,
+    "search_shard": execute_search_shard,
+    "precompute_words": execute_precompute_words,
     "selftest": execute_selftest,
 }
 

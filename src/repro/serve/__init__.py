@@ -1,0 +1,45 @@
+"""Async alignment-search serving: batching, sharding, telemetry.
+
+The serving layer turns the batch experiment runtime into an online
+service: queries arrive one at a time, an admission controller bounds
+the queue (shedding load past capacity), a dynamic batcher groups
+compatible requests, and each batch fans out over deterministic
+database shards on the worker pool before per-shard scans merge into
+ranked results byte-identical to an unsharded search.
+
+See ``docs/serving.md`` for the architecture and the wire protocol,
+``repro serve`` / ``repro loadgen`` for the CLI entry points.
+"""
+
+from repro.serve.admission import AdmissionController, PendingRequest, QueueFull
+from repro.serve.protocol import (
+    ProtocolError,
+    SearchRequest,
+    decode_line,
+    decode_search,
+    encode_response,
+)
+from repro.serve.scheduler import BatchPolicy, DynamicBatcher
+from repro.serve.server import AlignmentService, ServeConfig
+from repro.serve.shards import ShardSearchBackend
+from repro.serve.telemetry import Counter, Gauge, Histogram, Telemetry
+
+__all__ = [
+    "AdmissionController",
+    "PendingRequest",
+    "QueueFull",
+    "ProtocolError",
+    "SearchRequest",
+    "decode_line",
+    "decode_search",
+    "encode_response",
+    "BatchPolicy",
+    "DynamicBatcher",
+    "AlignmentService",
+    "ServeConfig",
+    "ShardSearchBackend",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+]

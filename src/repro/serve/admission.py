@@ -1,0 +1,117 @@
+"""Admission control: bounded queue, load shedding, deadlines.
+
+Every accepted search request becomes a :class:`PendingRequest` holding
+the asyncio future its submitter awaits.  The
+:class:`AdmissionController` enforces the capacity bound at submit time
+(full queue -> immediate shed, the 429 analogue) and stamps each
+request with its deadline, so the batching scheduler and the shard
+backend can drop work that can no longer meet its deadline instead of
+burning pool time on it (cooperative cancellation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.serve.protocol import SearchRequest
+from repro.serve.telemetry import Telemetry
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request travelling through the service."""
+
+    request: SearchRequest
+    future: asyncio.Future
+    enqueued: float
+    deadline: float | None
+    cancelled: bool = field(default=False)
+
+    def alive(self, now: float) -> bool:
+        """Still worth working on (not cancelled, deadline not passed)?"""
+        if self.cancelled or self.future.done():
+            return False
+        return self.deadline is None or now < self.deadline
+
+    def resolve(self, response: dict) -> None:
+        """Deliver the response unless the submitter already went away."""
+        if not self.future.done():
+            self.future.set_result(response)
+
+
+class QueueFull(Exception):
+    """Raised at submit time when the admission queue is at capacity."""
+
+
+class AdmissionController:
+    """Bounded intake queue with shed-on-full semantics.
+
+    ``asyncio.Queue`` would *block* producers when full; a serving
+    front-end must instead answer "overloaded" immediately, so the
+    capacity check happens before the put and the put itself never
+    waits.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        telemetry: Telemetry,
+        default_timeout: float | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.default_timeout = default_timeout
+        self.queue: asyncio.Queue[PendingRequest] = asyncio.Queue()
+        self.telemetry = telemetry
+        self.depth = telemetry.gauge(
+            "serve.queue.depth", "admitted requests not yet batched"
+        )
+        self.admitted = telemetry.counter(
+            "serve.requests.admitted", "requests accepted into the queue"
+        )
+        self.shed = telemetry.counter(
+            "serve.requests.shed", "requests rejected by load shedding"
+        )
+
+    def submit(
+        self, request: SearchRequest, now: float
+    ) -> PendingRequest:
+        """Admit one request or raise :class:`QueueFull`.
+
+        Synchronous by design: admission is a pure capacity check plus
+        a non-blocking enqueue, so the protocol layer can shed load
+        without ever awaiting.
+        """
+        if self.queue.qsize() >= self.capacity:
+            self.shed.increment()
+            raise QueueFull()
+        timeout = request.timeout
+        if timeout is None:
+            timeout = self.default_timeout
+        pending = PendingRequest(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued=now,
+            deadline=None if timeout is None else now + timeout,
+        )
+        self.queue.put_nowait(pending)
+        self.admitted.increment()
+        self.depth.set(self.queue.qsize())
+        return pending
+
+    async def next_request(self) -> PendingRequest:
+        """Wait for the next admitted request (scheduler side)."""
+        pending = await self.queue.get()
+        self.depth.set(self.queue.qsize())
+        return pending
+
+    def try_next(self) -> PendingRequest | None:
+        """Non-blocking pop (used while filling a batch)."""
+        try:
+            pending = self.queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+        self.depth.set(self.queue.qsize())
+        return pending

@@ -1,0 +1,127 @@
+"""Dynamic batching scheduler.
+
+Requests queue up in the admission controller; the batcher pulls them
+into batches that flush when either the batch reaches
+``BatchPolicy.max_batch`` requests or the oldest member has waited
+``BatchPolicy.max_wait`` seconds — whichever comes first.  Batching is
+what amortizes the per-scan fixed costs (task dispatch, engine
+compilation, and the shared multi-query BLAST database pass) across
+requests, trading a bounded queueing delay for throughput.
+
+At flush time the batcher drops members that died while queued —
+cancelled by their client or past their deadline — resolving the
+latter with ``timeout`` responses.  A flush whose members all died
+executes nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+from repro.serve.admission import AdmissionController, PendingRequest
+from repro.serve.protocol import timeout_response
+from repro.serve.telemetry import Telemetry
+
+#: Executes one batch of live requests, resolving each member's future.
+BatchExecutor = Callable[[list[PendingRequest]], Awaitable[None]]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When a batch flushes."""
+
+    max_batch: int = 8
+    max_wait: float = 0.02  # seconds the first request may wait
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+
+
+class DynamicBatcher:
+    """Pulls admitted requests into deadline-or-size-triggered batches."""
+
+    def __init__(
+        self,
+        admission: AdmissionController,
+        execute: BatchExecutor,
+        policy: BatchPolicy,
+        telemetry: Telemetry,
+    ) -> None:
+        self.admission = admission
+        self.execute = execute
+        self.policy = policy
+        self.telemetry = telemetry
+        self.batches = telemetry.counter(
+            "serve.batches.executed", "non-empty batches executed"
+        )
+        self.empty_flushes = telemetry.counter(
+            "serve.batches.empty", "flushes whose members all died queued"
+        )
+        self.occupancy = telemetry.histogram(
+            "serve.batch.occupancy", "live requests per executed batch"
+        )
+        self.queue_wait = telemetry.histogram(
+            "serve.queue.wait", "seconds from admission to batch flush"
+        )
+        self.timeouts = telemetry.counter(
+            "serve.requests.timeout", "requests expired before execution"
+        )
+
+    async def run(self) -> None:
+        """Batch loop; runs until cancelled (server owns the task)."""
+        while True:
+            batch = await self._collect()
+            live = self._prune(batch)
+            if not live:
+                self.empty_flushes.increment()
+                continue
+            self.batches.increment()
+            self.occupancy.observe(len(live))
+            await self.execute(live)
+
+    async def _collect(self) -> list[PendingRequest]:
+        """One batch: first request, then fill until size or deadline."""
+        batch = [await self.admission.next_request()]
+        # Fast path: drain whatever is already queued without touching
+        # the clock or spawning timeout machinery.
+        while len(batch) < self.policy.max_batch:
+            queued = self.admission.try_next()
+            if queued is None:
+                break
+            batch.append(queued)
+        if len(batch) >= self.policy.max_batch or self.policy.max_wait <= 0:
+            return batch
+        # Slow path: wait out the remainder of the batching window with
+        # a single timeout guard for the whole fill, not one per item.
+        try:
+            await asyncio.wait_for(
+                self._fill(batch), self.policy.max_wait
+            )
+        except asyncio.TimeoutError:
+            pass
+        return batch
+
+    async def _fill(self, batch: list[PendingRequest]) -> None:
+        while len(batch) < self.policy.max_batch:
+            batch.append(await self.admission.next_request())
+
+    def _prune(self, batch: list[PendingRequest]) -> list[PendingRequest]:
+        """Drop dead members; expired ones get ``timeout`` responses."""
+        now = asyncio.get_running_loop().time()
+        live = []
+        for pending in batch:
+            if pending.alive(now):
+                self.queue_wait.observe(now - pending.enqueued)
+                live.append(pending)
+                continue
+            if not pending.future.done() and not pending.cancelled:
+                self.timeouts.increment()
+                pending.resolve(
+                    timeout_response(pending.request.request_id)
+                )
+        return live

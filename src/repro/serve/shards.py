@@ -1,0 +1,172 @@
+"""Sharded database-scan backend for the serving path.
+
+Takes one batch of live requests from the scheduler, fans each query
+out over ``shard_count`` deterministic shards of the configured
+database via :meth:`repro.runtime.engine.ExperimentRuntime.search_shards`
+(cache-first, pool-parallel), and merges the per-shard raw scans into
+the final ranked result — byte-identical to an unsharded scan by
+construction (see :mod:`repro.align.batch`).
+
+Cooperative cancellation: the batch is processed one parameter group at
+a time, and each group's members are re-checked against their deadlines
+immediately before its shard tasks are built.  A request that expired
+while earlier groups ran gets a ``timeout`` response and its shard
+scans are never dispatched.
+
+The runtime call is synchronous (it blocks on the worker pool), so it
+runs in a thread via ``run_in_executor`` behind an ``asyncio.Lock`` —
+one batch in the pool at a time, with the event loop free to keep
+accepting and batching requests meanwhile.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.align.batch import (
+    SearchParams,
+    make_finalizer,
+    make_query,
+    result_to_dict,
+)
+from repro.runtime.engine import ExperimentRuntime
+from repro.serve.admission import PendingRequest
+from repro.serve.protocol import (
+    error_response,
+    ok_response,
+    timeout_response,
+)
+from repro.serve.telemetry import Telemetry
+
+
+class ShardSearchBackend:
+    """Executes request batches against the sharded database."""
+
+    def __init__(
+        self,
+        runtime: ExperimentRuntime,
+        database_config,
+        database_name: str,
+        shard_count: int,
+        telemetry: Telemetry,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be positive")
+        self.runtime = runtime
+        self.database_config = database_config
+        self.database_name = database_name
+        self.shard_count = shard_count
+        self.telemetry = telemetry
+        self._pool_lock = asyncio.Lock()
+        # Merge-side finalizer memo: finalizers are cheap to build
+        # (no lookup-table compilation) but hot queries recur, so a
+        # small memo keeps the per-response cost at a dict probe.
+        self._engines: dict[tuple, object] = {}
+        self._engine_cap = 256
+        self.dispatched = telemetry.counter(
+            "serve.shards.dispatched", "shard scans sent to the runtime"
+        )
+        self.skipped = telemetry.counter(
+            "serve.shards.skipped",
+            "shard scans cancelled before dispatch (deadline expired)",
+        )
+        self.completed = telemetry.counter(
+            "serve.requests.completed", "requests answered with results"
+        )
+        self.errors = telemetry.counter(
+            "serve.requests.error", "requests that failed in the backend"
+        )
+        self.timeouts = telemetry.counter(
+            "serve.requests.timeout", "requests expired before execution"
+        )
+        self.scan_latency = telemetry.histogram(
+            "serve.scan.latency", "seconds per pool scan call (whole group)"
+        )
+
+    async def execute(self, batch: list[PendingRequest]) -> None:
+        """Run one batch, resolving every member's future."""
+        groups: dict[tuple, list[PendingRequest]] = {}
+        for pending in batch:
+            groups.setdefault(pending.request.params.key(), []).append(
+                pending
+            )
+        loop = asyncio.get_running_loop()
+        for params_key, members in groups.items():
+            # Deadline recheck at dispatch time: anything that expired
+            # while earlier groups ran is cancelled cooperatively —
+            # its shard scans never reach the pool.
+            now = loop.time()
+            live = []
+            for pending in members:
+                if pending.alive(now):
+                    live.append(pending)
+                elif not pending.future.done() and not pending.cancelled:
+                    self.timeouts.increment()
+                    self.skipped.increment(self.shard_count)
+                    pending.resolve(
+                        timeout_response(pending.request.request_id)
+                    )
+            if not live:
+                continue
+            await self._run_group(
+                SearchParams.from_key(params_key), live, loop
+            )
+
+    async def _run_group(
+        self,
+        params: SearchParams,
+        members: list[PendingRequest],
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        """Scan + merge for one same-params group of requests."""
+        queries = [
+            make_query(
+                pending.request.query_id, pending.request.query_text
+            )
+            for pending in members
+        ]
+        requests = [
+            (params, query, self.database_config, shard, self.shard_count)
+            for query in queries
+            for shard in range(self.shard_count)
+        ]
+        self.dispatched.increment(len(requests))
+        start = loop.time()
+        try:
+            async with self._pool_lock:
+                scans = await loop.run_in_executor(
+                    None, self.runtime.search_shards, requests
+                )
+        except Exception as error:  # noqa: BLE001 - answer, don't crash
+            self.errors.increment(len(members))
+            for pending in members:
+                pending.resolve(error_response(
+                    pending.request.request_id,
+                    f"search failed: {error}",
+                ))
+            return
+        self.scan_latency.observe(loop.time() - start)
+        for position, (pending, query) in enumerate(zip(members, queries)):
+            offset = position * self.shard_count
+            engine = self._merge_engine(params, query)
+            result = engine.finalize(
+                list(scans[offset:offset + self.shard_count]),
+                self.database_name,
+            )
+            self.completed.increment()
+            pending.resolve(ok_response(
+                pending.request.request_id,
+                result_to_dict(result),
+                shards=self.shard_count,
+            ))
+
+    def _merge_engine(self, params: SearchParams, query):
+        """Memoized finalize-only engine for the merge step."""
+        key = (params.key(), query.identifier, query.text)
+        engine = self._engines.get(key)
+        if engine is None:
+            if len(self._engines) >= self._engine_cap:
+                self._engines.clear()
+            engine = make_finalizer(params, query)
+            self._engines[key] = engine
+        return engine

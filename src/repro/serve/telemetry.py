@@ -1,0 +1,197 @@
+"""Serving telemetry: counters, gauges, and latency histograms.
+
+Generalizes the batch-run accounting in :mod:`repro.runtime.metrics`
+for a long-lived service: metrics are named instruments in a registry,
+snapshots are cheap, and the same nearest-rank percentile definition
+(:func:`repro.runtime.metrics.percentiles`) produces the p50/p95/p99
+numbers, so service latency reports and ``--report`` run reports are
+directly comparable.
+
+Two export formats: a JSON-able dict (for the ``telemetry`` protocol
+op and loadgen report artifacts) and Prometheus text exposition (for
+scraping).  Instruments are plain objects guarded by the event loop —
+the service mutates them only from coroutine context — but nothing
+here awaits, so they are equally usable from synchronous code.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+from repro.runtime.metrics import DEFAULT_PERCENTILES, percentiles
+
+
+class Counter:
+    """Monotonically increasing count (requests, errors, sheds)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Instantaneous level (queue depth, in-flight batches)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += float(amount)
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Sample distribution with bounded memory (latency, occupancy).
+
+    Keeps exact ``count``/``total`` accumulators forever and the most
+    recent ``window`` observations for percentile estimates, so a
+    long-running service neither grows without bound nor loses its
+    lifetime averages.
+    """
+
+    def __init__(
+        self, name: str, help_text: str = "", window: int = 4096
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.count = 0
+        self.total = 0.0
+        self.samples: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.samples.append(value)
+
+    def percentiles(
+        self, points: tuple[int, ...] = DEFAULT_PERCENTILES
+    ) -> dict[str, float]:
+        """Nearest-rank percentiles over the retained window."""
+        return percentiles(list(self.samples), points)
+
+    def snapshot(self) -> dict:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "mean": round(mean, 6),
+            **{
+                point: round(value, 6)
+                for point, value in self.percentiles().items()
+            },
+        }
+
+
+class Telemetry:
+    """Registry of named instruments for one service instance."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name, help_text)
+        return instrument
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name, help_text)
+        return instrument
+
+    def histogram(
+        self, name: str, help_text: str = "", window: int = 4096
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, help_text, window
+            )
+        return instrument
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-able dict."""
+        return {
+            "counters": {
+                name: counter.snapshot()
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.snapshot()
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Snapshot rendered as a JSON document."""
+        return json.dumps(self.snapshot(), indent=2)
+
+    def to_prometheus(self) -> str:
+        """Snapshot in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name, counter in sorted(self._counters.items()):
+            metric = _metric_name(name)
+            if counter.help_text:
+                lines.append(f"# HELP {metric} {counter.help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            metric = _metric_name(name)
+            if gauge.help_text:
+                lines.append(f"# HELP {metric} {gauge.help_text}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(gauge.value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            metric = _metric_name(name)
+            if histogram.help_text:
+                lines.append(f"# HELP {metric} {histogram.help_text}")
+            lines.append(f"# TYPE {metric} summary")
+            for point, value in histogram.percentiles().items():
+                quantile = int(point[1:]) / 100
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} '
+                    f"{_format_value(value)}"
+                )
+            lines.append(f"{metric}_sum {_format_value(histogram.total)}")
+            lines.append(f"{metric}_count {histogram.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _metric_name(name: str) -> str:
+    """Dotted instrument name to a Prometheus-legal metric name."""
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)

@@ -18,6 +18,10 @@ REP004   digest-relevant serialization code changed without bumping
          ``CACHE_SCHEMA_VERSION`` (tracked via a pinned manifest)
 REP005   bare ``except`` or silently swallowed broad ``except`` in the
          ``repro.runtime`` workers/executors
+REP006   blocking calls inside ``repro.serve`` coroutine code:
+         ``time.sleep`` (use ``asyncio.sleep``) or a synchronous
+         argument-less ``.get()`` on a queue/pool handle without a
+         timeout — either stalls the event loop for every request
 =======  =============================================================
 
 Suppression: append ``# repolint: disable=REP00x`` (comma-separated for
@@ -43,6 +47,7 @@ RULES: dict[str, str] = {
     "REP003": "config field missing from the cache key",
     "REP004": "serialization change without a schema-version bump",
     "REP005": "bare or silently swallowed broad except in repro.runtime",
+    "REP006": "blocking call in repro.serve coroutine code",
 }
 
 #: Modules allowed to be nondeterministic (CLI entry point, wall-clock
@@ -71,6 +76,9 @@ REP002_OWNERS = (
 
 #: Where REP005 applies.
 REP005_SCOPE = "runtime/"
+
+#: Where REP006 applies.
+REP006_SCOPE = "serve/"
 
 #: Definitions whose source feeds the REP004 manifest digest: any
 #: edit here can change cache-entry bytes or their addresses, so it
@@ -526,6 +534,68 @@ def _rep005(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
 
 
 # ----------------------------------------------------------------------
+# REP006 — blocking calls in repro.serve coroutine code
+# ----------------------------------------------------------------------
+
+def _rep006(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
+    """Flag event-loop-stalling calls inside ``serve/`` coroutines.
+
+    The serving layer is single-event-loop asyncio: one ``time.sleep``
+    or un-timed synchronous queue/pool ``.get()`` inside a coroutine
+    freezes batching, admission, and every in-flight request at once.
+    Blocking work belongs behind ``run_in_executor`` (see
+    ``ShardSearchBackend``), and delays belong to ``asyncio.sleep``.
+    """
+    if REP006_SCOPE not in relative.replace("\\", "/"):
+        return []
+    imports = _ModuleAliases()
+    imports.visit(tree)
+    aliases = imports.aliases
+    findings: list[tuple[int, str]] = []
+    for owner in ast.walk(tree):
+        if not isinstance(owner, ast.AsyncFunctionDef):
+            continue
+        # Call nodes that are directly awaited (asyncio Queue.get()
+        # and friends) are non-blocking by definition.
+        awaited = {
+            id(waited.value)
+            for waited in ast.walk(owner)
+            if isinstance(waited, ast.Await)
+        }
+        for node in ast.walk(owner):
+            if not isinstance(node, ast.Call) or id(node) in awaited:
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            root = aliases.get(_attr_chain(func)[0])
+            if root == "time" and func.attr == "sleep":
+                findings.append((
+                    node.lineno,
+                    "time.sleep() inside a coroutine blocks the event "
+                    "loop; use asyncio.sleep",
+                ))
+            elif (
+                func.attr == "get"
+                and not node.args
+                and not any(
+                    keyword.arg == "timeout" for keyword in node.keywords
+                )
+                and not (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in aliases
+                )
+            ):
+                findings.append((
+                    node.lineno,
+                    "synchronous .get() without a timeout inside a "
+                    "coroutine can block the event loop indefinitely; "
+                    "await an asyncio queue or pass timeout=",
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 
@@ -533,6 +603,7 @@ _PER_FILE_RULES = {
     "REP001": _rep001,
     "REP002": _rep002,
     "REP005": _rep005,
+    "REP006": _rep006,
 }
 
 

@@ -101,7 +101,7 @@ class TestLintCode:
         assert payload["ok"] is True
         assert payload["violations"] == []
         assert set(payload["rules"]) == {
-            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
         }
 
     def test_single_path_scope(self, tmp_path):

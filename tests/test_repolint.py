@@ -22,6 +22,7 @@ from repro.verify.repolint import (
 
 LIB = "repro/analysis/synthetic_module.py"
 RUNTIME = "repro/runtime/synthetic_module.py"
+SERVE = "repro/serve/synthetic_module.py"
 
 
 def rules_of(violations) -> list[str]:
@@ -299,6 +300,74 @@ class TestRep004Manifest:
         violations = repolint._rep004()
         assert rules_of(violations) == ["REP004"]
         assert "--update-manifest" in violations[0].message
+
+
+class TestRep006BlockingCalls:
+    def test_time_sleep_in_coroutine_flagged(self):
+        violations = lint(
+            """
+            import time
+
+            async def handle():
+                time.sleep(0.1)
+            """,
+            SERVE,
+        )
+        assert rules_of(violations) == ["REP006"]
+        assert "asyncio.sleep" in violations[0].message
+
+    def test_untimed_sync_get_in_coroutine_flagged(self):
+        violations = lint(
+            """
+            async def pump(results):
+                return results.get()
+            """,
+            SERVE,
+        )
+        assert rules_of(violations) == ["REP006"]
+        assert "timeout" in violations[0].message
+
+    def test_awaited_get_and_timed_get_are_legal(self):
+        violations = lint(
+            """
+            async def pump(queue, results, data):
+                item = await queue.get()
+                safe = results.get(timeout=1.0)
+                keyed = data.get("op", "search")
+                return item, safe, keyed
+            """,
+            SERVE,
+        )
+        assert violations == []
+
+    def test_sync_functions_and_other_layers_exempt(self):
+        source = """
+            import time
+
+            def warmup(results):
+                time.sleep(0.1)
+                return results.get()
+        """
+        assert lint(source, SERVE) == []
+        async_source = """
+            import time
+
+            async def handle():
+                time.sleep(0.1)
+        """
+        assert lint(async_source, RUNTIME) == []
+
+    def test_asyncio_sleep_is_legal(self):
+        violations = lint(
+            """
+            import asyncio
+
+            async def pace():
+                await asyncio.sleep(0.1)
+            """,
+            SERVE,
+        )
+        assert violations == []
 
 
 class TestSyntaxErrors:
