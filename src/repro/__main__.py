@@ -123,6 +123,11 @@ def _bench_command(arguments: list[str]) -> int:
         "--out", default=None, help="write the JSON report here"
     )
     parser.add_argument(
+        "--json", action="store_true",
+        help="print the full JSON report (including the per-workload "
+        "trace_generation breakdown) instead of the summary table",
+    )
+    parser.add_argument(
         "--baseline", default=None,
         help="compare against a stored report; exit non-zero on a "
         "regression beyond --fail-threshold",
@@ -143,14 +148,20 @@ def _bench_command(arguments: list[str]) -> int:
         return int(exit_.code or 0)
 
     report = run_bench(quick=options.quick)
-    print(format_report(report))
+    if options.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
     if options.out:
         write_report(report, options.out)
         print(f"wrote {options.out}")
     if options.check:
         from repro.bench import COMMITTED_BASELINE, check_baseline
 
-        failures = check_baseline(report)
+        warnings: list[str] = []
+        failures = check_baseline(report, warnings=warnings)
+        for warning in warnings:
+            print(f"WARNING {warning}", file=sys.stderr)
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)
         if failures:
@@ -184,7 +195,7 @@ def _lint_trace_command(arguments: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint-trace",
         description="Statically verify trace/ISA invariants "
-        "(TR001-TR010, see docs/verify.md) over workload traces or "
+        "(TR001-TR011, see docs/verify.md) over workload traces or "
         ".npz archives, without running the simulator.",
     )
     parser.add_argument(

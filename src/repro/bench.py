@@ -82,14 +82,34 @@ def _best_rate(
 
 
 def bench_trace_generation(repeats: int) -> dict[str, Any]:
-    """Kernel -> TraceBuilder -> columnar trace throughput."""
+    """Kernel -> TraceBuilder -> columnar trace throughput.
 
-    def task() -> int:
-        # A fresh suite each run so nothing is served from a cache.
-        return len(_make_suite().trace(BENCH_WORKLOAD))
+    The headline ``ips`` measures :data:`BENCH_WORKLOAD` (stable across
+    baselines); ``per_workload`` breaks the same measurement down over
+    every golden kernel so emission-path wins are attributable.
+    """
+    from repro.kernels.registry import WORKLOAD_NAMES
 
-    ips, instructions = _best_rate(task, repeats)
-    return {"instructions": instructions, "ips": round(ips), "repeats": repeats}
+    def task_for(workload: str) -> Callable[[], int]:
+        def task() -> int:
+            # A fresh suite each run so nothing is served from a cache.
+            return len(_make_suite().trace(workload))
+
+        return task
+
+    per_workload = {}
+    for workload in WORKLOAD_NAMES:
+        ips, instructions = _best_rate(task_for(workload), repeats)
+        per_workload[workload] = {
+            "instructions": instructions, "ips": round(ips)
+        }
+    headline = per_workload[BENCH_WORKLOAD]
+    return {
+        "instructions": headline["instructions"],
+        "ips": headline["ips"],
+        "repeats": repeats,
+        "per_workload": per_workload,
+    }
 
 
 def bench_load_trace(trace: Trace, repeats: int) -> dict[str, Any]:
@@ -139,13 +159,20 @@ def run_bench(quick: bool = False) -> dict[str, Any]:
         "load_trace": bench_load_trace(trace, repeats),
         "simulate": bench_simulate(sim_slice, repeats),
     }
+    # Metrics and REFERENCE_IPS may drift apart (a metric added after
+    # the reference was pinned, or vice versa): report speedups only for
+    # the intersection instead of KeyErroring.
     speedups = {
-        name: round(metrics[name]["ips"] / reference, 2)
-        for name, reference in REFERENCE_IPS.items()
+        name: round(measured["ips"] / REFERENCE_IPS[name], 2)
+        for name, measured in metrics.items()
+        if REFERENCE_IPS.get(name)
     }
+    from repro.isa.builder import emission_mode
+
     return {
         "version": 1,
         "mode": "quick" if quick else "full",
+        "emit_mode": emission_mode(),
         "workload": BENCH_WORKLOAD,
         "suite": dict(_SUITE_PARAMS, trace_budget=_TRACE_BUDGET),
         "metrics": metrics,
@@ -162,6 +189,7 @@ def check_baseline(
     report: dict[str, Any],
     baseline_path: str | Path | None = None,
     allowed_drop: float = 0.25,
+    warnings: list[str] | None = None,
 ) -> list[str]:
     """Tight regression gate against the committed baseline report.
 
@@ -172,6 +200,11 @@ def check_baseline(
     ``allowed_drop`` (default 25%) — i.e. one stage got slower relative
     to the others, which is what an algorithmic regression looks like,
     while a uniformly slower machine passes.
+
+    A metric measured by this report but absent from the baseline (added
+    after the baseline was committed) is not a failure: it is skipped
+    and noted in ``warnings`` (caller-supplied list) so the baseline can
+    be regenerated.
     """
     path = Path(baseline_path or COMMITTED_BASELINE)
     baseline = json.loads(path.read_text())
@@ -180,6 +213,11 @@ def check_baseline(
         reference = baseline.get("metrics", {}).get(name, {}).get("ips")
         if reference:
             ratios[name] = measured["ips"] / reference
+        elif warnings is not None:
+            warnings.append(
+                f"{name}: not in baseline {path.name}; skipped "
+                "(regenerate the baseline to start gating it)"
+            )
     if not ratios:
         return [f"baseline {path} shares no metrics with this report"]
     scale = math.exp(
@@ -224,13 +262,27 @@ def check_regression(
 
 def format_report(report: dict[str, Any]) -> str:
     """Human-readable summary of a benchmark report."""
-    lines = [f"benchmark ({report['mode']}, workload {report['workload']}):"]
+    emit_mode = report.get("emit_mode")
+    header = (
+        f"benchmark ({report['mode']}, workload {report['workload']}"
+        + (f", emit={emit_mode}" if emit_mode else "")
+        + "):"
+    )
+    lines = [header]
     for name, metrics in report["metrics"].items():
-        speedup = report["speedup_vs_reference"][name]
+        speedup = report["speedup_vs_reference"].get(name)
+        versus = (
+            f"{speedup:.2f}x pre-rework" if speedup is not None
+            else "no pre-rework reference"
+        )
         lines.append(
             f"  {name:18s} {metrics['ips']:>10,} instr/s  "
-            f"(best of {metrics['repeats']}, {speedup:.2f}x pre-rework)"
+            f"(best of {metrics['repeats']}, {versus})"
         )
+        for workload, sub in metrics.get("per_workload", {}).items():
+            lines.append(
+                f"    {workload:16s} {sub['ips']:>10,} instr/s"
+            )
     return "\n".join(lines)
 
 

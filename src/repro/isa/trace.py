@@ -87,6 +87,32 @@ class InstructionMix:
         return {op.name.lower(): self.counts[op] for op in FIG1_ORDER}
 
 
+def concat_columns(
+    chunks: Sequence[Mapping[str, np.ndarray]],
+) -> dict[str, np.ndarray]:
+    """Bulk append: concatenate column chunks into one columnar layout.
+
+    The builder's fast path materializes template stamps as independent
+    column chunks; this joins them (and any interleaved scalar-emitted
+    chunks) into the single contiguous layout :class:`Trace` stores.
+    An empty chunk list yields a valid zero-length trace.
+    """
+    if not chunks:
+        return {
+            name: np.empty(
+                (0, MAX_SOURCES) if name == "sources" else 0,
+                dtype=COLUMN_DTYPES[name],
+            )
+            for name in COLUMN_DTYPES
+        }
+    if len(chunks) == 1:
+        return dict(chunks[0])
+    return {
+        name: np.concatenate([chunk[name] for chunk in chunks])
+        for name in COLUMN_DTYPES
+    }
+
+
 def _columns_from_instructions(
     instructions: Sequence[Instruction],
 ) -> dict[str, np.ndarray]:
@@ -140,7 +166,9 @@ class Trace:
     this path).
     """
 
-    __slots__ = ("name", "columns", "_instructions", "_decoded")
+    __slots__ = (
+        "name", "columns", "_instructions", "_decoded", "stamped_regions"
+    )
 
     def __init__(
         self,
@@ -151,6 +179,8 @@ class Trace:
     ) -> None:
         self.name = name
         self._decoded = None  # per-trace decode plane (repro.uarch)
+        #: Template-stamped spans (set by the builder; not serialized).
+        self.stamped_regions: tuple = ()
         if columns is not None:
             missing = COLUMN_DTYPES.keys() - columns.keys()
             if missing:
@@ -173,6 +203,7 @@ class Trace:
         self.columns = state["columns"]
         self._instructions = None
         self._decoded = None
+        self.stamped_regions = ()
 
     # ------------------------------------------------------------------
     # Instruction materialization (debugging / legacy object access)

@@ -69,14 +69,18 @@ class TracedKernel(abc.ABC):
         database: SequenceDatabase,
         record: bool = True,
         limit: int | None = None,
+        emit_mode: str | None = None,
     ) -> KernelRun:
         """Trace the application over ``database``.
 
         ``record=False`` counts instructions without materializing them
         (for Table III-scale measurements); ``limit`` truncates the run
-        once the instruction budget is reached.
+        once the instruction budget is reached; ``emit_mode`` overrides
+        the process-wide ``REPRO_EMIT`` templated/scalar selection.
         """
-        builder = TraceBuilder(self.name, record=record, limit=limit)
+        builder = TraceBuilder(
+            self.name, record=record, limit=limit, emit_mode=emit_mode
+        )
         scores: dict[str, int] = {}
         truncated = False
         try:

@@ -16,12 +16,65 @@ nucleotide code.
 
 from __future__ import annotations
 
+
 from repro.align.blast.nucleotide import BlastnEngine, BlastnOptions
 from repro.bio.database import SequenceDatabase
 from repro.bio.packed import BASES_PER_BYTE, PackedSequence, unpack_base
 from repro.bio.sequence import Sequence
 from repro.isa.builder import TraceBuilder
+from repro.isa.emit import Carry, EmitTemplate, Reg, Slot, SlotSpec
 from repro.kernels.base import TracedKernel
+from repro.isa.opcodes import OpClass
+
+#: Packed-scan block over *positions*: the byte load is gated to every
+#: fourth iteration, the probe slots to the ambiguity/short outcomes,
+#: and the byte-close branch to the byte's final position.  Stamped in
+#: hit-to-hit runs like the BLAST scan.
+_SCAN_TEMPLATE = EmitTemplate("blastn.scan", [
+    SlotSpec(OpClass.ILOAD, "scan.loadp", gate="first",
+             sources=(Carry(4, init=Reg("w0")),), addr="pa", size=1),
+    SlotSpec(OpClass.IALU, "scan.unpack_shift",
+             sources=(Carry(0, lag=0, init=Reg("b0")),)),
+    SlotSpec(OpClass.IALU, "scan.unpack_mask", sources=(Slot(1),)),
+    SlotSpec(OpClass.CTRL, "scan.br_ambig", gate="ambig", taken=True,
+             sources=(Slot(2),)),
+    SlotSpec(OpClass.IALU, "scan.word_roll", gate="ok",
+             sources=(Carry(4, init=Reg("w0")), Slot(2))),
+    SlotSpec(OpClass.CTRL, "scan.br_short", gate="short", taken=True,
+             sources=(Slot(4),)),
+    SlotSpec(OpClass.ILOAD, "scan.table", gate="probe",
+             sources=(Slot(4),), addr="ta", size=4),
+    SlotSpec(OpClass.IALU, "scan.test", gate="probe", sources=(Slot(6),)),
+    SlotSpec(OpClass.CTRL, "scan.br_hit", gate="probe", taken="hitk",
+             sources=(Slot(7),)),
+    SlotSpec(OpClass.CTRL, "scan.byte_loop", gate="last", taken="bcont",
+             backward=True),
+])
+
+#: Per-direction base-compare extension blocks (sites embed direction).
+_EXT_TEMPLATES: dict[str, EmitTemplate] = {}
+
+
+def _ext_template(direction: str) -> EmitTemplate:
+    template = _EXT_TEMPLATES.get(direction)
+    if template is not None:
+        return template
+    template = EmitTemplate(f"blastn.ext.{direction}", [
+        SlotSpec(OpClass.ILOAD, f"ext.{direction}.loadp",
+                 sources=(Carry(4, init=Reg("run")),), addr="pa", size=1),
+        SlotSpec(OpClass.IALU, f"ext.{direction}.unpack",
+                 sources=(Slot(0),)),
+        SlotSpec(OpClass.ILOAD, f"ext.{direction}.loadq",
+                 sources=(Carry(4, init=Reg("run")),), addr="qa", size=1),
+        SlotSpec(OpClass.IALU, f"ext.{direction}.cmp",
+                 sources=(Slot(1), Slot(2))),
+        SlotSpec(OpClass.IALU, f"ext.{direction}.add",
+                 sources=(Carry(4, init=Reg("run")), Slot(3))),
+        SlotSpec(OpClass.CTRL, f"ext.{direction}.br", taken="go",
+                 sources=(Slot(3),)),
+    ])
+    _EXT_TEMPLATES[direction] = template
+    return template
 
 
 class BlastnKernel(TracedKernel):
@@ -79,6 +132,29 @@ class BlastnKernel(TracedKernel):
         r_ctx: int,
     ) -> int:
         """Replicate BlastnEngine.score_subject with emission."""
+        scan = (
+            self._scan_templated
+            if builder.use_templates
+            else self._scan_scalar
+        )
+        return scan(
+            builder, engine, packed, table_base, buckets_base, diag_base,
+            query_base, subject_base, r_ctx,
+        )
+
+    def _scan_scalar(
+        self,
+        builder: TraceBuilder,
+        engine: BlastnEngine,
+        packed: PackedSequence,
+        table_base: int,
+        buckets_base: int,
+        diag_base: int,
+        query_base: int,
+        subject_base: int,
+        r_ctx: int,
+    ) -> int:
+        """Per-call scalar scan (the ``REPRO_EMIT=scalar`` path)."""
         options = self.options
         word_size = options.word_size
         mask = (1 << (2 * word_size)) - 1
@@ -129,46 +205,12 @@ class BlastnKernel(TracedKernel):
                 builder.ctrl("scan.br_hit", taken=bool(hits), sources=(r_test,))
                 if not hits:
                     continue
-                subject_offset = position - word_size
-                for bucket_pos, query_offset in enumerate(hits):
-                    engine.word_hits += 1
-                    r_qo = builder.iload(
-                        "hit.bucket",
-                        buckets_base + query_offset * 4,
-                        (r_test,),
-                        size=4,
-                    )
-                    diagonal = subject_offset - query_offset
-                    r_diag = builder.ialu("hit.diag", (r_qo,))
-                    r_seen = builder.iload(
-                        "hit.seen",
-                        diag_base + ((diagonal + len(engine.query.text)) * 4),
-                        (r_diag,),
-                        size=4,
-                    )
-                    repeat = seen_diagonals.get(diagonal, -1) >= subject_offset
-                    builder.ctrl("hit.br_seen", taken=repeat, sources=(r_seen,))
-                    builder.ctrl(
-                        "hit.bucket_loop",
-                        taken=bucket_pos + 1 < len(hits),
-                        backward=True,
-                    )
-                    if repeat:
-                        continue
-                    engine.extensions += 1
-                    score = self._traced_extension(
-                        builder, engine, subject_text, query_offset,
-                        subject_offset, query_base, subject_base, r_diag,
-                    )
-                    seen_diagonals[diagonal] = subject_offset + word_size
-                    builder.istore(
-                        "hit.update",
-                        diag_base + ((diagonal + len(engine.query.text)) * 4),
-                        (r_diag,),
-                        size=4,
-                    )
-                    if score > best:
-                        best = score
+                best = self._bucket_walk(
+                    builder, engine, subject_text, hits,
+                    position - word_size, seen_diagonals, best,
+                    buckets_base, diag_base, query_base, subject_base,
+                    r_test,
+                )
             builder.ctrl(
                 "scan.byte_loop",
                 taken=byte_index + 1 < packed.packed_bytes,
@@ -176,7 +218,291 @@ class BlastnKernel(TracedKernel):
             )
         return best
 
+    def _scan_templated(
+        self,
+        builder: TraceBuilder,
+        engine: BlastnEngine,
+        packed: PackedSequence,
+        table_base: int,
+        buckets_base: int,
+        diag_base: int,
+        query_base: int,
+        subject_base: int,
+        r_ctx: int,
+    ) -> int:
+        """Template-stamped packed scan, flushed run-by-run at hits.
+
+        The stamp iterates per unpacked *position*; the hit's bucket
+        walk interrupts the stream before the byte-close branch, so a
+        hit flush suppresses that iteration's ``scan.byte_loop`` slot
+        and re-emits it scalar after the walk when the hit sits on the
+        byte's final position.
+        """
+        options = self.options
+        word_size = options.word_size
+        mask = (1 << (2 * word_size)) - 1
+        subject_text = packed.unpack().text
+        ambiguous = set(packed.ambiguous)
+        base_code = {"A": 0, "C": 1, "G": 2, "T": 3}
+        table_mod = 4**word_size // 8
+        length = packed.length
+        packed_bytes = packed.packed_bytes
+
+        best = 0
+        seen_diagonals: dict[int, int] = {}
+        word = 0
+        valid = 0
+        r_init = builder.ialu("scan.word_init", (r_ctx,))
+        state = {"w0": r_init, "b0": r_init, "start": 0}
+        pa: list[int] = []
+        first: list[bool] = []
+        ambig_m: list[bool] = []
+        ok: list[bool] = []
+        short_m: list[bool] = []
+        probe: list[bool] = []
+        hitk: list[bool] = []
+        ta: list[int] = []
+        last_m: list[bool] = []
+        bcont: list[bool] = []
+
+        def flush(upto: int):
+            count = upto - state["start"]
+            if count <= 0:
+                return None
+            result = builder.stamp(_SCAN_TEMPLATE, count, {
+                "w0": state["w0"],
+                "b0": state["b0"],
+                "pa": pa,
+                "ta": ta,
+                "first": first,
+                "ambig": ambig_m,
+                "ok": ok,
+                "short": short_m,
+                "probe": probe,
+                "hitk": hitk,
+                "last": last_m,
+                "bcont": bcont,
+            })
+            state["w0"] = result.last(4, default=state["w0"])
+            state["b0"] = result.last(0, default=state["b0"])
+            state["start"] = upto
+            for buffer in (pa, first, ambig_m, ok, short_m, probe, hitk,
+                           ta, last_m, bcont):
+                buffer.clear()
+            return result
+
+        for position in range(length):
+            byte_index = position // BASES_PER_BYTE
+            slot = position % BASES_PER_BYTE
+            byte = packed.packed[byte_index]
+            byte_last = slot == BASES_PER_BYTE - 1 or position == length - 1
+            engine.words_scanned += 1
+            pa.append(subject_base + byte_index)
+            first.append(slot == 0)
+            last_m.append(byte_last)
+            bcont.append(byte_index + 1 < packed_bytes)
+
+            if position in ambiguous:
+                valid = 0
+                word = 0
+                ambig_m.append(True)
+                ok.append(False)
+                short_m.append(False)
+                probe.append(False)
+                hitk.append(False)
+                ta.append(0)
+                continue
+            ambig_m.append(False)
+            ok.append(True)
+            base = unpack_base(byte, slot)
+            word = ((word << 2) | base_code[base]) & mask
+            valid += 1
+            if valid < word_size:
+                short_m.append(True)
+                probe.append(False)
+                hitk.append(False)
+                ta.append(0)
+                continue
+            short_m.append(False)
+            probe.append(True)
+            ta.append(table_base + (word % table_mod))
+            hits = engine.lookup.lookup(word)
+            hitk.append(bool(hits))
+            if not hits:
+                continue
+
+            # Flush through the hit position, byte-close suppressed.
+            last_m[-1] = False
+            result = flush(position + 1)
+            r_test = result.last(7, default=state["w0"])
+            best = self._bucket_walk(
+                builder, engine, subject_text, hits,
+                position + 1 - word_size, seen_diagonals, best,
+                buckets_base, diag_base, query_base, subject_base,
+                r_test,
+            )
+            if byte_last:
+                builder.ctrl(
+                    "scan.byte_loop",
+                    taken=byte_index + 1 < packed_bytes,
+                    backward=True,
+                )
+        flush(length)
+        return best
+
+    def _bucket_walk(
+        self,
+        builder: TraceBuilder,
+        engine: BlastnEngine,
+        subject_text: str,
+        hits,
+        subject_offset: int,
+        seen_diagonals: dict[int, int],
+        best: int,
+        buckets_base: int,
+        diag_base: int,
+        query_base: int,
+        subject_base: int,
+        r_test: int,
+    ) -> int:
+        """Bucket walk + extensions for one word hit (shared verbatim)."""
+        word_size = self.options.word_size
+        for bucket_pos, query_offset in enumerate(hits):
+            engine.word_hits += 1
+            r_qo = builder.iload(
+                "hit.bucket",
+                buckets_base + query_offset * 4,
+                (r_test,),
+                size=4,
+            )
+            diagonal = subject_offset - query_offset
+            r_diag = builder.ialu("hit.diag", (r_qo,))
+            r_seen = builder.iload(
+                "hit.seen",
+                diag_base + ((diagonal + len(engine.query.text)) * 4),
+                (r_diag,),
+                size=4,
+            )
+            repeat = seen_diagonals.get(diagonal, -1) >= subject_offset
+            builder.ctrl("hit.br_seen", taken=repeat, sources=(r_seen,))
+            builder.ctrl(
+                "hit.bucket_loop",
+                taken=bucket_pos + 1 < len(hits),
+                backward=True,
+            )
+            if repeat:
+                continue
+            engine.extensions += 1
+            score = self._traced_extension(
+                builder, engine, subject_text, query_offset,
+                subject_offset, query_base, subject_base, r_diag,
+            )
+            seen_diagonals[diagonal] = subject_offset + word_size
+            builder.istore(
+                "hit.update",
+                diag_base + ((diagonal + len(engine.query.text)) * 4),
+                (r_diag,),
+                size=4,
+            )
+            if score > best:
+                best = score
+        return best
+
+    def _extension_templated(
+        self,
+        builder: TraceBuilder,
+        engine: BlastnEngine,
+        subject_text: str,
+        query_offset: int,
+        subject_offset: int,
+        query_base: int,
+        subject_base: int,
+        r_seed: int,
+    ) -> int:
+        """Template-stamped base-compare extension (one stamp/direction)."""
+        options = self.options
+        query_text = engine.query.text
+        word_size = options.word_size
+        score = options.match * word_size
+        state = {"run": builder.ialu("ext.init", (r_seed,))}
+
+        def stamp_direction(direction: str, steps) -> None:
+            count = len(steps)
+            if not count:
+                return
+            result = builder.stamp(_ext_template(direction), count, {
+                "run": state["run"],
+                "pa": [subject_base + sp // BASES_PER_BYTE
+                       for _, sp, _ in steps],
+                "qa": [query_base + qp for qp, _, _ in steps],
+                "go": [not stop for _, _, stop in steps],
+            })
+            state["run"] = result.last(4, default=state["run"])
+
+        best = score
+        running = score
+        q, s = query_offset + word_size, subject_offset + word_size
+        limit = min(len(query_text) - q, len(subject_text) - s)
+        steps: list[tuple[int, int, bool]] = []
+        for step in range(limit):
+            running += (
+                options.match
+                if query_text[q + step] == subject_text[s + step]
+                else options.mismatch
+            )
+            stop = best - running > options.x_drop
+            if running > best:
+                best = running
+            steps.append((q + step, s + step, stop))
+            if stop:
+                break
+        stamp_direction("right", steps)
+
+        running = best
+        total_best = best
+        limit = min(query_offset, subject_offset)
+        steps = []
+        for step in range(1, limit + 1):
+            running += (
+                options.match
+                if query_text[query_offset - step]
+                == subject_text[subject_offset - step]
+                else options.mismatch
+            )
+            stop = total_best - running > options.x_drop
+            if running > total_best:
+                total_best = running
+            steps.append(
+                (query_offset - step, subject_offset - step, stop)
+            )
+            if stop:
+                break
+        stamp_direction("left", steps)
+        return total_best
+
     def _traced_extension(
+        self,
+        builder: TraceBuilder,
+        engine: BlastnEngine,
+        subject_text: str,
+        query_offset: int,
+        subject_offset: int,
+        query_base: int,
+        subject_base: int,
+        r_seed: int,
+    ) -> int:
+        """Ungapped extension; dispatches on the builder's emit mode."""
+        extend = (
+            self._extension_templated
+            if builder.use_templates
+            else self._extension_scalar
+        )
+        return extend(
+            builder, engine, subject_text, query_offset, subject_offset,
+            query_base, subject_base, r_seed,
+        )
+
+    def _extension_scalar(
         self,
         builder: TraceBuilder,
         engine: BlastnEngine,

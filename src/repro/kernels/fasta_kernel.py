@@ -11,6 +11,7 @@ SSEARCH-like dependence on branch prediction.
 
 from __future__ import annotations
 
+
 from repro.align.fasta.engine import FastaOptions, FastaScores
 from repro.align.fasta.chaining import chain_regions
 from repro.align.fasta.ktup import (
@@ -23,8 +24,46 @@ from repro.bio.alphabet import STANDARD_AMINO_ACIDS
 from repro.bio.database import SequenceDatabase
 from repro.bio.sequence import Sequence
 from repro.isa.builder import TraceBuilder
+from repro.isa.emit import Carry, EmitTemplate, Reg, Sel, Slot, SlotSpec
+from repro.isa.opcodes import OpClass
 from repro.kernels.base import TracedKernel
 from repro.kernels.dp_emit import banded_dp_traced
+
+#: Stage-1 k-tuple scan block.  Stamped in hit-to-hit runs: the kernel
+#: buffers per-offset operands until a bucket walk interrupts the
+#: stream, stamps the run (hit offset inclusive), emits the walk with
+#: scalar calls, and threads ``r_ptr``/``r_head`` via the stamp result.
+_SCAN_TEMPLATE = EmitTemplate("fasta.scan", [
+    SlotSpec(OpClass.ILOAD, "scan.loads",
+             sources=(Carry(1, init=Reg("ptr")),),
+             base="sb", scale=1, size=1),
+    SlotSpec(OpClass.IALU, "scan.shift",
+             sources=(Slot(0), Carry(1, init=Reg("ptr")))),
+    SlotSpec(OpClass.IALU, "scan.word", sources=(Slot(0),)),
+    SlotSpec(OpClass.ILOAD, "scan.ktab", sources=(Slot(2),),
+             addr="ka", size=8),
+    SlotSpec(OpClass.IALU, "scan.test", sources=(Slot(3),)),
+    SlotSpec(OpClass.CTRL, "scan.br_hit", taken="hit", sources=(Slot(4),)),
+    SlotSpec(OpClass.CTRL, "scan.loop", gate="odd", taken="cont",
+             backward=True),
+])
+
+#: Stage-3 per-residue rescoring block (the valid offsets of a region
+#: form one contiguous run, so each region is a single stamp).
+_RESC_TEMPLATE = EmitTemplate("fasta.resc", [
+    SlotSpec(OpClass.ILOAD, "resc.loads",
+             sources=(Carry(Sel(5, 2), init=Reg("run")),),
+             addr="sa", size=1),
+    SlotSpec(OpClass.ILOAD, "resc.prof", sources=(Slot(0),),
+             addr="pa", size=2),
+    SlotSpec(OpClass.IALU, "resc.add",
+             sources=(Carry(Sel(5, 2), init=Reg("run")), Slot(1))),
+    SlotSpec(OpClass.IALU, "resc.cmp", sources=(Slot(2),)),
+    SlotSpec(OpClass.CTRL, "resc.br_reset", taken="reset",
+             sources=(Slot(3),)),
+    SlotSpec(OpClass.IALU, "resc.upd", gate="upd", sources=(Slot(2),)),
+    SlotSpec(OpClass.CTRL, "resc.loop", taken="cont", backward=True),
+])
 
 
 class FastaKernel(TracedKernel):
@@ -67,50 +106,15 @@ class FastaKernel(TracedKernel):
             builder.other("drv.subj.misc", (r_sub,))
 
             # ---------------- stage 1: k-tuple diagonal scan ----------
-            hits: dict[int, list[int]] = {}
-            r_ptr = r_sub
-            for so in range(max(0, n - ktup + 1)):
-                word = 0
-                valid = True
-                for offset in range(ktup):
-                    code = s[so + offset]
-                    if code >= STANDARD_AMINO_ACIDS:
-                        valid = False
-                        break
-                    word = word * STANDARD_AMINO_ACIDS + code
-                positions = index.positions(word) if valid else ()
-
-                r_byte = builder.iload(
-                    "scan.loads", subject_base + so, (r_ptr,), size=1
-                )
-                r_ptr = builder.ialu("scan.shift", (r_byte, r_ptr))
-                r_word = builder.ialu("scan.word", (r_byte,))
-                r_head = builder.iload(
-                    "scan.ktab", ktab_base + max(word, 0) * 8, (r_word,), size=8
-                )
-                r_test = builder.ialu("scan.test", (r_head,))
-                builder.ctrl("scan.br_hit", taken=bool(positions), sources=(r_test,))
-                if so % 2 == 1:
-                    builder.ctrl("scan.loop", taken=so + 1 < n, backward=True)
-
-                for bucket_pos, qo in enumerate(positions):
-                    diagonal = so - qo
-                    hits.setdefault(diagonal, []).append(so)
-                    r_qo = builder.iload(
-                        "scan.bucket", buckets_base + qo * 4, (r_head,), size=4
-                    )
-                    r_d = builder.ialu("scan.diag", (r_qo,))
-                    builder.istore(
-                        "scan.record",
-                        hitlist_base + (diagonal + m) * 8,
-                        (r_d,),
-                        size=8,
-                    )
-                    builder.ctrl(
-                        "scan.bucket_loop",
-                        taken=bucket_pos + 1 < len(positions),
-                        backward=True,
-                    )
+            scan = (
+                self._scan_templated
+                if builder.use_templates
+                else self._scan_scalar
+            )
+            hits = scan(
+                builder, index, s, n, m, subject_base, ktab_base,
+                buckets_base, hitlist_base, r_sub,
+            )
 
             # ---------------- stage 2: diagonal run scoring -----------
             raw_regions: list[DiagonalRegion] = []
@@ -189,10 +193,15 @@ class FastaKernel(TracedKernel):
             raw_regions = raw_regions[: options.best_regions]
 
             # ---------------- stage 3: rescoring + chaining -----------
+            rescore = (
+                self._rescore_templated
+                if builder.use_templates
+                else self._rescore_traced
+            )
             rescored: list[DiagonalRegion] = []
             for region in raw_regions:
                 rescored.append(
-                    self._rescore_traced(
+                    rescore(
                         builder, region, q, s, profile_base, subject_base, r_sub
                     )
                 )
@@ -234,6 +243,222 @@ class FastaKernel(TracedKernel):
             r_hist = builder.ialu("drv.hist.bin", (r_sub,))
             builder.istore("drv.hist.store", hitlist_base, (r_hist,), size=4)
             scores[subject.identifier] = stage_scores.reported
+
+    def _scan_scalar(
+        self,
+        builder: TraceBuilder,
+        index: KtupleIndex,
+        s,
+        n: int,
+        m: int,
+        subject_base: int,
+        ktab_base: int,
+        buckets_base: int,
+        hitlist_base: int,
+        r_sub: int,
+    ) -> dict[int, list[int]]:
+        """Per-call scalar stage-1 scan (the ``REPRO_EMIT=scalar`` path)."""
+        ktup = self.options.ktup
+        hits: dict[int, list[int]] = {}
+        r_ptr = r_sub
+        for so in range(max(0, n - ktup + 1)):
+            word = 0
+            valid = True
+            for offset in range(ktup):
+                code = s[so + offset]
+                if code >= STANDARD_AMINO_ACIDS:
+                    valid = False
+                    break
+                word = word * STANDARD_AMINO_ACIDS + code
+            positions = index.positions(word) if valid else ()
+
+            r_byte = builder.iload(
+                "scan.loads", subject_base + so, (r_ptr,), size=1
+            )
+            r_ptr = builder.ialu("scan.shift", (r_byte, r_ptr))
+            r_word = builder.ialu("scan.word", (r_byte,))
+            r_head = builder.iload(
+                "scan.ktab", ktab_base + max(word, 0) * 8, (r_word,), size=8
+            )
+            r_test = builder.ialu("scan.test", (r_head,))
+            builder.ctrl("scan.br_hit", taken=bool(positions), sources=(r_test,))
+            if so % 2 == 1:
+                builder.ctrl("scan.loop", taken=so + 1 < n, backward=True)
+
+            self._emit_bucket_walk(
+                builder, hits, positions, so, m, buckets_base,
+                hitlist_base, r_head,
+            )
+        return hits
+
+    def _scan_templated(
+        self,
+        builder: TraceBuilder,
+        index: KtupleIndex,
+        s,
+        n: int,
+        m: int,
+        subject_base: int,
+        ktab_base: int,
+        buckets_base: int,
+        hitlist_base: int,
+        r_sub: int,
+    ) -> dict[int, list[int]]:
+        """Template-stamped stage-1 scan, flushed run-by-run at hits."""
+        ktup = self.options.ktup
+        hits: dict[int, list[int]] = {}
+        total = max(0, n - ktup + 1)
+        state = {"ptr": r_sub, "start": 0}
+        ka: list[int] = []
+        hit: list[bool] = []
+        odd: list[bool] = []
+        cont: list[bool] = []
+
+        def flush(upto: int):
+            count = upto - state["start"]
+            if count <= 0:
+                return None
+            result = builder.stamp(_SCAN_TEMPLATE, count, {
+                "ptr": state["ptr"],
+                "sb": subject_base + state["start"],
+                "ka": ka,
+                "hit": hit,
+                "odd": odd,
+                "cont": cont,
+            })
+            state["ptr"] = result.last(1, default=state["ptr"])
+            state["start"] = upto
+            ka.clear()
+            hit.clear()
+            odd.clear()
+            cont.clear()
+            return result
+
+        for so in range(total):
+            word = 0
+            valid = True
+            for offset in range(ktup):
+                code = s[so + offset]
+                if code >= STANDARD_AMINO_ACIDS:
+                    valid = False
+                    break
+                word = word * STANDARD_AMINO_ACIDS + code
+            positions = index.positions(word) if valid else ()
+            ka.append(ktab_base + max(word, 0) * 8)
+            hit.append(bool(positions))
+            odd.append(so % 2 == 1)
+            cont.append(so + 1 < n)
+            if positions:
+                result = flush(so + 1)
+                r_head = result.last(3, default=state["ptr"])
+                self._emit_bucket_walk(
+                    builder, hits, positions, so, m, buckets_base,
+                    hitlist_base, r_head,
+                )
+        flush(total)
+        return hits
+
+    def _emit_bucket_walk(
+        self,
+        builder: TraceBuilder,
+        hits: dict[int, list[int]],
+        positions,
+        so: int,
+        m: int,
+        buckets_base: int,
+        hitlist_base: int,
+        r_head: int,
+    ) -> None:
+        """Bucket-list walk for one hit offset (shared by both paths)."""
+        for bucket_pos, qo in enumerate(positions):
+            diagonal = so - qo
+            hits.setdefault(diagonal, []).append(so)
+            r_qo = builder.iload(
+                "scan.bucket", buckets_base + qo * 4, (r_head,), size=4
+            )
+            r_d = builder.ialu("scan.diag", (r_qo,))
+            builder.istore(
+                "scan.record",
+                hitlist_base + (diagonal + m) * 8,
+                (r_d,),
+                size=8,
+            )
+            builder.ctrl(
+                "scan.bucket_loop",
+                taken=bucket_pos + 1 < len(positions),
+                backward=True,
+            )
+
+    def _rescore_templated(
+        self,
+        builder: TraceBuilder,
+        region: DiagonalRegion,
+        q,
+        s,
+        profile_base: int,
+        subject_base: int,
+        r_ctx: int,
+    ) -> DiagonalRegion:
+        """Template-stamped equivalent of :meth:`_rescore_traced`.
+
+        A region's in-query offsets form one contiguous run, so the
+        whole rescoring loop is a single stamp.
+        """
+        m = len(q)
+        matrix = self.options.matrix
+        best = 0
+        running = 0
+        best_start = region.subject_start
+        best_end = region.subject_start
+        run_start = region.subject_start
+        r_run = builder.ialu("resc.setup", (r_ctx,))
+
+        lo = max(region.subject_start, region.diagonal)
+        hi = min(region.subject_end, region.diagonal + m)
+        count = max(0, hi - lo)
+        sa: list[int] = []
+        pa: list[int] = []
+        reset_mask: list[bool] = []
+        upd_mask: list[bool] = []
+        cont: list[bool] = []
+        for k in range(count):
+            subject_offset = lo + k
+            query_offset = subject_offset - region.diagonal
+            value = matrix.score(q[query_offset], s[subject_offset])
+            sa.append(subject_base + subject_offset)
+            pa.append(
+                profile_base + (s[subject_offset] * m + query_offset) * 2
+            )
+            if running == 0:
+                run_start = subject_offset
+            running += value
+            reset = running <= 0
+            reset_mask.append(reset)
+            upd = False
+            if reset:
+                running = 0
+            elif running > best:
+                best = running
+                best_start = run_start
+                best_end = subject_offset + 1
+                upd = True
+            upd_mask.append(upd)
+            cont.append(subject_offset + 1 < region.subject_end)
+        if count:
+            builder.stamp(_RESC_TEMPLATE, count, {
+                "run": r_run,
+                "sa": sa,
+                "pa": pa,
+                "reset": reset_mask,
+                "upd": upd_mask,
+                "cont": cont,
+            })
+        return DiagonalRegion(
+            diagonal=region.diagonal,
+            subject_start=best_start,
+            subject_end=best_end,
+            score=best,
+        )
 
     def _rescore_traced(
         self,

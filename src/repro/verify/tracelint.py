@@ -24,6 +24,8 @@ TR007   column schema: all eight columns, pinned dtypes, equal length
 TR008   recomputed content digest matches the expected digest
 TR009   serialize -> load round-trips column-byte-identically
 TR010   the cached decode plane agrees with the columns
+TR011   template-stamped regions match their emit templates (per-slot
+        opcode/dest/size, constant distinct pcs, control targets)
 ======  ==============================================================
 
 The checks are deliberately *independent recomputations*: TR010, for
@@ -561,6 +563,139 @@ def check_roundtrip(trace: Trace) -> list[TraceViolation]:
     return violations
 
 
+def check_stamped_regions(trace: Trace) -> list[TraceViolation]:
+    """TR011: template-stamped spans agree with their emit templates.
+
+    Builders that stamp :class:`~repro.isa.emit.EmitTemplate` blocks
+    attach :class:`~repro.isa.emit.StampRegion` records to the built
+    trace (in-memory only; serialization drops them).  For every such
+    region this rule re-derives, per instruction, the producing slot's
+    static fields and checks the materialized columns against them:
+
+    * the opcode equals the slot's class (and therefore its functional
+      unit and latency, which key off the opcode tables);
+    * dest flags and access sizes equal the slot's static shape;
+    * each slot maps to one constant pc inside the region, distinct
+      per slot (every slot is one static site);
+    * control slots carry the builder's synthetic target (pc - 128 for
+      back-edges, pc + 64 forward) and only control slots are taken.
+    """
+    regions = getattr(trace, "stamped_regions", ())
+    if not regions:
+        return []
+    columns = trace.columns
+    ops = columns["ops"]
+    pcs = columns["pcs"]
+    dests = columns["dests"]
+    sizes = columns["sizes"]
+    takens = columns["takens"]
+    targets = columns["targets"]
+    n = ops.shape[0]
+    violations = []
+
+    for number, region in enumerate(regions):
+        template = region.template
+        slot_of = np.asarray(region.slot_of)
+        stop = region.start + slot_of.shape[0]
+        label = f"stamped region #{number} ({template.name})"
+        if region.start < 0 or stop > n:
+            violations.append(TraceViolation(
+                "TR011",
+                f"{label} spans [{region.start}, {stop}) outside the "
+                f"{n}-instruction trace",
+            ))
+            continue
+        if not slot_of.size:
+            continue
+        if int(slot_of.max()) >= len(template.slots):
+            violations.append(TraceViolation(
+                "TR011",
+                f"{label} names slot {int(slot_of.max())}; template has "
+                f"{len(template.slots)}",
+                index=region.start,
+            ))
+            continue
+        span = slice(region.start, stop)
+
+        bad = ops[span] != template.ops[slot_of]
+        if bad.any():
+            index = _first(bad)
+            violations.append(TraceViolation(
+                "TR011",
+                f"{label}: opcode {int(ops[region.start + index])} "
+                f"disagrees with slot "
+                f"{template.slots[int(slot_of[index])].site!r} "
+                "(functional unit and latency key off the opcode)",
+                index=region.start + index,
+                count=int(bad.sum()),
+            ))
+        bad = dests[span] != template.dests[slot_of]
+        if bad.any():
+            violations.append(TraceViolation(
+                "TR011",
+                f"{label}: dest flag disagrees with the slot's "
+                "result class",
+                index=region.start + _first(bad),
+                count=int(bad.sum()),
+            ))
+        bad = sizes[span] != template.sizes[slot_of]
+        if bad.any():
+            violations.append(TraceViolation(
+                "TR011",
+                f"{label}: access size disagrees with the slot's "
+                "static size",
+                index=region.start + _first(bad),
+                count=int(bad.sum()),
+            ))
+
+        # Per-slot pc constancy + distinctness (each slot is one static
+        # site, so one synthetic pc).
+        span_pcs = pcs[span]
+        slot_pc: dict[int, int] = {}
+        drifted = False
+        for slot, pc in zip(slot_of.tolist(), span_pcs.tolist()):
+            expected = slot_pc.setdefault(slot, pc)
+            if expected != pc and not drifted:
+                drifted = True
+                violations.append(TraceViolation(
+                    "TR011",
+                    f"{label}: slot "
+                    f"{template.slots[slot].site!r} emitted under "
+                    f"multiple pcs (0x{expected:x}, 0x{pc:x})",
+                ))
+        if len(set(slot_pc.values())) != len(slot_pc):
+            violations.append(TraceViolation(
+                "TR011",
+                f"{label}: distinct slots share one pc",
+            ))
+
+        is_ctrl = template.ops[slot_of] == int(OpClass.CTRL)
+        bad = ~is_ctrl & (takens[span] != 0)
+        if bad.any():
+            violations.append(TraceViolation(
+                "TR011",
+                f"{label}: non-control slot marked taken",
+                index=region.start + _first(bad),
+                count=int(bad.sum()),
+            ))
+        backward = np.array(
+            [slot.backward for slot in template.slots], dtype=bool
+        )[slot_of]
+        expected_targets = np.where(
+            backward, span_pcs - 128, span_pcs + 64
+        )
+        bad = is_ctrl & (targets[span] != expected_targets)
+        if bad.any():
+            violations.append(TraceViolation(
+                "TR011",
+                f"{label}: control target disagrees with the builder's "
+                "synthetic offset (pc - 128 backward, pc + 64 forward)",
+                index=region.start + _first(bad),
+                count=int(bad.sum()),
+            ))
+    return violations
+
+
 def check_decode_plane(trace: Trace) -> list[TraceViolation]:
     """TR010: the decode plane agrees with an independent re-derivation.
 
@@ -677,6 +812,7 @@ TRACE_RULES: dict[str, str] = {
     "TR008": "content digest",
     "TR009": "serialize round-trip",
     "TR010": "decode plane",
+    "TR011": "stamped regions",
 }
 
 
@@ -727,6 +863,7 @@ def lint_trace(
     if include_roundtrip:
         outcomes.append(("TR009", check_roundtrip(trace)))
     outcomes.append(("TR010", check_decode_plane(trace)))
+    outcomes.append(("TR011", check_stamped_regions(trace)))
     for rule, violations in outcomes:
         report.checks.append(
             TraceCheck(rule, TRACE_RULES[rule], tuple(violations))
