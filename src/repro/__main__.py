@@ -16,6 +16,9 @@ Usage::
     python -m repro lint-trace blast      # static trace invariant check
     python -m repro lint-trace --all -j 4 # lint every workload, in parallel
     python -m repro lint-code             # repo-specific AST lint (REP00x)
+    python -m repro sweep run SPEC        # run/resume a declarative sweep
+    python -m repro sweep status SPEC     # manifest progress (no simulation)
+    python -m repro sweep report SPEC     # render text/JSON/HTML report
 
 Experiment-run options:
 
@@ -362,6 +365,123 @@ def _lint_code_command(arguments: list[str]) -> int:
     return 1 if violations else 0
 
 
+def _sweep_command(arguments: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.runtime.engine import ExperimentRuntime
+    from repro.sweep import (
+        SweepSpecError,
+        load_spec,
+        render_report,
+        report_data,
+        run_sweep,
+        sweep_status,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Declarative sweep campaigns: run/resume a spec "
+        "grid, inspect its manifest, render its report "
+        "(see docs/sweeps.md; committed specs in examples/sweeps/).",
+    )
+    parser.add_argument("action", choices=("run", "status", "report"))
+    parser.add_argument("spec", help="sweep spec (.toml, .yaml/.yml, .json)")
+    parser.add_argument("--jobs", "-j", type=int, default=1)
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        help="persistent result cache; the sweep manifest defaults to "
+        "<cache-dir>/sweeps",
+    )
+    parser.add_argument(
+        "--state-dir", default=None,
+        help="where sweep manifests live (default: <cache-dir>/sweeps)",
+    )
+    parser.add_argument(
+        "--max-points", type=int, default=None,
+        help="execute at most N pending points this run (partial runs "
+        "resume exactly where they stopped)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "html"), default="text",
+        help="report format (report action; default text)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the report here instead of stdout (report action)",
+    )
+    parser.add_argument(
+        "--summary-json", default=None,
+        help="write the run summary (executed/resumed/remaining counts) "
+        "as JSON here (run action)",
+    )
+    parser.add_argument("--task-timeout", type=float, default=None)
+    parser.add_argument("--retries", type=int, default=2)
+    try:
+        options = parser.parse_args(arguments)
+    except SystemExit as exit_:
+        return int(exit_.code or 0)
+
+    try:
+        spec = load_spec(options.spec)
+    except SweepSpecError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    state_dir = options.state_dir
+    if state_dir is None and options.cache_dir:
+        state_dir = str(Path(options.cache_dir) / "sweeps")
+
+    if options.action in {"status", "report"}:
+        if state_dir is None:
+            print("no sweep state: pass --state-dir or --cache-dir "
+                  "(or set REPRO_CACHE_DIR)", file=sys.stderr)
+            return 2
+        if options.action == "status":
+            status = sweep_status(spec, state_dir)
+            print(f"sweep {status['sweep']} ({status['spec_digest']}): "
+                  f"{status['recorded']}/{status['points']} points recorded"
+                  + ("" if status["complete"]
+                     else f", {status['missing']} missing"))
+            return 0 if status["complete"] else 1
+        rendered = render_report(report_data(spec, state_dir), options.format)
+        if options.out:
+            Path(options.out).write_text(rendered)
+            print(f"wrote {options.out}")
+        else:
+            print(rendered, end="")
+        return 0
+
+    runtime = ExperimentRuntime(
+        jobs=options.jobs,
+        cache_dir=options.cache_dir,
+        task_timeout=options.task_timeout,
+        retries=options.retries,
+    )
+    try:
+        run = run_sweep(
+            spec, runtime,
+            state_dir=state_dir,
+            max_points=options.max_points,
+        )
+    finally:
+        runtime.close()
+    summary = run.summary()
+    print(f"sweep {summary['sweep']} ({summary['spec_digest']}): "
+          f"{summary['executed']} executed, {summary['resumed']} resumed"
+          + (f", {summary['invalidated']} invalidated"
+             if summary["invalidated"] else "")
+          + (f", {summary['remaining']} remaining"
+             if summary["remaining"] else " — complete"))
+    if not runtime.persistent:
+        print("note: ephemeral cache (no --cache-dir); this run cannot "
+              "be resumed", file=sys.stderr)
+    if options.summary_json:
+        Path(options.summary_json).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+    return 0
+
+
 def _run_experiments(arguments: list[str]) -> int:
     from repro.runtime.engine import ExperimentRuntime
 
@@ -449,6 +569,8 @@ def main(argv: list[str] | None = None) -> int:
         return _lint_trace_command(arguments[1:])
     if arguments[0] == "lint-code":
         return _lint_code_command(arguments[1:])
+    if arguments[0] == "sweep":
+        return _sweep_command(arguments[1:])
     return _run_experiments(arguments)
 
 

@@ -6,6 +6,11 @@ experiment the paper sets up but does not run: starting from the 4-way
 baseline, scale one functional-unit pool at a time and measure which
 applications respond — vector-integer units for the SIMD codes, fixed
 point units for the heuristics, load/store units for everyone.
+
+The unit axis here maps to ``replace()`` surgery on the config rather
+than a sweepable preset, so the grid loop stays inline (with
+``repolint: disable=REP007`` markers) instead of moving to a
+``repro.sweep`` spec.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ def unit_scaling_study(
     """Scale one unit pool on the 4-way/me1 baseline."""
     apps = apps or context.suite.names
     context.prefetch_workloads(tuple(apps))
-    context.simulate_many([
+    context.simulate_many([  # repolint: disable=REP007
         (context.suite.trace(name),
          with_unit_count(PROC_4WAY.with_memory(ME1), unit, count))
         for name in apps
@@ -67,7 +72,7 @@ def unit_scaling_study(
             config = with_unit_count(
                 PROC_4WAY.with_memory(ME1), unit, count
             )
-            values.append(context.simulate_trace(trace, config).ipc)
+            values.append(context.simulate_trace(trace, config).ipc)  # repolint: disable=REP007
         ipc[name] = values
     return UnitScalingResult(unit=unit, counts=counts, ipc=ipc)
 

@@ -1,0 +1,61 @@
+"""Per-point report extraction for sweep campaigns.
+
+A sweep produces one :class:`~repro.uarch.results.SimulationResult` per
+grid point; reports, manifests, and dashboards all want the same small,
+JSON-stable summary of each point rather than the full result object.
+This module owns that extraction: the scalar metric catalogue
+(:data:`SCALAR_METRICS`), the CPI-stack slice (reusing the Fig. 2
+trauma-family classification), and the trauma distribution.
+
+``repro.sweep`` stores these dicts in its persistent manifest, and
+``repro.verify.sweeplint`` validates spec ``[report] metrics`` entries
+against the same catalogue, so a spec can never ask for a metric the
+extraction cannot produce.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cpi_stack import FAMILIES, cpi_stack_from_result
+from repro.uarch.results import SimulationResult
+
+#: Scalar metrics a sweep report may select, in display order.
+SCALAR_METRICS: tuple[str, ...] = (
+    "ipc",
+    "cpi",
+    "cycles",
+    "instructions",
+    "il1_miss_rate",
+    "dl1_miss_rate",
+    "l2_miss_rate",
+    "branch_accuracy",
+)
+
+#: Default report selection (what the paper's tables headline).
+DEFAULT_METRICS: tuple[str, ...] = ("ipc", "cycles", "dl1_miss_rate")
+
+
+def point_metrics(result: SimulationResult) -> dict:
+    """JSON-stable summary of one sweep point's simulation.
+
+    Contains every :data:`SCALAR_METRICS` entry, the CPI stack sliced
+    by trauma family (``cpi_stack``), and the raw non-zero trauma
+    distribution (``traumas``) so reports can render Fig. 2 style
+    breakdowns per point without reloading cached results.
+    """
+    stack = cpi_stack_from_result(result.trace_name, result)
+    return {
+        "ipc": result.ipc,
+        "cpi": result.cycles / max(result.instructions, 1),
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "il1_miss_rate": result.il1.miss_rate,
+        "dl1_miss_rate": result.dl1.miss_rate,
+        "l2_miss_rate": result.l2.miss_rate,
+        "branch_accuracy": result.branch.accuracy,
+        "cpi_stack": {family: stack.slices[family] for family in FAMILIES},
+        "traumas": {
+            name: cycles
+            for name, cycles in sorted(result.traumas.items())
+            if cycles
+        },
+    }

@@ -183,6 +183,81 @@ class ExperimentRuntime:
                 results[index] = result
         return results  # type: ignore[return-value]
 
+    # -- sweep point tasks --------------------------------------------------
+
+    def sweep_points(
+        self, requests: list[SimRequest]
+    ) -> list[SimulationResult]:
+        """Resolve a batch of sweep grid points (cache-first, parallel).
+
+        Identical in contract to :meth:`simulate_many` — duplicates
+        collapse, results come back in request order, and the cache
+        addresses are the same :func:`~repro.runtime.keys.simulate_key`
+        digests, so sweep points and ad-hoc figure runs share entries
+        byte-for-byte.  The difference is durability: ``sweep_point``
+        workers store their result into the persistent cache
+        *themselves*, so a point survives even if this orchestrating
+        process dies before the batch returns.
+        """
+        requests = [
+            (trace, config, bool(occupancy))
+            for trace, config, occupancy in requests
+        ]
+        results: list[SimulationResult | None] = [None] * len(requests)
+        miss_indices: dict[str, list[int]] = {}
+        miss_order: list[str] = []
+        for index, (trace, config, occupancy) in enumerate(requests):
+            digest = simulate_key(trace, config, occupancy)
+            if digest in miss_indices:
+                miss_indices[digest].append(index)
+                continue
+            start = time.perf_counter()
+            cached = self.cache.load_result(digest)
+            if cached is not None:
+                results[index] = cached
+                self.metrics.record_hit(
+                    "sweep",
+                    _simulate_label(trace, config, occupancy),
+                    time.perf_counter() - start,
+                )
+            else:
+                miss_indices[digest] = [index]
+                miss_order.append(digest)
+
+        tasks = []
+        for digest in miss_order:
+            trace, config, occupancy = requests[miss_indices[digest][0]]
+            if self.executor.inline:
+                if self.strict:
+                    from repro.verify import check_trace
+
+                    check_trace(trace)
+                trace_ref: object = trace
+            else:
+                trace_ref = str(self.cache.store_trace(
+                    trace_digest(trace), trace, strict=self.strict
+                ))
+            tasks.append(Task(
+                kind="sweep_point",
+                payload=(
+                    trace_ref, config, occupancy,
+                    str(self.cache.root), digest,
+                ),
+                label=_simulate_label(trace, config, occupancy),
+            ))
+        outcomes = self.executor.run_many(tasks)
+        from repro.runtime.cache import result_from_dict
+
+        for digest, task, outcome in zip(miss_order, tasks, outcomes):
+            result = result_from_dict(outcome.value)
+            self.metrics.record_executed(
+                "sweep", task.label, outcome.wall_time,
+                outcome.retries, outcome.where,
+            )
+            for index in miss_indices[digest]:
+                results[index] = result
+        return results  # type: ignore[return-value]
+
     # -- search shard tasks -------------------------------------------------
 
     def search_shards(

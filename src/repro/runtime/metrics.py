@@ -105,6 +105,7 @@ class RunMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "simulate_executions": self.executions("simulate"),
+            "sweep_executions": self.executions("sweep"),
             "trace_executions": self.executions("trace"),
             "search_executions": self.executions("search"),
             "retries": self.total_retries,

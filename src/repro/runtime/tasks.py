@@ -26,6 +26,15 @@ Kinds
     ``simulate`` convention (a Trace in-process, a spilled ``.npz``
     path across the pool), which is what lets ``repro lint-trace
     --all --jobs N`` fan the workload set out over the worker pool.
+``sweep_point``
+    ``(trace_ref, config, track_occupancy, cache_root, digest)`` — one
+    sweep grid point: simulates, stores the result into the
+    content-addressed cache at ``cache_root`` under ``digest`` *from
+    the worker*, and returns the result as a plain dict.  The
+    worker-side store is what makes sweeps resumable even when the
+    orchestrating process dies mid-batch: every finished point is
+    durable the moment its simulation ends, and the re-run finds it as
+    a cache hit.
 ``search_shard``
     ``(params_key, queries, database_config, shard_index, shard_count)``
     — scans one deterministic shard of the synthetic database for a
@@ -92,6 +101,16 @@ def execute_trace(payload: tuple) -> dict:
         "subjects_processed": run.subjects_processed,
         "trace_digest": content_digest,
     }
+
+
+def execute_sweep_point(payload: tuple) -> dict:
+    from repro.runtime.cache import ResultCache, result_to_dict
+
+    trace_ref, config, track_occupancy, cache_root, digest = payload
+    trace = trace_ref if isinstance(trace_ref, Trace) else load_trace(trace_ref)
+    result = simulate(trace, config, track_occupancy=track_occupancy)
+    ResultCache(cache_root).store_result(digest, result)
+    return result_to_dict(result)
 
 
 def execute_lint(payload: tuple) -> dict:
@@ -206,6 +225,7 @@ def execute_selftest(payload: tuple):
 
 TASK_KINDS = {
     "simulate": execute_simulate,
+    "sweep_point": execute_sweep_point,
     "trace": execute_trace,
     "lint": execute_lint,
     "search_shard": execute_search_shard,

@@ -1,0 +1,310 @@
+"""Sweep reports: tables, CPI stacks, and knee detection.
+
+Reports render entirely from the persistent manifest
+(:mod:`repro.sweep.manifest`) — producing one never touches the worker
+pool or re-opens cached simulation results.  Three formats share one
+:func:`report_data` extraction:
+
+``text``
+    Fixed-width tables (one row per grid point) in the style of the
+    paper's Tables IV-VI, plus a knee summary.
+``json``
+    The full extraction, serialized with sorted keys — byte-stable, so
+    a report reached by interrupt-plus-resume is byte-identical to one
+    from an uninterrupted run.
+``html``
+    A single self-contained page: the point table, per-point CPI-stack
+    bars, and the knee summary.  No external assets, suitable as a CI
+    artifact.
+
+Knee detection uses the max-distance-from-chord construction (the core
+of the Kneedle method): normalize a metric series along one numeric
+axis to the unit square and pick the interior point farthest from the
+straight line joining the endpoints.  That is where the paper's
+cache-size and latency sweeps (Figs. 5-7) visibly change regime.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+
+from repro.analysis.cpi_stack import FAMILIES
+from repro.analysis.reporting import render_table
+from repro.sweep.manifest import SweepManifest
+from repro.sweep.plan import expand_spec
+from repro.sweep.spec import SweepSpec
+
+#: Supported ``render_report`` formats.
+REPORT_FORMATS = ("text", "json", "html")
+
+#: A knee must bow at least this far (in unit-square distance) from the
+#: chord to count; straight-line series have no knee.
+KNEE_MIN_DISTANCE = 0.02
+
+
+def detect_knee(
+    xs: list[float], ys: list[float]
+) -> float | None:
+    """Knee x-value of a series, or ``None`` when the series is straight.
+
+    Max-distance-from-chord over the series normalized to the unit
+    square: endpoints anchor the chord, and the interior point with the
+    largest perpendicular distance is the knee.  Needs at least three
+    points and non-degenerate spans.
+    """
+    if len(xs) < 3 or len(xs) != len(ys):
+        return None
+    x_span = xs[-1] - xs[0]
+    y_span = max(ys) - min(ys)
+    if x_span == 0 or y_span == 0:
+        return None
+    unit_x = [(x - xs[0]) / x_span for x in xs]
+    unit_y = [(y - min(ys)) / y_span for y in ys]
+    # Distance from the chord through (x0,y0)-(x1,y1), up to the
+    # constant chord length: |dy*x - dx*y + c|.
+    delta_x = unit_x[-1] - unit_x[0]
+    delta_y = unit_y[-1] - unit_y[0]
+    constant = unit_x[-1] * unit_y[0] - unit_y[-1] * unit_x[0]
+    best_index, best_distance = None, KNEE_MIN_DISTANCE
+    scale = (delta_x * delta_x + delta_y * delta_y) ** 0.5
+    for index in range(1, len(xs) - 1):
+        distance = abs(
+            delta_y * unit_x[index] - delta_x * unit_y[index] + constant
+        ) / scale
+        if distance > best_distance:
+            best_index, best_distance = index, distance
+    return None if best_index is None else xs[best_index]
+
+
+def _numeric(value) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def _knee_entries(spec: SweepSpec, points: list[dict]) -> list[dict]:
+    """One knee verdict per (axis, series, metric) with enough points."""
+    entries: list[dict] = []
+    for axis in spec.knee_axes:
+        # Group points into series along ``axis``: same workload and
+        # same values on every *other* axis.
+        series: dict[tuple, list] = {}
+        for point in points:
+            coords = dict(point["coords"])
+            if axis not in coords or point["metrics"] is None:
+                continue
+            x = _numeric(coords[axis])
+            if x is None:  # "inf" and friends cannot anchor a knee
+                continue
+            key = (point["workload"],) + tuple(
+                (name, value) for name, value in sorted(coords.items())
+                if name != axis
+            )
+            series.setdefault(key, []).append((x, point["metrics"]))
+        for key in sorted(series):
+            samples = sorted(series[key], key=lambda pair: pair[0])
+            xs = [x for x, _ in samples]
+            for metric in spec.metrics:
+                ys = [metrics.get(metric) for _, metrics in samples]
+                if any(y is None for y in ys):
+                    continue
+                knee = detect_knee(xs, [float(y) for y in ys])
+                if knee is None:
+                    continue
+                entries.append({
+                    "axis": axis,
+                    "workload": key[0],
+                    "fixed": {name: value for name, value in key[1:]},
+                    "metric": metric,
+                    "knee": knee,
+                })
+    return entries
+
+
+def report_data(
+    spec: SweepSpec, state_dir: str | Path
+) -> dict:
+    """Full report extraction from a spec's manifest.
+
+    Every grid point appears, complete or not; incomplete points carry
+    ``"metrics": None`` and are listed under ``"missing"``.
+    """
+    manifest = SweepManifest.open(state_dir, spec)
+    points = []
+    missing = []
+    for point in expand_spec(spec):
+        metrics = manifest.metrics(point.point_id)
+        if metrics is None:
+            missing.append(point.point_id)
+        points.append({
+            "point_id": point.point_id,
+            "workload": point.workload,
+            "coords": [[axis, value] for axis, value in point.coords],
+            "metrics": metrics,
+        })
+    return {
+        "sweep": spec.name,
+        "description": spec.description,
+        "spec_digest": spec.digest(),
+        "axes": {name: list(values) for name, values in spec.axes},
+        "workloads": list(spec.workloads),
+        "metrics": list(spec.metrics),
+        "points": points,
+        "missing": missing,
+        "complete": not missing,
+        "knees": _knee_entries(spec, points),
+    }
+
+
+def _format_metric(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _point_rows(data: dict) -> tuple[list[str], list[list[str]]]:
+    axis_names = list(data["axes"])
+    headers = ["workload"] + axis_names + list(data["metrics"])
+    rows = []
+    for point in data["points"]:
+        coords = dict(
+            (axis, value) for axis, value in point["coords"]
+        )
+        metrics = point["metrics"] or {}
+        rows.append(
+            [point["workload"]]
+            + [str(coords.get(axis, "-")) for axis in axis_names]
+            + [
+                _format_metric(metrics.get(metric))
+                for metric in data["metrics"]
+            ]
+        )
+    return headers, rows
+
+
+def _render_text(data: dict) -> str:
+    headers, rows = _point_rows(data)
+    title = f"sweep {data['sweep']} ({data['spec_digest']})"
+    if data["description"]:
+        title += f" - {data['description']}"
+    sections = [render_table(title, headers, rows)]
+    if data["missing"]:
+        sections.append(
+            f"incomplete: {len(data['missing'])} of "
+            f"{len(data['points'])} points missing"
+        )
+    if data["knees"]:
+        lines = ["knees (max distance from chord):"]
+        for entry in data["knees"]:
+            fixed = ", ".join(
+                f"{name}={value}" for name, value in entry["fixed"].items()
+            )
+            context = f" [{fixed}]" if fixed else ""
+            lines.append(
+                f"  {entry['workload']}{context}: {entry['metric']} knees "
+                f"at {entry['axis']}={entry['knee']:g}"
+            )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections) + "\n"
+
+
+def _render_json(data: dict) -> str:
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+def _stack_bar(metrics: dict | None) -> str:
+    """Inline horizontal CPI-stack bar for one point."""
+    if not metrics or not metrics.get("cpi_stack"):
+        return ""
+    stack = metrics["cpi_stack"]
+    total = sum(stack.get(family, 0.0) for family in FAMILIES)
+    if total <= 0:
+        return ""
+    pieces = []
+    for family in FAMILIES:
+        share = stack.get(family, 0.0) / total
+        if share <= 0:
+            continue
+        pieces.append(
+            f'<span class="f-{family}" style="width:{share * 100:.2f}%" '
+            f'title="{family}: {stack.get(family, 0.0):.4f} CPI"></span>'
+        )
+    return f'<span class="stack">{"".join(pieces)}</span>'
+
+
+_HTML_STYLE = """\
+body { font-family: sans-serif; margin: 2em; color: #222; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #bbb; padding: 0.25em 0.6em; text-align: left; }
+th { background: #eee; }
+.stack { display: inline-flex; width: 140px; height: 0.9em; \
+border: 1px solid #999; }
+.stack span { display: inline-block; height: 100%; }
+.f-base { background: #4c72b0; } .f-branch { background: #dd8452; }
+.f-memory { background: #55a868; } .f-dependence { background: #c44e52; }
+.f-resource { background: #8172b3; } .f-frontend { background: #937860; }
+.f-other { background: #8c8c8c; }
+.missing { color: #a00; }
+"""
+
+
+def _render_html(data: dict) -> str:
+    headers, rows = _point_rows(data)
+    escape = _html.escape
+    out = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>sweep {escape(data['sweep'])}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>sweep {escape(data['sweep'])} "
+        f"<small>({escape(data['spec_digest'])})</small></h1>",
+    ]
+    if data["description"]:
+        out.append(f"<p>{escape(data['description'])}</p>")
+    if data["missing"]:
+        out.append(
+            f"<p class='missing'>incomplete: {len(data['missing'])} of "
+            f"{len(data['points'])} points missing</p>"
+        )
+    out.append("<table><tr>")
+    out.extend(f"<th>{escape(header)}</th>" for header in headers)
+    out.append("<th>cpi stack</th></tr>")
+    for row, point in zip(rows, data["points"]):
+        out.append("<tr>")
+        out.extend(f"<td>{escape(cell)}</td>" for cell in row)
+        out.append(f"<td>{_stack_bar(point['metrics'])}</td></tr>")
+    out.append("</table>")
+    if data["knees"]:
+        out.append("<h2>knees</h2><ul>")
+        for entry in data["knees"]:
+            fixed = ", ".join(
+                f"{name}={value}" for name, value in entry["fixed"].items()
+            )
+            context = f" [{escape(fixed)}]" if fixed else ""
+            out.append(
+                f"<li>{escape(entry['workload'])}{context}: "
+                f"{escape(entry['metric'])} knees at "
+                f"{escape(entry['axis'])}={entry['knee']:g}</li>"
+            )
+        out.append("</ul>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def render_report(data: dict, format: str = "text") -> str:
+    """Render one extraction (:func:`report_data`) as ``format``."""
+    if format == "text":
+        return _render_text(data)
+    if format == "json":
+        return _render_json(data)
+    if format == "html":
+        return _render_html(data)
+    raise ValueError(
+        f"unknown report format {format!r}; expected one of {REPORT_FORMATS}"
+    )

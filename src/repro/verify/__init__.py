@@ -1,17 +1,21 @@
 """repro.verify — static trace/ISA invariant checker and domain lint.
 
-Two layers:
+Three layers:
 
 * **TraceLint** (:mod:`repro.verify.tracelint`): vectorized
-  well-formedness rules (TR001-TR010) over the SoA trace columns and
+  well-formedness rules (TR001-TR011) over the SoA trace columns and
   the decode plane, runnable without simulating.  Exposed on the CLI
   as ``python -m repro lint-trace`` and as ``strict=True`` hooks in
   ``load_trace`` / ``TraceBuilder.build`` / the runtime cache.
 * **RepoLint** (:mod:`repro.verify.repolint`): ``ast``-based passes
-  (REP001-REP005) encoding repo-specific hazards — nondeterminism,
-  column mutation, cache-key drift, serialization-version drift, and
-  exception hygiene.  Exposed as ``python -m repro lint-code`` and as
+  (REP001-REP007) encoding repo-specific hazards — nondeterminism,
+  column mutation, cache-key drift, serialization-version drift,
+  exception hygiene, and ad-hoc config-grid loops that bypass
+  ``repro.sweep``.  Exposed as ``python -m repro lint-code`` and as
   a tier-1 pytest gate.
+* **SweepLint** (:mod:`repro.verify.sweeplint`): data-level validation
+  rules (SW001-SW007) for declarative sweep specs, run at spec load
+  time so a campaign fails before any task executes.
 
 See ``docs/verify.md`` for the rule catalogue and suppression syntax.
 """
@@ -25,6 +29,13 @@ from repro.verify.repolint import (
     serialization_fingerprint,
     write_manifest,
 )
+from repro.verify.sweeplint import (
+    RULES as SWEEP_RULES,
+)
+from repro.verify.sweeplint import (
+    SpecViolation,
+    validate_spec_data,
+)
 from repro.verify.tracelint import (
     TRACE_RULES,
     TraceCheck,
@@ -37,8 +48,11 @@ from repro.verify.tracelint import (
 
 __all__ = [
     "RULES",
+    "SWEEP_RULES",
     "TRACE_RULES",
     "LintViolation",
+    "SpecViolation",
+    "validate_spec_data",
     "TraceCheck",
     "TraceLintError",
     "TraceLintReport",

@@ -22,6 +22,12 @@ REP006   blocking calls inside ``repro.serve`` coroutine code:
          ``time.sleep`` (use ``asyncio.sleep``) or a synchronous
          argument-less ``.get()`` on a queue/pool handle without a
          timeout — either stalls the event loop for every request
+REP007   ad-hoc configuration-grid loops in ``repro.analysis`` drivers
+         that bypass ``repro.sweep``: a multi-axis comprehension fed to
+         ``simulate_many``, or a ``simulate_trace``/``simulate_app``
+         call nested two or more loops deep.  Hand-rolled grids get no
+         manifest, no resume, and no sweep report; the committed figure
+         oracles carry explicit per-line disables
 =======  =============================================================
 
 Suppression: append ``# repolint: disable=REP00x`` (comma-separated for
@@ -48,6 +54,7 @@ RULES: dict[str, str] = {
     "REP004": "serialization change without a schema-version bump",
     "REP005": "bare or silently swallowed broad except in repro.runtime",
     "REP006": "blocking call in repro.serve coroutine code",
+    "REP007": "ad-hoc config-grid loop bypassing repro.sweep",
 }
 
 #: Modules allowed to be nondeterministic (CLI entry point, wall-clock
@@ -79,6 +86,13 @@ REP005_SCOPE = "runtime/"
 
 #: Where REP006 applies.
 REP006_SCOPE = "serve/"
+
+#: Where REP007 applies (the experiment-driver layer).
+REP007_SCOPE = "analysis/"
+
+#: Simulation entry points whose appearance inside a deep loop nest
+#: marks a hand-rolled grid.
+REP007_SIM_CALLS = {"simulate_trace", "simulate_app"}
 
 #: Definitions whose source feeds the REP004 manifest digest: any
 #: edit here can change cache-entry bytes or their addresses, so it
@@ -596,6 +610,70 @@ def _rep006(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
 
 
 # ----------------------------------------------------------------------
+# REP007 — ad-hoc config grids in repro.analysis
+# ----------------------------------------------------------------------
+
+def _rep007(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
+    """Flag hand-rolled configuration grids in the analysis drivers.
+
+    Two shapes mark a grid: a comprehension with two or more ``for``
+    generators fed to ``simulate_many`` (the cross-product is built
+    inline), and a ``simulate_trace``/``simulate_app`` call nested two
+    or more loops deep (the cross-product is walked by hand).  Either
+    way the grid has no manifest, no resume, and no report —
+    ``repro.sweep`` exists for exactly this; the committed figure
+    oracles that sweeps are validated *against* carry explicit
+    per-line disables.
+    """
+    if REP007_SCOPE not in relative.replace("\\", "/"):
+        return []
+    findings: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "simulate_many"
+        ):
+            for argument in node.args:
+                if isinstance(
+                    argument, (ast.ListComp, ast.GeneratorExp, ast.SetComp)
+                ) and len(argument.generators) >= 2:
+                    findings.append((
+                        node.lineno,
+                        f"{len(argument.generators)}-axis comprehension "
+                        "fed to simulate_many builds a config grid "
+                        "inline; declare it as a repro.sweep spec",
+                    ))
+                    break
+
+    def descend(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_depth = depth
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                child_depth = depth + 1
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                child_depth = 0
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in REP007_SIM_CALLS
+                and depth >= 2
+            ):
+                findings.append((
+                    child.lineno,
+                    f"{child.func.attr} inside a {depth}-deep loop nest "
+                    "walks a config grid by hand; declare it as a "
+                    "repro.sweep spec",
+                ))
+            descend(child, child_depth)
+
+    descend(tree, 0)
+    return sorted(set(findings))
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 
@@ -604,6 +682,7 @@ _PER_FILE_RULES = {
     "REP002": _rep002,
     "REP005": _rep005,
     "REP006": _rep006,
+    "REP007": _rep007,
 }
 
 

@@ -1,0 +1,273 @@
+"""SweepLint: static validation of declarative sweep specs.
+
+``repro.sweep`` specs are data (TOML/YAML/JSON), so a typo'd axis name
+or a memory preset crossed with a parametric DL1 axis would otherwise
+surface as a mid-campaign crash after minutes of tracing.  These rules
+run at load time (and under ``repro sweep`` before any task executes)
+and name each problem precisely:
+
+=======  =============================================================
+SW001    spec structure: missing/invalid ``[sweep] name``, unknown
+         top-level section, wrong value type for a known key
+SW002    unknown axis under ``[axes]``
+SW003    invalid axis value (unknown preset name, non-positive or
+         non-integer parametric value)
+SW004    degenerate grid: an empty axis, duplicate values within an
+         axis, or an empty workload list
+SW005    conflicting axes: a ``memory`` preset axis crossed with
+         parametric DL1/L2 axes (the preset already pins them)
+SW006    unknown workload name
+SW007    report selection: unknown metric, or a knee axis that is not
+         a swept numeric axis
+=======  =============================================================
+
+The rule implementations work on the *parsed mapping*, not on
+:class:`repro.sweep.spec.SweepSpec`, so they can reject data a spec
+object could never represent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+RULES: dict[str, str] = {
+    "SW001": "spec structure (sections, name, value types)",
+    "SW002": "unknown axis",
+    "SW003": "invalid axis value",
+    "SW004": "degenerate grid (empty axis, duplicates, no workloads)",
+    "SW005": "memory preset crossed with parametric cache axes",
+    "SW006": "unknown workload name",
+    "SW007": "invalid report metric or knee axis",
+}
+
+#: Preset-valued axes and their legal names.
+WIDTH_NAMES: tuple[str, ...] = ("4-way", "8-way", "12-way", "16-way")
+MEMORY_NAMES: tuple[str, ...] = ("me1", "me2", "me3", "me4", "meinf")
+PREDICTOR_NAMES: tuple[str, ...] = (
+    "real", "combined", "perfect", "gshare", "bimodal",
+)
+
+#: Parametric (numeric) axes; "inf" is additionally legal where noted.
+NUMERIC_AXES: tuple[str, ...] = (
+    "dl1_size_kb", "dl1_assoc", "dl1_latency", "l2_mb",
+)
+INF_OK_AXES: tuple[str, ...] = ("dl1_size_kb", "l2_mb")
+
+#: Every legal ``[axes]`` key.
+AXIS_NAMES: tuple[str, ...] = (
+    "width", "memory", "predictor",
+) + NUMERIC_AXES
+
+#: Parametric axes that conflict with a ``memory`` preset axis.
+_PRESET_CONFLICTS: tuple[str, ...] = NUMERIC_AXES
+
+_SECTIONS: tuple[str, ...] = ("sweep", "axes", "workloads", "report")
+
+
+@dataclass(frozen=True)
+class SpecViolation:
+    """One sweeplint finding."""
+
+    rule: str
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.where}: {self.rule} {self.message}"
+
+
+def _check_string_list(
+    values: object, where: str, rule: str = "SW001"
+) -> list[SpecViolation]:
+    if not isinstance(values, (list, tuple)) or not all(
+        isinstance(value, str) for value in values
+    ):
+        return [SpecViolation(rule, where, "expected a list of strings")]
+    return []
+
+
+def _axis_value_errors(name: str, values: list) -> list[SpecViolation]:
+    where = f"axes.{name}"
+    violations: list[SpecViolation] = []
+    presets = {
+        "width": WIDTH_NAMES,
+        "memory": MEMORY_NAMES,
+        "predictor": PREDICTOR_NAMES,
+    }.get(name)
+    for value in values:
+        if presets is not None:
+            if not isinstance(value, str) or value not in presets:
+                violations.append(SpecViolation(
+                    "SW003", where,
+                    f"unknown {name} preset {value!r}; "
+                    f"choose from {', '.join(presets)}",
+                ))
+        elif isinstance(value, str):
+            if not (value == "inf" and name in INF_OK_AXES):
+                violations.append(SpecViolation(
+                    "SW003", where,
+                    f"{value!r} is not a positive integer"
+                    + (" or 'inf'" if name in INF_OK_AXES else ""),
+                ))
+        elif not isinstance(value, int) or isinstance(value, bool) \
+                or value < 1:
+            violations.append(SpecViolation(
+                "SW003", where,
+                f"{value!r} is not a positive integer",
+            ))
+    return violations
+
+
+def validate_spec_data(data: object) -> list[SpecViolation]:
+    """Run every SweepLint rule over one parsed spec mapping."""
+    if not isinstance(data, dict):
+        return [SpecViolation(
+            "SW001", "spec", "top level must be a table/mapping"
+        )]
+    violations: list[SpecViolation] = []
+    for section in data:
+        if section not in _SECTIONS:
+            violations.append(SpecViolation(
+                "SW001", section,
+                f"unknown section [{section}]; "
+                f"expected one of {', '.join(_SECTIONS)}",
+            ))
+
+    # -- [sweep] ------------------------------------------------------------
+    sweep = data.get("sweep")
+    if not isinstance(sweep, dict):
+        violations.append(SpecViolation(
+            "SW001", "sweep", "missing [sweep] section"
+        ))
+        sweep = {}
+    name = sweep.get("name")
+    if not isinstance(name, str) or not name or any(
+        character not in
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+        for character in name
+    ):
+        violations.append(SpecViolation(
+            "SW001", "sweep.name",
+            "name must be a non-empty string of [A-Za-z0-9._-] "
+            "(it becomes the manifest/report filename)",
+        ))
+    budget = sweep.get("trace_budget")
+    if budget is not None and (
+        not isinstance(budget, int) or isinstance(budget, bool)
+        or budget < 1000
+    ):
+        violations.append(SpecViolation(
+            "SW001", "sweep.trace_budget",
+            "trace_budget must be an integer >= 1000",
+        ))
+
+    # -- [axes] -------------------------------------------------------------
+    axes = data.get("axes")
+    if not isinstance(axes, dict) or not axes:
+        violations.append(SpecViolation(
+            "SW004", "axes",
+            "missing or empty [axes]: a sweep needs at least one axis",
+        ))
+        axes = {}
+    for axis, values in axes.items():
+        if axis not in AXIS_NAMES:
+            violations.append(SpecViolation(
+                "SW002", f"axes.{axis}",
+                f"unknown axis; available: {', '.join(AXIS_NAMES)}",
+            ))
+            continue
+        if not isinstance(values, (list, tuple)):
+            violations.append(SpecViolation(
+                "SW001", f"axes.{axis}", "axis values must be a list"
+            ))
+            continue
+        if not values:
+            violations.append(SpecViolation(
+                "SW004", f"axes.{axis}", "axis has no values"
+            ))
+            continue
+        seen: set = set()
+        for value in values:
+            marker = repr(value)
+            if marker in seen:
+                violations.append(SpecViolation(
+                    "SW004", f"axes.{axis}",
+                    f"duplicate value {value!r}",
+                ))
+            seen.add(marker)
+        violations.extend(_axis_value_errors(axis, list(values)))
+    if "memory" in axes:
+        clash = [axis for axis in _PRESET_CONFLICTS if axis in axes]
+        if clash:
+            violations.append(SpecViolation(
+                "SW005", "axes.memory",
+                "memory presets already pin the cache geometry; drop "
+                f"the parametric axes ({', '.join(clash)}) or the "
+                "memory axis",
+            ))
+
+    # -- [workloads] --------------------------------------------------------
+    from repro.kernels.registry import WORKLOAD_NAMES
+
+    workloads = data.get("workloads", {})
+    if not isinstance(workloads, dict):
+        violations.append(SpecViolation(
+            "SW001", "workloads", "[workloads] must be a table"
+        ))
+        workloads = {}
+    names = workloads.get("names")
+    if names is not None:
+        bad_shape = _check_string_list(names, "workloads.names")
+        violations.extend(bad_shape)
+        if not bad_shape:
+            if not names:
+                violations.append(SpecViolation(
+                    "SW004", "workloads.names", "no workloads selected"
+                ))
+            for workload in names:
+                if workload not in WORKLOAD_NAMES:
+                    violations.append(SpecViolation(
+                        "SW006", "workloads.names",
+                        f"unknown workload {workload!r}; available: "
+                        f"{', '.join(WORKLOAD_NAMES)}",
+                    ))
+
+    # -- [report] -----------------------------------------------------------
+    from repro.analysis.points import SCALAR_METRICS
+
+    report = data.get("report", {})
+    if not isinstance(report, dict):
+        violations.append(SpecViolation(
+            "SW001", "report", "[report] must be a table"
+        ))
+        report = {}
+    metrics = report.get("metrics")
+    if metrics is not None:
+        bad_shape = _check_string_list(metrics, "report.metrics")
+        violations.extend(bad_shape)
+        if not bad_shape:
+            for metric in metrics:
+                if metric not in SCALAR_METRICS:
+                    violations.append(SpecViolation(
+                        "SW007", "report.metrics",
+                        f"unknown metric {metric!r}; available: "
+                        f"{', '.join(SCALAR_METRICS)}",
+                    ))
+    knee_axes = report.get("knee_axes")
+    if knee_axes is not None:
+        bad_shape = _check_string_list(knee_axes, "report.knee_axes")
+        violations.extend(bad_shape)
+        if not bad_shape:
+            for axis in knee_axes:
+                if axis not in NUMERIC_AXES:
+                    violations.append(SpecViolation(
+                        "SW007", "report.knee_axes",
+                        f"{axis!r} is not a numeric axis "
+                        f"({', '.join(NUMERIC_AXES)})",
+                    ))
+                elif axis not in axes:
+                    violations.append(SpecViolation(
+                        "SW007", "report.knee_axes",
+                        f"knee axis {axis!r} is not swept by this spec",
+                    ))
+    return violations
