@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.analysis.context import ExperimentContext
 from repro.analysis.reporting import render_series
-from repro.uarch.standalone import run_predictor_only
+from repro.uarch.standalone import run_predictor_only_batch
 
 #: Table sizes swept (entries), 16 .. 32K as in the paper's x-axis.
 FIG11_SIZES: tuple[int, ...] = tuple(16 << i for i in range(12))
@@ -50,13 +50,18 @@ def fig11_predictor_accuracy(
     accuracy: dict[str, dict[str, list[float]]] = {}
     for app in apps:
         trace = context.suite.trace(app)
+        # One batch per app: the branch index list is shared across the
+        # whole strategies x sizes grid instead of being re-derived per
+        # predictor (run_predictor_only_batch).
+        grid = [
+            (strategy, size) for strategy in strategies for size in sizes
+        ]
+        replayed = iter(run_predictor_only_batch(trace, grid))
         per_strategy: dict[str, list[float]] = {}
         for strategy in strategies:
-            values = []
-            for size in sizes:
-                branch_result, _ = run_predictor_only(trace, strategy, size)
-                values.append(branch_result.accuracy)
-            per_strategy[strategy] = values
+            per_strategy[strategy] = [
+                next(replayed)[0].accuracy for _ in sizes
+            ]
         accuracy[app] = per_strategy
     return PredictorStudyResult(sizes=sizes, accuracy=accuracy)
 

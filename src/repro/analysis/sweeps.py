@@ -30,7 +30,7 @@ from repro.uarch.config import (
     ProcessorConfig,
     memory_with_dl1,
 )
-from repro.uarch.standalone import run_cache_only
+from repro.uarch.standalone import run_cache_only_batch
 
 WIDTHS: tuple[ProcessorConfig, ...] = (PROC_4WAY, PROC_8WAY, PROC_16WAY)
 
@@ -152,13 +152,12 @@ def fig5_cache_size(
     ipc: dict[str, list[float]] = {}
     for name in context.suite.names:
         trace = context.suite.trace(name)
-        rates = []
+        memories = [memory_with_dl1(size) for size in sizes]
+        cache_results = run_cache_only_batch(trace, memories)
+        rates = [dl1.miss_rate for dl1, _ in cache_results]
         ipcs = []
-        for size in sizes:
-            memory = memory_with_dl1(size)
-            dl1, _ = run_cache_only(trace, memory)
-            rates.append(dl1.miss_rate)
-            if with_ipc:
+        if with_ipc:
+            for memory in memories:
                 result = context.simulate_trace(  # repolint: disable=REP007
                     trace, PROC_4WAY.with_memory(memory)
                 )
@@ -221,13 +220,15 @@ def fig6_associativity(
     ipc: dict[str, list[float]] = {}
     for name in context.suite.names:
         trace = context.suite.trace(name)
-        rates = []
+        memories = [
+            memory_with_dl1(32 * KB, associativity=associativity)
+            for associativity in associativities
+        ]
+        cache_results = run_cache_only_batch(trace, memories)
+        rates = [dl1.miss_rate for dl1, _ in cache_results]
         ipcs = []
-        for associativity in associativities:
-            memory = memory_with_dl1(32 * KB, associativity=associativity)
-            dl1, _ = run_cache_only(trace, memory)
-            rates.append(dl1.miss_rate)
-            if with_ipc:
+        if with_ipc:
+            for memory in memories:
                 result = context.simulate_trace(  # repolint: disable=REP007
                     trace, PROC_4WAY.with_memory(memory)
                 )

@@ -36,6 +36,7 @@ from repro.runtime.keys import (
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.tasks import Task
 from repro.uarch.config import ProcessorConfig
+from repro.uarch.pipeline.lockstep import LOCKSTEP_WIDTH
 from repro.uarch.results import SimulationResult
 from repro.workloads.suite import WorkloadSuite
 
@@ -120,13 +121,47 @@ class ExperimentRuntime:
         """One cached/executed simulation."""
         return self.simulate_many([(trace, config, track_occupancy)])[0]
 
+    def _lockstep_groups(
+        self,
+        requests: list[SimRequest],
+        miss_order: list[str],
+        miss_indices: dict[str, list[int]],
+    ) -> list[tuple[list[str], Trace, list[ProcessorConfig]]]:
+        """Group pending misses into lockstep batches.
+
+        Misses over the same trace object (the sweep and figure-driver
+        shape: one trace under many configurations) group into batches
+        of up to :data:`~repro.uarch.pipeline.lockstep.LOCKSTEP_WIDTH`
+        configs; occupancy-tracking requests and leftovers stay
+        singleton groups, which execute as plain scalar tasks.
+        """
+        groups: list[tuple[list[str], Trace, list[ProcessorConfig]]] = []
+        open_group: dict[int, tuple] = {}
+        for digest in miss_order:
+            trace, config, occupancy = requests[miss_indices[digest][0]]
+            if occupancy:
+                groups.append(([digest], trace, [config]))
+                continue
+            group = open_group.get(id(trace))
+            if group is None or len(group[0]) >= LOCKSTEP_WIDTH:
+                group = ([digest], trace, [config])
+                open_group[id(trace)] = group
+                groups.append(group)
+            else:
+                group[0].append(digest)
+                group[2].append(config)
+        return groups
+
     def simulate_many(
-        self, requests: list[SimRequest]
+        self, requests: list[SimRequest], *, lockstep: bool = True
     ) -> list[SimulationResult]:
         """Resolve a batch of simulations, fanning misses out in parallel.
 
         Duplicate requests (same trace content, config, and occupancy
-        flag) execute once; results come back in request order.
+        flag) execute once; results come back in request order.  With
+        ``lockstep`` (the default), misses sharing a trace execute as
+        lockstep multi-config batches; results are byte-identical
+        either way.
         """
         requests = [
             (trace, config, bool(occupancy))
@@ -153,9 +188,17 @@ class ExperimentRuntime:
                 miss_indices[digest] = [index]
                 miss_order.append(digest)
 
+        if lockstep:
+            groups = self._lockstep_groups(requests, miss_order, miss_indices)
+        else:
+            groups = [
+                ([digest],
+                 requests[miss_indices[digest][0]][0],
+                 [requests[miss_indices[digest][0]][1]])
+                for digest in miss_order
+            ]
         tasks = []
-        for digest in miss_order:
-            trace, config, occupancy = requests[miss_indices[digest][0]]
+        for digests, trace, configs in groups:
             if self.executor.inline:
                 if self.strict:
                     from repro.verify import check_trace
@@ -166,27 +209,48 @@ class ExperimentRuntime:
                 trace_ref = str(self.cache.store_trace(
                     trace_digest(trace), trace, strict=self.strict
                 ))
-            tasks.append(Task(
-                kind="simulate",
-                payload=(trace_ref, config, occupancy),
-                label=_simulate_label(trace, config, occupancy),
-            ))
+            if len(digests) == 1:
+                occupancy = requests[miss_indices[digests[0]][0]][2]
+                tasks.append(Task(
+                    kind="simulate",
+                    payload=(trace_ref, configs[0], occupancy),
+                    label=_simulate_label(trace, configs[0], occupancy),
+                ))
+            else:
+                tasks.append(Task(
+                    kind="simulate_batch",
+                    payload=(trace_ref, tuple(configs)),
+                    label=_batch_label(trace, configs),
+                ))
         outcomes = self.executor.run_many(tasks)
-        for digest, task, outcome in zip(miss_order, tasks, outcomes):
-            result = outcome.value
-            self.cache.store_result(digest, result)
-            self.metrics.record_executed(
-                "simulate", task.label, outcome.wall_time,
-                outcome.retries, outcome.where,
+        for (digests, trace, configs), outcome in zip(groups, outcomes):
+            values = (
+                outcome.value if len(digests) > 1 else [outcome.value]
             )
-            for index in miss_indices[digest]:
-                results[index] = result
+            # One metrics record per point: a lockstep batch counts
+            # exactly like the scalar runs it replaces (same labels,
+            # wall time split across the batch, retries charged once).
+            share = outcome.wall_time / len(digests)
+            for position, (digest, config, result) in enumerate(
+                zip(digests, configs, values)
+            ):
+                occupancy = requests[miss_indices[digest][0]][2]
+                self.metrics.record_executed(
+                    "simulate",
+                    _simulate_label(trace, config, occupancy),
+                    share,
+                    outcome.retries if position == 0 else 0,
+                    outcome.where,
+                )
+                self.cache.store_result(digest, result)
+                for index in miss_indices[digest]:
+                    results[index] = result
         return results  # type: ignore[return-value]
 
     # -- sweep point tasks --------------------------------------------------
 
     def sweep_points(
-        self, requests: list[SimRequest]
+        self, requests: list[SimRequest], *, lockstep: bool = True
     ) -> list[SimulationResult]:
         """Resolve a batch of sweep grid points (cache-first, parallel).
 
@@ -194,10 +258,13 @@ class ExperimentRuntime:
         collapse, results come back in request order, and the cache
         addresses are the same :func:`~repro.runtime.keys.simulate_key`
         digests, so sweep points and ad-hoc figure runs share entries
-        byte-for-byte.  The difference is durability: ``sweep_point``
-        workers store their result into the persistent cache
-        *themselves*, so a point survives even if this orchestrating
-        process dies before the batch returns.
+        byte-for-byte.  The difference is durability: ``sweep_point`` /
+        ``sweep_batch`` workers store their results into the persistent
+        cache *themselves*, so a point survives even if this
+        orchestrating process dies before the batch returns.  With
+        ``lockstep`` (the default), points sharing a trace execute as
+        lockstep multi-config batches; the per-point cache entries stay
+        byte-for-byte identical either way.
         """
         requests = [
             (trace, config, bool(occupancy))
@@ -224,9 +291,17 @@ class ExperimentRuntime:
                 miss_indices[digest] = [index]
                 miss_order.append(digest)
 
+        if lockstep:
+            groups = self._lockstep_groups(requests, miss_order, miss_indices)
+        else:
+            groups = [
+                ([digest],
+                 requests[miss_indices[digest][0]][0],
+                 [requests[miss_indices[digest][0]][1]])
+                for digest in miss_order
+            ]
         tasks = []
-        for digest in miss_order:
-            trace, config, occupancy = requests[miss_indices[digest][0]]
+        for digests, trace, configs in groups:
             if self.executor.inline:
                 if self.strict:
                     from repro.verify import check_trace
@@ -237,25 +312,50 @@ class ExperimentRuntime:
                 trace_ref = str(self.cache.store_trace(
                     trace_digest(trace), trace, strict=self.strict
                 ))
-            tasks.append(Task(
-                kind="sweep_point",
-                payload=(
-                    trace_ref, config, occupancy,
-                    str(self.cache.root), digest,
-                ),
-                label=_simulate_label(trace, config, occupancy),
-            ))
+            if len(digests) == 1:
+                occupancy = requests[miss_indices[digests[0]][0]][2]
+                tasks.append(Task(
+                    kind="sweep_point",
+                    payload=(
+                        trace_ref, configs[0], occupancy,
+                        str(self.cache.root), digests[0],
+                    ),
+                    label=_simulate_label(trace, configs[0], occupancy),
+                ))
+            else:
+                tasks.append(Task(
+                    kind="sweep_batch",
+                    payload=(
+                        trace_ref, tuple(configs),
+                        str(self.cache.root), tuple(digests),
+                    ),
+                    label=_batch_label(trace, configs),
+                ))
         outcomes = self.executor.run_many(tasks)
         from repro.runtime.cache import result_from_dict
 
-        for digest, task, outcome in zip(miss_order, tasks, outcomes):
-            result = result_from_dict(outcome.value)
-            self.metrics.record_executed(
-                "sweep", task.label, outcome.wall_time,
-                outcome.retries, outcome.where,
+        for (digests, trace, configs), outcome in zip(groups, outcomes):
+            values = (
+                outcome.value if len(digests) > 1 else [outcome.value]
             )
-            for index in miss_indices[digest]:
-                results[index] = result
+            # Per-point metrics, exactly as on the scalar path (see
+            # simulate_many): counters diffed around a sweep keep
+            # meaning "grid points executed" under either engine.
+            share = outcome.wall_time / len(digests)
+            for position, (digest, config, value) in enumerate(
+                zip(digests, configs, values)
+            ):
+                occupancy = requests[miss_indices[digest][0]][2]
+                self.metrics.record_executed(
+                    "sweep",
+                    _simulate_label(trace, config, occupancy),
+                    share,
+                    outcome.retries if position == 0 else 0,
+                    outcome.where,
+                )
+                result = result_from_dict(value)
+                for index in miss_indices[digest]:
+                    results[index] = result
         return results  # type: ignore[return-value]
 
     # -- search shard tasks -------------------------------------------------
@@ -494,3 +594,7 @@ def _simulate_label(
 ) -> str:
     suffix = "+occ" if occupancy else ""
     return f"simulate:{trace.name}@{config.name}/{config.memory.name}{suffix}"
+
+
+def _batch_label(trace: Trace, configs: list[ProcessorConfig]) -> str:
+    return f"lockstep:{trace.name}@{len(configs)} configs"

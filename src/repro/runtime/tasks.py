@@ -13,6 +13,12 @@ Kinds
     :class:`~repro.isa.trace.Trace` (in-process executors) or the path
     of a spilled ``.trace.npz`` (pool workers).  Returns the
     :class:`~repro.uarch.results.SimulationResult`.
+``simulate_batch``
+    ``(trace_ref, configs)`` — one trace under many configurations
+    through the lockstep engine
+    (:func:`repro.uarch.simulator.simulate_batch`); returns the list of
+    results in config order, each byte-identical to the corresponding
+    ``simulate`` task's.
 ``trace``
     ``(name, budget, database_config, query, cache_root)`` — runs the
     instrumented kernel, stores the trace into the content-addressed
@@ -35,6 +41,13 @@ Kinds
     orchestrating process dies mid-batch: every finished point is
     durable the moment its simulation ends, and the re-run finds it as
     a cache hit.
+``sweep_batch``
+    ``(trace_ref, configs, cache_root, digests)`` — several sweep grid
+    points over one trace, simulated as a lockstep batch.  Each point's
+    result is stored under its own digest from the worker the moment
+    the batch finishes (same per-point cache entries, byte-for-byte, as
+    ``sweep_point`` would produce), and the return value is the list of
+    result dicts in config order.
 ``search_shard``
     ``(params_key, queries, database_config, shard_index, shard_count)``
     — scans one deterministic shard of the synthetic database for a
@@ -62,7 +75,7 @@ from pathlib import Path
 
 from repro.isa.serialize import load_trace
 from repro.isa.trace import Trace
-from repro.uarch.simulator import simulate
+from repro.uarch.simulator import simulate, simulate_batch
 
 
 @dataclass(frozen=True)
@@ -78,6 +91,12 @@ def execute_simulate(payload: tuple):
     trace_ref, config, track_occupancy = payload
     trace = trace_ref if isinstance(trace_ref, Trace) else load_trace(trace_ref)
     return simulate(trace, config, track_occupancy=track_occupancy)
+
+
+def execute_simulate_batch(payload: tuple) -> list:
+    trace_ref, configs = payload
+    trace = trace_ref if isinstance(trace_ref, Trace) else load_trace(trace_ref)
+    return simulate_batch(trace, list(configs))
 
 
 def execute_trace(payload: tuple) -> dict:
@@ -111,6 +130,18 @@ def execute_sweep_point(payload: tuple) -> dict:
     result = simulate(trace, config, track_occupancy=track_occupancy)
     ResultCache(cache_root).store_result(digest, result)
     return result_to_dict(result)
+
+
+def execute_sweep_batch(payload: tuple) -> list:
+    from repro.runtime.cache import ResultCache, result_to_dict
+
+    trace_ref, configs, cache_root, digests = payload
+    trace = trace_ref if isinstance(trace_ref, Trace) else load_trace(trace_ref)
+    results = simulate_batch(trace, list(configs))
+    cache = ResultCache(cache_root)
+    for digest, result in zip(digests, results):
+        cache.store_result(digest, result)
+    return [result_to_dict(result) for result in results]
 
 
 def execute_lint(payload: tuple) -> dict:
@@ -225,7 +256,9 @@ def execute_selftest(payload: tuple):
 
 TASK_KINDS = {
     "simulate": execute_simulate,
+    "simulate_batch": execute_simulate_batch,
     "sweep_point": execute_sweep_point,
+    "sweep_batch": execute_sweep_batch,
     "trace": execute_trace,
     "lint": execute_lint,
     "search_shard": execute_search_shard,

@@ -319,7 +319,10 @@ class OutOfOrderCore:
                 slot = cycle & wheel_mask
                 finishing = wheel[slot]
                 if finishing:
-                    wheel[slot] = []
+                    # Swap-don't-clear keeps `finishing` valid while the
+                    # slot is reopened; one small list per event-bearing
+                    # cycle only.
+                    wheel[slot] = []  # repolint: disable=REP008
                     for index in finishing:
                         done[index] = 1
                         inflight -= 1
@@ -377,7 +380,9 @@ class OutOfOrderCore:
                         continue
                     capacity = capacity_of[fu]
                     issued_here = 0
-                    deferred: list[int] = []
+                    # Small (bounded by issue width) and only on cycles
+                    # where this FU has ready work.
+                    deferred: list[int] = []  # repolint: disable=REP008
                     while ready_queue and issued_here < capacity:
                         index = ready_queue.popleft()
                         ready_total -= 1
@@ -515,7 +520,9 @@ class OutOfOrderCore:
                             pending += 1
                             wakeup = waiters[source]
                             if wakeup is None:
-                                waiters[source] = [index]
+                                # First waiter on a producer: the list is
+                                # reused for every later waiter.
+                                waiters[source] = [index]  # repolint: disable=REP008
                             else:
                                 wakeup.append(index)
                     pending_sources[index] = pending

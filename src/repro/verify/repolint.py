@@ -28,6 +28,14 @@ REP007   ad-hoc configuration-grid loops in ``repro.analysis`` drivers
          call nested two or more loops deep.  Hand-rolled grids get no
          manifest, no resume, and no sweep report; the committed figure
          oracles carry explicit per-line disables
+REP008   per-cycle Python-object allocation in ``repro.uarch`` cycle
+         loops: a container literal/comprehension assigned inside a
+         ``while`` loop, a dict store keyed by a cycle-counter
+         variable (a dict-keyed-by-cycle event queue), or a class
+         instantiated per iteration.  The simulator's throughput
+         lives and dies by allocation pressure in the cycle loop —
+         preallocate, reuse, or use a bounded timing wheel; the few
+         deliberate cases in the scalar core carry per-line disables
 =======  =============================================================
 
 Suppression: append ``# repolint: disable=REP00x`` (comma-separated for
@@ -55,6 +63,7 @@ RULES: dict[str, str] = {
     "REP005": "bare or silently swallowed broad except in repro.runtime",
     "REP006": "blocking call in repro.serve coroutine code",
     "REP007": "ad-hoc config-grid loop bypassing repro.sweep",
+    "REP008": "per-cycle object allocation in a repro.uarch cycle loop",
 }
 
 #: Modules allowed to be nondeterministic (CLI entry point, wall-clock
@@ -89,6 +98,9 @@ REP006_SCOPE = "serve/"
 
 #: Where REP007 applies (the experiment-driver layer).
 REP007_SCOPE = "analysis/"
+
+#: Where REP008 applies (the simulator's cycle-loop hot paths).
+REP008_SCOPE = "uarch/"
 
 #: Simulation entry points whose appearance inside a deep loop nest
 #: marks a hand-rolled grid.
@@ -674,6 +686,98 @@ def _rep007(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
 
 
 # ----------------------------------------------------------------------
+# REP008 — per-cycle allocation in repro.uarch cycle loops
+# ----------------------------------------------------------------------
+
+#: Container expressions whose evaluation allocates a fresh object.
+_REP008_ALLOCS = {
+    ast.List: "list literal",
+    ast.Dict: "dict literal",
+    ast.Set: "set literal",
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+}
+
+_CAMEL_CASE = re.compile(r"^[A-Z][A-Za-z0-9]*[a-z][A-Za-z0-9]*$")
+
+
+def _rep008(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
+    """Flag per-cycle Python-object allocation in ``uarch/`` code.
+
+    The cycle loop (``while retired < n``) runs hundreds of thousands
+    of times per simulation, so an object allocated inside it is an
+    object allocated *per simulated cycle*: container literals and
+    comprehensions assigned each iteration, dict stores keyed by a
+    cycle counter (an unbounded event queue growing with simulated
+    time — the shape the timing wheel replaced), and classes
+    instantiated per iteration (the per-instruction ``Instruction``
+    objects the decode plane replaced).  Exception construction in
+    ``raise`` statements is exempt — runaway guards fire once.
+    """
+    if REP008_SCOPE not in relative.replace("\\", "/"):
+        return []
+    raised: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise):
+            for sub in ast.walk(node):
+                raised.add(id(sub))
+    findings: list[tuple[int, str]] = []
+    seen: set[int] = set()
+    for loop in ast.walk(tree):
+        if not isinstance(loop, ast.While):
+            continue
+        for node in ast.walk(loop):
+            if node is loop or id(node) in seen:
+                continue
+            seen.add(id(node))
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                value = getattr(node, "value", None)
+                kind = _REP008_ALLOCS.get(type(value))
+                if kind is not None:
+                    findings.append((
+                        node.lineno,
+                        f"assigns a fresh {kind} inside a cycle loop; "
+                        "hoist the allocation and reuse the container",
+                    ))
+                if isinstance(target, ast.Subscript):
+                    for index in ast.walk(target.slice):
+                        if (
+                            isinstance(index, ast.Name)
+                            and "cycle" in index.id.lower()
+                        ):
+                            findings.append((
+                                node.lineno,
+                                f"dict store keyed by `{index.id}` builds "
+                                "an event queue that grows with simulated "
+                                "time; use a bounded timing wheel",
+                            ))
+                            break
+            if (
+                isinstance(node, ast.Call)
+                and id(node) not in raised
+            ):
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name and _CAMEL_CASE.match(name):
+                    findings.append((
+                        node.lineno,
+                        f"instantiates {name} inside a cycle loop; "
+                        "per-cycle class instances thrash the allocator "
+                        "— keep hot state in preallocated arrays",
+                    ))
+    return sorted(set(findings))
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 
@@ -683,6 +787,7 @@ _PER_FILE_RULES = {
     "REP005": _rep005,
     "REP006": _rep006,
     "REP007": _rep007,
+    "REP008": _rep008,
 }
 
 

@@ -1,0 +1,138 @@
+"""Cycle-exactness of the lockstep multi-config core.
+
+The lockstep engine (:class:`repro.uarch.pipeline.lockstep.LockstepCore`)
+simulates one trace under many processor configurations at once,
+sharing every configuration-independent plane across lanes.  Its whole
+contract is *byte-identical results*: for every configuration in a
+batch, the full :class:`~repro.uarch.results.SimulationResult` —
+cycles, trauma accounting, branch and cache counters — must equal what
+the scalar :class:`~repro.uarch.pipeline.core.OutOfOrderCore` produces
+for that configuration alone.
+
+Two layers of evidence:
+
+* a golden matrix — every paper workload under the Table IV width
+  sweep, the Table V memory-configuration sweep, and the Table VI
+  perfect-predictor corner, compared field-for-field via
+  ``result_to_dict``;
+* property-based fuzzing in the style of ``test_pipeline_fuzz`` —
+  random well-formed traces under randomly drawn configuration
+  batches, plus the forked multi-process path and the ``max_cycles``
+  runaway guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.cache import result_to_dict
+from repro.uarch.config import (
+    BP_PERFECT,
+    ME1,
+    ME2,
+    ME3,
+    ME4,
+    MEINF,
+    PROC_4WAY,
+    PROC_8WAY,
+    PROC_12WAY,
+    PROC_16WAY,
+)
+from repro.uarch.pipeline.lockstep import LockstepCore, run_batch_forked
+from repro.uarch.simulator import simulate, simulate_batch
+
+from test_pipeline_fuzz import random_trace
+
+#: The paper's configuration space: Table IV's width sweep, Table V's
+#: memory-configuration sweep, and Table VI's perfect-predictor corner.
+TABLE_PRESETS = (
+    ("4-way/me1", PROC_4WAY.with_memory(ME1)),
+    ("8-way/me1", PROC_8WAY.with_memory(ME1)),
+    ("12-way/me1", PROC_12WAY.with_memory(ME1)),
+    ("16-way/me1", PROC_16WAY.with_memory(ME1)),
+    ("4-way/me2", PROC_4WAY.with_memory(ME2)),
+    ("4-way/me3", PROC_4WAY.with_memory(ME3)),
+    ("4-way/me4", PROC_4WAY.with_memory(ME4)),
+    ("4-way/meinf", PROC_4WAY.with_memory(MEINF)),
+    ("8-way/me2+bperf", PROC_8WAY.with_memory(ME2).with_branch(BP_PERFECT)),
+)
+
+#: Slice length for the golden matrix: long enough to exercise cache
+#: misses, TLB walks, and branch recoveries on every workload, short
+#: enough that 5 workloads x 9 configurations x 2 engines stays fast.
+_SLICE = 12_000
+
+_FUZZ_POOL = [config for _, config in TABLE_PRESETS]
+
+
+class TestGoldenMatrix:
+    """Every workload x every table preset: full result equality."""
+
+    @pytest.mark.parametrize(
+        "workload",
+        ["ssearch34", "fasta34", "blast", "sw_vmx128", "sw_vmx256"],
+    )
+    def test_lockstep_matches_scalar(self, small_suite, workload):
+        trace = small_suite.trace(workload).slice(_SLICE)
+        configs = [config for _, config in TABLE_PRESETS]
+        batch = LockstepCore(trace, configs).run()
+        for (label, config), result in zip(TABLE_PRESETS, batch):
+            scalar = simulate(trace, config)
+            assert result_to_dict(result) == result_to_dict(scalar), label
+
+    def test_simulate_batch_matches_scalar(self, small_suite):
+        trace = small_suite.trace("ssearch34").slice(_SLICE)
+        configs = [config for _, config in TABLE_PRESETS]
+        batch = simulate_batch(trace, configs)
+        for (label, config), result in zip(TABLE_PRESETS, batch):
+            scalar = simulate(trace, config)
+            assert result_to_dict(result) == result_to_dict(scalar), label
+
+    def test_forked_batch_matches_in_process(self, small_suite):
+        trace = small_suite.trace("ssearch34").slice(_SLICE)
+        configs = [config for _, config in TABLE_PRESETS[:4]]
+        forked = run_batch_forked(trace, configs, None, 2)
+        if forked is None:
+            pytest.skip("fork start method unavailable")
+        in_process = LockstepCore(trace, configs).run()
+        for result, expected in zip(forked, in_process):
+            assert result_to_dict(result) == result_to_dict(expected)
+
+    def test_duplicate_configs_in_one_batch(self, small_suite):
+        trace = small_suite.trace("blast").slice(_SLICE)
+        config = PROC_4WAY.with_memory(ME1)
+        first, second = LockstepCore(trace, [config, config]).run()
+        assert result_to_dict(first) == result_to_dict(second)
+        assert result_to_dict(first) == result_to_dict(
+            simulate(trace, config)
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    picks=st.lists(
+        st.integers(min_value=0, max_value=len(_FUZZ_POOL) - 1),
+        min_size=2, max_size=5,
+    ),
+)
+def test_fuzz_lockstep_matches_scalar(seed, picks):
+    trace = random_trace(seed, 400)
+    configs = [_FUZZ_POOL[pick] for pick in picks]
+    batch = LockstepCore(trace, configs, max_cycles=500_000).run()
+    for config, result in zip(configs, batch):
+        scalar = simulate(trace, config, max_cycles=500_000)
+        assert result_to_dict(result) == result_to_dict(scalar)
+
+
+def test_max_cycles_guard_matches_scalar():
+    """The runaway guard fires in lockstep exactly as it does in the
+    scalar core: an impossible cycle budget raises rather than
+    returning a partial result."""
+    trace = random_trace(1, 300)
+    config = PROC_4WAY.with_memory(ME1)
+    with pytest.raises(RuntimeError):
+        simulate(trace, config, max_cycles=10)
+    with pytest.raises(RuntimeError):
+        LockstepCore(trace, [config, config], max_cycles=10).run()

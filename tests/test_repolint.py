@@ -448,6 +448,102 @@ class TestRep007AdHocGrids:
         ) == []
 
 
+class TestRep008PerCycleAllocation:
+    UARCH = "repro/uarch/pipeline/synthetic_module.py"
+
+    def test_container_literal_inside_cycle_loop_flagged(self):
+        violations = lint(
+            """
+            def run(n):
+                cycle = 0
+                while cycle < n:
+                    ready = []
+                    seen = {}
+                    cycle += 1
+                return ready, seen
+            """,
+            self.UARCH,
+        )
+        assert rules_of(violations) == ["REP008", "REP008"]
+        assert "hoist" in violations[0].message
+
+    def test_dict_keyed_by_cycle_counter_flagged(self):
+        violations = lint(
+            """
+            def run(n, latency):
+                events = {}
+                cycle = 0
+                while cycle < n:
+                    events[cycle + latency] = 1
+                    cycle += 1
+            """,
+            self.UARCH,
+        )
+        assert rules_of(violations) == ["REP008"]
+        assert "timing wheel" in violations[0].message
+
+    def test_class_instantiation_inside_cycle_loop_flagged(self):
+        violations = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Slot:
+                index: int
+
+            def run(n):
+                cycle = 0
+                while cycle < n:
+                    slot = Slot(cycle)
+                    cycle += 1
+                return slot
+            """,
+            self.UARCH,
+        )
+        assert rules_of(violations) == ["REP008"]
+        assert "Slot" in violations[0].message
+
+    def test_raise_and_preallocated_reuse_are_legal(self):
+        assert lint(
+            """
+            def run(n, wheel):
+                cycle = 0
+                while cycle < n:
+                    finishing = wheel[cycle & 63]
+                    finishing.clear()
+                    cycle += 1
+                    if cycle > 10 * n:
+                        raise RuntimeError(f"runaway at {cycle}")
+            """,
+            self.UARCH,
+        ) == []
+
+    def test_other_layers_are_exempt(self):
+        hot_loop = """
+            def run(n):
+                cycle = 0
+                while cycle < n:
+                    ready = []
+                    cycle += 1
+                return ready
+        """
+        assert lint(hot_loop, LIB) == []
+        assert lint(hot_loop, RUNTIME) == []
+        assert rules_of(lint(hot_loop, self.UARCH)) == ["REP008"]
+
+    def test_suppression_for_deliberate_scalar_core_sites(self):
+        assert lint(
+            """
+            def run(n, wheel):
+                cycle = 0
+                while cycle < n:
+                    wheel[cycle & 63] = []  # repolint: disable=REP008
+                    cycle += 1
+            """,
+            self.UARCH,
+        ) == []
+
+
 class TestSyntaxErrors:
     def test_unparsable_source_is_rep000(self):
         violations = lint_source("def broken(:\n", LIB)

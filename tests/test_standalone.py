@@ -4,7 +4,12 @@ from repro.isa.builder import TraceBuilder
 from repro.uarch.config import KB, ME1, memory_with_dl1
 from repro.uarch.simulator import simulate
 from repro.uarch.config import PROC_4WAY
-from repro.uarch.standalone import run_cache_only, run_predictor_only
+from repro.uarch.standalone import (
+    run_cache_only,
+    run_cache_only_batch,
+    run_predictor_only,
+    run_predictor_only_batch,
+)
 
 
 def memory_trace():
@@ -70,3 +75,32 @@ class TestPredictorOnly:
         builder.ialu("op2")
         result, _ = run_predictor_only(builder.build(), "gp", 64)
         assert result.predictions == 1
+
+
+class TestBatchVariants:
+    """The batch helpers equal N single runs, in order."""
+
+    def test_cache_batch_matches_singles(self):
+        trace = memory_trace()
+        memories = [memory_with_dl1(size * KB) for size in (1, 4, 16, 64)]
+        batch = run_cache_only_batch(trace, memories)
+        singles = [run_cache_only(trace, memory) for memory in memories]
+        assert batch == singles
+
+    def test_predictor_batch_matches_singles(self):
+        trace = branch_trace([i % 3 != 0 for i in range(400)])
+        grid = [
+            (kind, entries)
+            for kind in ("bimodal", "gshare", "gp")
+            for entries in (64, 1024)
+        ]
+        batch = run_predictor_only_batch(trace, grid)
+        for (kind, entries), (result, predictor) in zip(grid, batch):
+            single_result, _ = run_predictor_only(trace, kind, entries)
+            assert result == single_result
+            assert predictor.predictions == result.predictions
+
+    def test_empty_batches(self):
+        trace = memory_trace()
+        assert run_cache_only_batch(trace, []) == []
+        assert run_predictor_only_batch(trace, []) == []

@@ -133,6 +133,43 @@ class TestResume:
         assert renders[0] == renders[1]
         assert manifests[0] == manifests[1]
 
+    def test_engine_switch_resume_is_byte_identical(self, spec, tmp_path):
+        """Interrupt under the lockstep engine, resume under the scalar
+        one: the final manifest and report must be byte-identical to a
+        pure scalar run's (and vice versa), because per-point results
+        and digests are engine-independent and the recorded ``engine``
+        is the one of the run that finished the grid."""
+        switched_cache = str(tmp_path / "a")
+        with ExperimentRuntime(cache_dir=switched_cache) as runtime:
+            run_sweep(spec, runtime, max_points=1, lockstep=True)
+            run_sweep(spec, runtime, lockstep=False)
+        straight_cache = str(tmp_path / "b")
+        with ExperimentRuntime(cache_dir=straight_cache) as runtime:
+            run_sweep(spec, runtime, lockstep=False)
+        renders = []
+        manifests = []
+        for cache in (switched_cache, straight_cache):
+            state = f"{cache}/sweeps"
+            renders.append(
+                render_report(report_data(spec, state), "json")
+            )
+            manifests.append(
+                SweepManifest.open(state, spec).path.read_bytes()
+            )
+        assert renders[0] == renders[1]
+        assert manifests[0] == manifests[1]
+        assert SweepManifest.open(
+            f"{switched_cache}/sweeps", spec
+        ).engine == "scalar"
+
+    def test_manifest_records_lockstep_engine(self, spec, tmp_path):
+        cache = str(tmp_path / "cache")
+        with ExperimentRuntime(cache_dir=cache) as runtime:
+            run_sweep(spec, runtime)
+        manifest = SweepManifest.open(f"{cache}/sweeps", spec)
+        assert manifest.engine == "lockstep"
+        assert json.loads(manifest.path.read_text())["engine"] == "lockstep"
+
 
 class TestCacheIdentity:
     def test_sweep_results_hit_for_the_adhoc_driver_grid(
@@ -184,7 +221,7 @@ class TestFaultTolerance:
         runtime = ExperimentRuntime(
             jobs=2,
             cache_dir=str(tmp_path / "cache"),
-            fault_hook=KillFirstN(1, "sweep_point"),
+            fault_hook=KillFirstN(1, "sweep_batch"),
         )
         try:
             run = run_sweep(spec, runtime)
