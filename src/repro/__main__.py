@@ -16,6 +16,7 @@ Usage::
     python -m repro lint-trace blast      # static trace invariant check
     python -m repro lint-trace --all -j 4 # lint every workload, in parallel
     python -m repro lint-code             # repo-specific AST lint (REP00x)
+    python -m repro lint-flow             # whole-repo call-graph lint (FL00x)
     python -m repro sweep run SPEC        # run/resume a declarative sweep
     python -m repro sweep status SPEC     # manifest progress (no simulation)
     python -m repro sweep report SPEC     # render text/JSON/HTML report
@@ -336,6 +337,11 @@ def _lint_code_command(arguments: list[str]) -> int:
         help="re-pin the REP004 serialization manifest after a "
         "deliberate, version-bumped serialization change",
     )
+    parser.add_argument(
+        "--stale-suppressions", action="store_true",
+        help="audit repolint/flowlint disable comments instead: flag "
+        "any that no longer suppress a finding",
+    )
     try:
         options = parser.parse_args(arguments)
     except SystemExit as exit_:
@@ -346,6 +352,25 @@ def _lint_code_command(arguments: list[str]) -> int:
         print(f"pinned serialization manifest: schema_version="
               f"{manifest['schema_version']} digest={manifest['digest']}")
         return 0
+
+    if options.stale_suppressions:
+        from repro.verify.flow import stale_suppressions
+
+        stale = stale_suppressions()
+        if options.as_json:
+            print(json.dumps({
+                "ok": not stale,
+                "stale": [
+                    {"path": v.path, "line": v.line, "message": v.message}
+                    for v in stale
+                ],
+            }, indent=2))
+        else:
+            for violation in stale:
+                print(violation)
+            print(f"{len(stale)} stale suppression(s)"
+                  if stale else "suppressions: all live")
+        return 1 if stale else 0
 
     paths = [Path(p) for p in options.paths] or None
     violations = lint_paths(paths)
@@ -368,6 +393,116 @@ def _lint_code_command(arguments: list[str]) -> int:
             print(violation)
         print(f"{len(violations)} violation(s)"
               if violations else "repolint: clean")
+    return 1 if violations else 0
+
+
+def _lint_flow_command(arguments: list[str]) -> int:
+    from repro.verify.flow import (
+        FLOW_RULES,
+        build_graph,
+        graph_json,
+        lint_flow,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint-flow",
+        description="Whole-repo call-graph + dataflow lint "
+        "(FL001-FL005, see docs/verify.md): interprocedural proofs of "
+        "cache-key soundness, fork-shared-state safety, determinism "
+        "of cached tasks, and event-loop blocking reachability over "
+        "src/repro.",
+    )
+    parser.add_argument(
+        "--rules", metavar="FL00x[,FL00y]",
+        help="comma-separated rule subset (default: all)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="fan the per-module scan out over N pool workers",
+    )
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        help="cache the linked graph pickle keyed by source digest "
+        "(warm runs skip the whole-repo scan)",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument(
+        "--graph-json", metavar="PATH",
+        help="dump the symbol table + call graph as JSON "
+        "('-' for stdout)",
+    )
+    try:
+        options = parser.parse_args(arguments)
+    except SystemExit as exit_:
+        return int(exit_.code or 0)
+
+    rules = None
+    if options.rules:
+        rules = {
+            rule.strip().upper() for rule in options.rules.split(",")
+            if rule.strip()
+        }
+        unknown = rules - set(FLOW_RULES)
+        if unknown:
+            print(f"unknown flow rule(s): {', '.join(sorted(unknown))}; "
+                  f"known: {' '.join(FLOW_RULES)}", file=sys.stderr)
+            return 2
+
+    runtime = None
+    if options.jobs > 1:
+        from repro.runtime.engine import ExperimentRuntime
+
+        runtime = ExperimentRuntime(
+            jobs=options.jobs, cache_dir=options.cache_dir
+        )
+    try:
+        graph = build_graph(
+            cache_dir=options.cache_dir, runtime=runtime
+        )
+    finally:
+        if runtime is not None:
+            runtime.close()
+
+    # With --graph-json -, stdout *is* the graph document; the report
+    # below moves to stderr so the stream stays machine-parseable.
+    report_stream = sys.stdout
+    if options.graph_json:
+        dump = json.dumps(graph_json(graph), indent=2, sort_keys=True)
+        if options.graph_json == "-":
+            print(dump)
+            report_stream = sys.stderr
+        else:
+            with open(options.graph_json, "w") as stream:
+                stream.write(dump + "\n")
+
+    violations = lint_flow(graph=graph, rules=rules)
+    edge_count = sum(len(out) for out in graph.edges.values())
+    source = "warm cache" if graph.from_cache else "cold scan"
+    stats = (
+        f"{graph.modules} modules, {len(graph.functions)} functions, "
+        f"{edge_count} call edges ({source}, {graph.built_seconds:.2f}s)"
+    )
+    if options.as_json:
+        print(json.dumps({
+            "rules": FLOW_RULES,
+            "ok": not violations,
+            "graph": {
+                "modules": graph.modules,
+                "functions": len(graph.functions),
+                "edges": edge_count,
+                "from_cache": graph.from_cache,
+                "built_seconds": graph.built_seconds,
+                "digest": graph.digest,
+            },
+            "violations": [v.to_dict() for v in violations],
+        }, indent=2), file=report_stream)
+    else:
+        for violation in violations:
+            print(violation, file=report_stream)
+        if violations:
+            print(f"{len(violations)} violation(s)  [{stats}]", file=report_stream)
+        else:
+            print(f"flowlint: clean  [{stats}]", file=report_stream)
     return 1 if violations else 0
 
 
@@ -582,6 +717,8 @@ def main(argv: list[str] | None = None) -> int:
         return _lint_trace_command(arguments[1:])
     if arguments[0] == "lint-code":
         return _lint_code_command(arguments[1:])
+    if arguments[0] == "lint-flow":
+        return _lint_flow_command(arguments[1:])
     if arguments[0] == "sweep":
         return _sweep_command(arguments[1:])
     return _run_experiments(arguments)

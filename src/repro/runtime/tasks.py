@@ -61,6 +61,12 @@ Kinds
     neighborhood into the worker's memo (the moral equivalent of
     BLAST's shipped neighbor tables).  The serving layer dispatches one
     per worker at startup so later query compiles are memo lookups.
+``flow_facts``
+    ``(path, relative, module, is_package, spec)`` — scans one module's
+    source into :class:`repro.verify.flow.ModuleFacts` (symbol table,
+    raw call descriptors, dataflow facts).  ``repro lint-flow --jobs N``
+    fans the whole-repo scan out over the pool; linking stays in the
+    parent.
 ``selftest``
     Tiny deterministic operations used by the executor's test suite and
     fault-injection scenarios.
@@ -226,6 +232,15 @@ def execute_precompute_words(payload: tuple) -> dict:
     }
 
 
+def execute_flow_facts(payload: tuple):
+    from repro.verify.flow import scan_module
+
+    path, relative, module, is_package, spec = payload
+    return scan_module(
+        Path(path).read_text(), relative, module, is_package, spec
+    )
+
+
 def execute_selftest(payload: tuple):
     operation, *arguments = payload
     if operation == "square":
@@ -233,7 +248,9 @@ def execute_selftest(payload: tuple):
     if operation == "raise":
         raise RuntimeError("selftest failure")
     if operation == "sleep":
-        time.sleep(arguments[0])
+        # Fault-injection scaffolding: serve never submits selftest
+        # tasks, so this sleep cannot reach the event loop.
+        time.sleep(arguments[0])  # flowlint: disable=FL004
         return "slept"
     if operation == "exit_once":
         # Dies the first time only: the marker file survives the crash,
@@ -249,7 +266,8 @@ def execute_selftest(payload: tuple):
         marker = Path(arguments[0])
         if not marker.exists():
             marker.touch()
-            time.sleep(arguments[1])
+            # Same scaffolding-only reasoning as the "sleep" operation.
+            time.sleep(arguments[1])  # flowlint: disable=FL004
         return "recovered"
     raise ValueError(f"unknown selftest operation {operation!r}")
 
@@ -263,6 +281,7 @@ TASK_KINDS = {
     "lint": execute_lint,
     "search_shard": execute_search_shard,
     "precompute_words": execute_precompute_words,
+    "flow_facts": execute_flow_facts,
     "selftest": execute_selftest,
 }
 

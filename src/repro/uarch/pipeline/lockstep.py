@@ -328,7 +328,9 @@ def shared_planes(plane: DecodedTrace) -> SharedPlanes:
     shared = plane.batch
     if shared is None:
         shared = SharedPlanes(plane)
-        plane.batch = shared
+        # Idempotent memo fill: post-fork callers rebuild an identical
+        # worker-local plane, never observe another lane's write.
+        plane.batch = shared  # flowlint: disable=FL003
     return shared
 
 

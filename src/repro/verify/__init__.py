@@ -1,25 +1,44 @@
 """repro.verify — static trace/ISA invariant checker and domain lint.
 
-Three layers:
+Four layers:
 
 * **TraceLint** (:mod:`repro.verify.tracelint`): vectorized
   well-formedness rules (TR001-TR011) over the SoA trace columns and
   the decode plane, runnable without simulating.  Exposed on the CLI
   as ``python -m repro lint-trace`` and as ``strict=True`` hooks in
   ``load_trace`` / ``TraceBuilder.build`` / the runtime cache.
-* **RepoLint** (:mod:`repro.verify.repolint`): ``ast``-based passes
-  (REP001-REP007) encoding repo-specific hazards — nondeterminism,
+* **RepoLint** (:mod:`repro.verify.repolint`): per-file ``ast`` passes
+  (REP001-REP008) encoding repo-specific hazards — nondeterminism,
   column mutation, cache-key drift, serialization-version drift,
-  exception hygiene, and ad-hoc config-grid loops that bypass
-  ``repro.sweep``.  Exposed as ``python -m repro lint-code`` and as
-  a tier-1 pytest gate.
+  exception hygiene, ad-hoc config-grid loops that bypass
+  ``repro.sweep``, and per-cycle allocation.  Exposed as
+  ``python -m repro lint-code`` and as a tier-1 pytest gate.
 * **SweepLint** (:mod:`repro.verify.sweeplint`): data-level validation
   rules (SW001-SW007) for declarative sweep specs, run at spec load
   time so a campaign fails before any task executes.
+* **FlowLint** (:mod:`repro.verify.flow`): whole-repo call-graph +
+  dataflow rules (FL001-FL005) — interprocedural proofs that cached
+  task bodies cannot reach nondeterminism, every config field read
+  under simulate flows into the cache key, fork-shared planes stay
+  read-only in workers, serve coroutines cannot reach blocking calls,
+  and environment reads feeding cached results are key-salted.
+  Exposed as ``python -m repro lint-flow`` and the
+  ``ExperimentRuntime(strict=True)`` hook; full ``lint-code`` runs
+  route REP006 through its call graph.
 
 See ``docs/verify.md`` for the rule catalogue and suppression syntax.
 """
 
+from repro.verify.flow import (
+    FLOW_RULES,
+    FlowGraph,
+    FlowLintError,
+    FlowViolation,
+    build_graph,
+    check_flow,
+    lint_flow,
+    stale_suppressions,
+)
 from repro.verify.repolint import (
     RULES,
     LintViolation,
@@ -47,9 +66,13 @@ from repro.verify.tracelint import (
 )
 
 __all__ = [
+    "FLOW_RULES",
     "RULES",
     "SWEEP_RULES",
     "TRACE_RULES",
+    "FlowGraph",
+    "FlowLintError",
+    "FlowViolation",
     "LintViolation",
     "SpecViolation",
     "validate_spec_data",
@@ -57,11 +80,15 @@ __all__ = [
     "TraceLintError",
     "TraceLintReport",
     "TraceViolation",
+    "build_graph",
+    "check_flow",
     "check_trace",
     "config_key_coverage",
+    "lint_flow",
     "lint_paths",
     "lint_source",
     "lint_trace",
     "serialization_fingerprint",
+    "stale_suppressions",
     "write_manifest",
 ]

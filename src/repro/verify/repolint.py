@@ -47,8 +47,10 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -122,8 +124,17 @@ DIGEST_RELEVANT: dict[str, tuple[str, ...]] = {
 
 MANIFEST_PATH = Path(__file__).resolve().parent / "serialization_manifest.json"
 
-_DISABLE_LINE = re.compile(r"#\s*repolint:\s*disable=([A-Z0-9, ]+)")
-_DISABLE_FILE = re.compile(r"#\s*repolint:\s*disable-file=([A-Z0-9, ]+)")
+#: Suppression comment grammars.  RepoLint and FlowLint share the same
+#: machinery (:func:`suppression_maps`), differing only in the tag, so
+#: a ``flowlint: disable=FL003`` comment behaves exactly like a
+#: ``repolint: disable=REP002`` one.
+_DISABLE_PATTERNS: dict[str, tuple[re.Pattern, re.Pattern]] = {
+    tag: (
+        re.compile(rf"#\s*{tag}:\s*disable=([A-Z0-9, ]+)"),
+        re.compile(rf"#\s*{tag}:\s*disable-file=([A-Z0-9, ]+)"),
+    )
+    for tag in ("repolint", "flowlint")
+}
 
 
 @dataclass(frozen=True)
@@ -139,21 +150,76 @@ class LintViolation:
         return f"{self.path}:{self.line}: {self.rule} {self.message}"
 
 
-def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+def _comment_lines(source: str) -> list[tuple[int, str]]:
+    """``(line, text)`` for every real ``#`` comment in the source.
+
+    Tokenizing (rather than regexing raw lines) keeps disable-comment
+    *examples* inside docstrings from acting as live suppressions —
+    only actual comment tokens count.  Falls back to a plain line scan
+    when the text does not tokenize (linters may see broken sources).
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        return [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError,
+            ValueError):
+        return [
+            (number, text)
+            for number, text in enumerate(source.splitlines(), start=1)
+            if "#" in text
+        ]
+
+
+def suppression_maps(
+    source: str, tag: str = "repolint"
+) -> tuple[dict[int, set[str]], set[str]]:
+    """``(per-line, whole-file)`` disabled-rule sets for one source text."""
+    line_pattern, file_pattern = _DISABLE_PATTERNS[tag]
     per_line: dict[int, set[str]] = {}
     whole_file: set[str] = set()
-    for number, text in enumerate(source.splitlines(), start=1):
-        match = _DISABLE_LINE.search(text)
+    for number, text in _comment_lines(source):
+        match = line_pattern.search(text)
         if match:
-            per_line[number] = {
+            per_line.setdefault(number, set()).update(
                 rule.strip() for rule in match.group(1).split(",")
-            }
-        match = _DISABLE_FILE.search(text)
+            )
+        match = file_pattern.search(text)
         if match:
             whole_file |= {
                 rule.strip() for rule in match.group(1).split(",")
             }
     return per_line, whole_file
+
+
+def suppression_comments(
+    source: str,
+) -> list[tuple[int, str, str, bool]]:
+    """Every disable comment: ``(line, tag, rule, is_file_level)``.
+
+    The inventory behind ``repro lint-code --stale-suppressions``: each
+    entry is one (comment, rule) pair, so a comment disabling two rules
+    yields two entries and each can go stale independently.
+    """
+    entries: list[tuple[int, str, str, bool]] = []
+    for number, text in _comment_lines(source):
+        for tag, (line_pattern, file_pattern) in _DISABLE_PATTERNS.items():
+            match = line_pattern.search(text)
+            if match:
+                for rule in match.group(1).split(","):
+                    entries.append((number, tag, rule.strip(), False))
+            match = file_pattern.search(text)
+            if match:
+                for rule in match.group(1).split(","):
+                    entries.append((number, tag, rule.strip(), True))
+    return entries
+
+
+def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    return suppression_maps(source, "repolint")
 
 
 class _ModuleAliases(ast.NodeVisitor):
@@ -201,12 +267,18 @@ def _attr_chain(node: ast.expr) -> list[str]:
 # REP001 — nondeterminism
 # ----------------------------------------------------------------------
 
-def _rep001(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
-    if relative.endswith(REP001_EXEMPT):
-        return []
-    imports = _ModuleAliases()
-    imports.visit(tree)
-    aliases = imports.aliases
+def nondet_findings(
+    tree: ast.AST,
+    aliases: dict[str, str],
+    from_imports: dict[str, str],
+) -> list[tuple[int, str]]:
+    """Nondeterminism sources in one subtree (the REP001/FL001 core).
+
+    ``tree`` may be a whole module or a single function node; alias
+    maps come from the enclosing module.  Shared by the per-file REP001
+    pass and the flow engine's per-function fact extraction, so the two
+    layers can never disagree about what counts as nondeterministic.
+    """
     findings: list[tuple[int, str]] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
@@ -215,7 +287,7 @@ def _rep001(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
         if not isinstance(func, ast.Attribute):
             # from-import forms: default_rng(), urandom(), token_bytes()
             if isinstance(func, ast.Name):
-                target = imports.from_imports.get(func.id, "")
+                target = from_imports.get(func.id, "")
                 if target == "numpy.random.default_rng" and not node.args:
                     findings.append((
                         node.lineno, "unseeded numpy default_rng()"
@@ -264,6 +336,14 @@ def _rep001(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
         elif root == "secrets":
             findings.append((node.lineno, f"secrets.{func.attr}() call"))
     return findings
+
+
+def _rep001(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
+    if relative.endswith(REP001_EXEMPT):
+        return []
+    imports = _ModuleAliases()
+    imports.visit(tree)
+    return nondet_findings(tree, imports.aliases, imports.from_imports)
 
 
 # ----------------------------------------------------------------------
@@ -563,6 +643,55 @@ def _rep005(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
 # REP006 — blocking calls in repro.serve coroutine code
 # ----------------------------------------------------------------------
 
+def blocking_findings(
+    owner: ast.AST, aliases: dict[str, str]
+) -> list[tuple[int, str]]:
+    """Event-loop-blocking primitives in one function body.
+
+    The REP006/FL004 core, applied to any function node (``async`` or
+    not — the flow engine also runs it over synchronous helpers that
+    serve coroutines call).  Call nodes that are directly awaited
+    (asyncio ``Queue.get()`` and friends) are non-blocking by
+    definition and skipped.
+    """
+    awaited = {
+        id(waited.value)
+        for waited in ast.walk(owner)
+        if isinstance(waited, ast.Await)
+    }
+    findings: list[tuple[int, str]] = []
+    for node in ast.walk(owner):
+        if not isinstance(node, ast.Call) or id(node) in awaited:
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        root = aliases.get(_attr_chain(func)[0])
+        if root == "time" and func.attr == "sleep":
+            findings.append((
+                node.lineno,
+                "time.sleep() blocks the event loop; use asyncio.sleep",
+            ))
+        elif (
+            func.attr == "get"
+            and not node.args
+            and not any(
+                keyword.arg == "timeout" for keyword in node.keywords
+            )
+            and not (
+                isinstance(func.value, ast.Name)
+                and func.value.id in aliases
+            )
+        ):
+            findings.append((
+                node.lineno,
+                "synchronous .get() without a timeout can block the "
+                "event loop indefinitely; await an asyncio queue or "
+                "pass timeout=",
+            ))
+    return findings
+
+
 def _rep006(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
     """Flag event-loop-stalling calls inside ``serve/`` coroutines.
 
@@ -571,53 +700,21 @@ def _rep006(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
     freezes batching, admission, and every in-flight request at once.
     Blocking work belongs behind ``run_in_executor`` (see
     ``ShardSearchBackend``), and delays belong to ``asyncio.sleep``.
+
+    This direct-body pass is the *fallback*: full-package runs route
+    REP006 through the flow engine's call graph instead
+    (:func:`repro.verify.flow.rep006_violations`), which also sees
+    blocking calls hidden inside synchronous helpers the coroutines
+    call.
     """
     if REP006_SCOPE not in relative.replace("\\", "/"):
         return []
     imports = _ModuleAliases()
     imports.visit(tree)
-    aliases = imports.aliases
     findings: list[tuple[int, str]] = []
     for owner in ast.walk(tree):
-        if not isinstance(owner, ast.AsyncFunctionDef):
-            continue
-        # Call nodes that are directly awaited (asyncio Queue.get()
-        # and friends) are non-blocking by definition.
-        awaited = {
-            id(waited.value)
-            for waited in ast.walk(owner)
-            if isinstance(waited, ast.Await)
-        }
-        for node in ast.walk(owner):
-            if not isinstance(node, ast.Call) or id(node) in awaited:
-                continue
-            func = node.func
-            if not isinstance(func, ast.Attribute):
-                continue
-            root = aliases.get(_attr_chain(func)[0])
-            if root == "time" and func.attr == "sleep":
-                findings.append((
-                    node.lineno,
-                    "time.sleep() inside a coroutine blocks the event "
-                    "loop; use asyncio.sleep",
-                ))
-            elif (
-                func.attr == "get"
-                and not node.args
-                and not any(
-                    keyword.arg == "timeout" for keyword in node.keywords
-                )
-                and not (
-                    isinstance(func.value, ast.Name)
-                    and func.value.id in aliases
-                )
-            ):
-                findings.append((
-                    node.lineno,
-                    "synchronous .get() without a timeout inside a "
-                    "coroutine can block the event loop indefinitely; "
-                    "await an asyncio queue or pass timeout=",
-                ))
+        if isinstance(owner, ast.AsyncFunctionDef):
+            findings.extend(blocking_findings(owner, imports.aliases))
     return findings
 
 
@@ -795,8 +892,14 @@ def lint_source(
     source: str,
     relative: str,
     rules: set[str] | None = None,
+    honor_suppressions: bool = True,
 ) -> list[LintViolation]:
-    """Run the per-file rules over one module's source text."""
+    """Run the per-file rules over one module's source text.
+
+    ``honor_suppressions=False`` reports findings even on disabled
+    lines — the stale-suppression audit uses it to learn what each
+    disable comment actually suppresses.
+    """
     try:
         tree = ast.parse(source)
     except SyntaxError as error:
@@ -804,7 +907,10 @@ def lint_source(
             "REP000", relative, error.lineno or 1,
             f"syntax error: {error.msg}",
         )]
-    per_line, whole_file = _suppressions(source)
+    if honor_suppressions:
+        per_line, whole_file = _suppressions(source)
+    else:
+        per_line, whole_file = {}, set()
     violations: list[LintViolation] = []
     for rule, implementation in _PER_FILE_RULES.items():
         if rules is not None and rule not in rules:
@@ -818,18 +924,32 @@ def lint_source(
     return violations
 
 
+def _flow_rep006() -> list[LintViolation] | None:
+    """Interprocedural REP006 via the flow engine; ``None`` if unusable."""
+    try:
+        from repro.verify import flow
+
+        return flow.rep006_violations()
+    except Exception:
+        return None
+
+
 def lint_paths(
     paths: list[Path] | None = None,
     rules: set[str] | None = None,
+    use_flow: bool | None = None,
 ) -> list[LintViolation]:
     """Run RepoLint over source files (defaults to all of ``src/repro``).
 
     Repo-level rules (REP003, REP004) run whenever their subjects are
-    in scope, i.e. always for the default full-package run.
+    in scope, i.e. always for the default full-package run.  Full
+    default runs also upgrade REP006 to the flow engine's call-graph
+    reachability check (blocking calls hidden inside helpers that serve
+    coroutines call); explicit path subsets and environments where the
+    flow engine cannot build fall back to the direct-body pass.
     """
     if paths is None:
         files = sorted(PACKAGE_ROOT.rglob("*.py"))
-        repo_level = True
     else:
         files = []
         for path in paths:
@@ -837,7 +957,16 @@ def lint_paths(
                 files.extend(sorted(path.rglob("*.py")))
             else:
                 files.append(path)
-        repo_level = True
+    if use_flow is None:
+        use_flow = paths is None
+    flow_rep006: list[LintViolation] | None = None
+    if use_flow and (rules is None or "REP006" in rules):
+        flow_rep006 = _flow_rep006()
+    per_file_rules = rules
+    if flow_rep006 is not None:
+        per_file_rules = (
+            set(RULES) if rules is None else set(rules)
+        ) - {"REP006"}
     violations: list[LintViolation] = []
     for path in files:
         try:
@@ -845,12 +974,13 @@ def lint_paths(
         except ValueError:
             relative = str(path)
         violations.extend(
-            lint_source(path.read_text(), relative, rules=rules)
+            lint_source(path.read_text(), relative, rules=per_file_rules)
         )
-    if repo_level:
-        if rules is None or "REP003" in rules:
-            violations.extend(_rep003())
-        if rules is None or "REP004" in rules:
-            violations.extend(_rep004())
+    if flow_rep006 is not None:
+        violations.extend(flow_rep006)
+    if rules is None or "REP003" in rules:
+        violations.extend(_rep003())
+    if rules is None or "REP004" in rules:
+        violations.extend(_rep004())
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations

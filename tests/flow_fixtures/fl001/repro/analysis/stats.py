@@ -1,0 +1,19 @@
+"""FL001 fixture helpers: the wall-clock read hides two calls deep."""
+
+import time
+
+
+def summarize(payload):
+    return _stamp(payload)
+
+
+def _stamp(payload):
+    return (payload, time.time())
+
+
+def summarize_quiet(payload):
+    return _stamp_quiet(payload)
+
+
+def _stamp_quiet(payload):
+    return (payload, time.time())  # flowlint: disable=FL001

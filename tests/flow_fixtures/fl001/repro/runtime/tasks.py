@@ -1,0 +1,22 @@
+"""FL001 fixture: cached tasks whose bodies call nondeterministic helpers."""
+
+from repro.analysis.stats import summarize, summarize_quiet
+
+
+def execute_simulate(payload):
+    return summarize(payload)
+
+
+def execute_trace(payload):
+    return summarize_quiet(payload)
+
+
+def execute_clean(payload):
+    return payload * 2
+
+
+TASK_KINDS = {
+    "simulate": execute_simulate,
+    "trace": execute_trace,
+    "clean": execute_clean,
+}

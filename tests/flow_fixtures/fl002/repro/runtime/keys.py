@@ -1,0 +1,5 @@
+"""FL002 fixture key builder: covers ``width`` but forgets ``depth``."""
+
+
+def config_key(config):
+    return ("v1", config.width)

@@ -1,0 +1,19 @@
+"""FL002 fixture: simulate tasks reading config fields through helpers."""
+
+from repro.uarch.core import run, run_quiet
+
+
+def execute_simulate(payload):
+    trace, config = payload
+    return run(trace, config)
+
+
+def execute_sweep_point(payload):
+    trace, config = payload
+    return run_quiet(trace, config)
+
+
+TASK_KINDS = {
+    "simulate": execute_simulate,
+    "sweep_point": execute_sweep_point,
+}

@@ -1,0 +1,14 @@
+"""FL002 fixture core: ``depth`` is read two calls below the task body."""
+
+
+def run(trace, config):
+    cycles = len(trace) * config.width
+    return cycles + _drain(config)
+
+
+def _drain(config):
+    return config.depth
+
+
+def run_quiet(trace, config):
+    return config.depth  # flowlint: disable=FL002

@@ -1,0 +1,6 @@
+"""FL003 fixture Trace: writes inside the owner module are exempt."""
+
+
+class Trace:
+    def __init__(self):
+        self.cols = ()

@@ -1,0 +1,20 @@
+"""FL003 fixture: fork-reachable code mutating a shared Trace."""
+
+from repro.sim.mutate import scrub, scrub_quiet, total
+
+
+def execute_simulate(payload):
+    trace, flag = payload
+    if flag:
+        scrub(trace)
+    return total(trace)
+
+
+def execute_trace(payload):
+    return scrub_quiet(payload)
+
+
+TASK_KINDS = {
+    "simulate": execute_simulate,
+    "trace": execute_trace,
+}

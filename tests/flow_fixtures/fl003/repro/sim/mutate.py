@@ -1,0 +1,18 @@
+"""FL003 fixture: the write hides one helper below the task body."""
+
+
+def scrub(trace):
+    _reset(trace)
+
+
+def _reset(trace):
+    trace.cols = ()
+
+
+def scrub_quiet(trace):
+    trace.cols = ()  # flowlint: disable=FL003
+    return trace
+
+
+def total(trace):
+    return len(trace.cols)

@@ -1,0 +1,19 @@
+"""FL004 fixture: serve coroutines calling blocking synchronous helpers."""
+
+import asyncio
+
+from repro.serve.sync_ops import respond, respond_quiet
+
+
+async def handle(request):
+    await asyncio.sleep(0)
+    return respond(request)
+
+
+async def handle_quiet(request):
+    return respond_quiet(request)
+
+
+async def tick():
+    await asyncio.sleep(0.01)
+    return True

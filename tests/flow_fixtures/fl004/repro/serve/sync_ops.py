@@ -1,0 +1,13 @@
+"""FL004 fixture helpers: the sleep is invisible to a per-body check."""
+
+import time
+
+
+def respond(request):
+    time.sleep(0.05)
+    return request
+
+
+def respond_quiet(request):
+    time.sleep(0.05)  # flowlint: disable=FL004
+    return request

@@ -1,0 +1,15 @@
+"""FL005 fixture helpers: one salted env read, one escaping, one quiet."""
+
+import os
+
+
+def scale_factor():
+    return float(os.environ.get("REPRO_SCALE", "1"))
+
+
+def secret_mode():
+    return os.environ.get("REPRO_SECRET") == "1"
+
+
+def secret_mode_quiet():
+    return os.environ.get("REPRO_SECRET") == "1"  # flowlint: disable=FL005

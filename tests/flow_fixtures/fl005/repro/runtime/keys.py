@@ -1,0 +1,7 @@
+"""FL005 fixture key builder: salts REPRO_SCALE (and nothing else)."""
+
+import os
+
+
+def simulate_key(config):
+    return (config, os.environ.get("REPRO_SCALE", "1"))

@@ -1,0 +1,18 @@
+"""Stale-suppression fixture: one live disable, one dead one."""
+
+import time
+
+
+def execute_simulate(payload):
+    return _now(payload)
+
+
+def _now(payload):
+    return (payload, time.time())  # flowlint: disable=FL001
+
+
+def plain(value):
+    return value + 1  # repolint: disable=REP001
+
+
+TASK_KINDS = {"simulate": execute_simulate}

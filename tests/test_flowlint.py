@@ -1,0 +1,373 @@
+"""FlowLint engine tests: fixtures per rule, graph construction, fuzz.
+
+Each FL rule has a committed fixture package under
+``tests/flow_fixtures/<rule>/repro`` shaped like a miniature of the
+real repo (a ``runtime/tasks.py`` dispatch table, helpers a call or
+two deep).  Every fixture proves three things: the rule fires
+*interprocedurally* (the violation is at least one call below the
+root), a ``flowlint: disable`` comment on the offending line
+suppresses it, and clean code stays clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import pickle
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify import flow
+from repro.verify.flow import TaintSpec
+
+FIXTURES = Path(__file__).parent / "flow_fixtures"
+
+PROCESSOR = "repro.uarch.config.ProcessorConfig"
+
+
+def fixture_graph(name: str, spec: TaintSpec | None = None) -> flow.FlowGraph:
+    return flow.build_graph(
+        FIXTURES / name / "repro", spec=spec or TaintSpec()
+    )
+
+
+def fl002_spec() -> TaintSpec:
+    return TaintSpec(
+        config_fields={PROCESSOR: {"width": None, "depth": None}},
+        name_seeds={"config": PROCESSOR},
+    )
+
+
+class TestFL001:
+    def test_fires_two_calls_deep(self):
+        graph = fixture_graph("fl001")
+        violations = flow.lint_flow(graph=graph)
+        assert [v.rule for v in violations] == ["FL001"]
+        violation = violations[0]
+        assert violation.path == "repro/analysis/stats.py"
+        assert "time.time" in violation.message
+        # Interprocedural: task body -> summarize -> _stamp.
+        assert len(violation.chain) == 3
+        assert violation.chain[0].endswith("execute_simulate")
+        assert violation.chain[-1].endswith("_stamp")
+
+    def test_suppression_and_clean(self):
+        graph = fixture_graph("fl001")
+        raw = flow.lint_flow(graph=graph, honor_suppressions=False)
+        # The suppressed twin fires raw but is filtered when honored.
+        assert len([v for v in raw if v.rule == "FL001"]) == 2
+        kept = flow.lint_flow(graph=graph)
+        assert all("_stamp_quiet" not in v.chain[-1] for v in kept)
+        assert all(
+            "execute_clean" not in v.chain[0] for v in kept
+        )
+
+
+class TestFL002:
+    def test_uncovered_field_read_fires(self):
+        graph = fixture_graph("fl002", fl002_spec())
+        violations = flow.lint_flow(graph=graph)
+        assert [v.rule for v in violations] == ["FL002"]
+        violation = violations[0]
+        assert violation.path == "repro/uarch/core.py"
+        assert "ProcessorConfig.depth" in violation.message
+        assert len(violation.chain) == 3  # execute_simulate -> run -> _drain
+        assert violation.chain[-1].endswith("_drain")
+
+    def test_covered_field_is_silent(self):
+        graph = fixture_graph("fl002", fl002_spec())
+        violations = flow.lint_flow(graph=graph)
+        assert not any("width" in v.message for v in violations)
+
+    def test_suppressed_read_filtered(self):
+        graph = fixture_graph("fl002", fl002_spec())
+        raw = flow.lint_flow(graph=graph, honor_suppressions=False)
+        assert len(raw) == 2
+        assert len(flow.lint_flow(graph=graph)) == 1
+
+
+class TestFL003:
+    SPEC = TaintSpec(name_seeds={"trace": "repro.isa.trace.Trace"})
+
+    def test_worker_write_fires_one_call_deep(self):
+        graph = fixture_graph("fl003", self.SPEC)
+        violations = flow.lint_flow(graph=graph)
+        assert [v.rule for v in violations] == ["FL003"]
+        violation = violations[0]
+        assert violation.path == "repro/sim/mutate.py"
+        assert "Trace.cols" in violation.message
+        assert len(violation.chain) == 3
+        assert violation.chain[-1].endswith("_reset")
+
+    def test_owner_module_write_exempt(self):
+        graph = fixture_graph("fl003", self.SPEC)
+        raw = flow.lint_flow(graph=graph, honor_suppressions=False)
+        assert not any(v.path == "repro/isa/trace.py" for v in raw)
+
+    def test_suppressed_write_filtered(self):
+        graph = fixture_graph("fl003", self.SPEC)
+        raw = flow.lint_flow(graph=graph, honor_suppressions=False)
+        assert len(raw) == 2
+        assert len(flow.lint_flow(graph=graph)) == 1
+
+
+class TestFL004:
+    def test_blocking_call_one_helper_deep(self):
+        graph = fixture_graph("fl004")
+        violations = flow.lint_flow(graph=graph)
+        assert [v.rule for v in violations] == ["FL004"]
+        violation = violations[0]
+        assert violation.path == "repro/serve/sync_ops.py"
+        assert "time.sleep" in violation.message
+        assert "handle" in violation.message  # names the coroutine
+        assert violation.chain[0].endswith("handle")
+        assert violation.chain[-1].endswith("respond")
+
+    def test_awaited_asyncio_sleep_clean(self):
+        graph = fixture_graph("fl004")
+        raw = flow.lint_flow(graph=graph, honor_suppressions=False)
+        assert not any("tick" in v.chain[0] for v in raw)
+
+    def test_rep006_routes_through_graph(self):
+        """Satellite: the classic rule id gains call-graph depth."""
+        graph = fixture_graph("fl004")
+        findings = flow.rep006_violations(graph)
+        assert [f.rule for f in findings] == ["REP006"]
+        assert findings[0].path == "repro/serve/sync_ops.py"
+        # The flowlint FL004 disable quiets the REP006 spelling too.
+        assert len(findings) == 1
+
+
+class TestFL005:
+    def test_unsalted_env_read_fires(self):
+        graph = fixture_graph("fl005")
+        violations = flow.lint_flow(graph=graph)
+        assert [v.rule for v in violations] == ["FL005"]
+        violation = violations[0]
+        assert violation.path == "repro/env/scale.py"
+        assert "REPRO_SECRET" in violation.message
+        assert len(violation.chain) == 2
+        assert violation.chain[-1].endswith("secret_mode")
+
+    def test_salted_env_read_clean(self):
+        graph = fixture_graph("fl005")
+        raw = flow.lint_flow(graph=graph, honor_suppressions=False)
+        assert not any("REPRO_SCALE" in v.message for v in raw)
+
+    def test_suppressed_read_filtered(self):
+        graph = fixture_graph("fl005")
+        raw = flow.lint_flow(graph=graph, honor_suppressions=False)
+        assert len(raw) == 2
+        assert len(flow.lint_flow(graph=graph)) == 1
+
+
+@pytest.fixture(scope="module")
+def repo_graph() -> flow.FlowGraph:
+    return flow.build_graph()
+
+
+class TestRealGraph:
+    """Call-graph construction pinned against hand-written edge sets."""
+
+    def test_table_dispatch_edges(self, repo_graph):
+        # run_task resolves TASK_KINDS[kind](payload) to every entry.
+        callees = repo_graph.callees("repro.runtime.tasks.run_task")
+        expected = {
+            f"repro.runtime.tasks.execute_{kind}"
+            for kind in (
+                "simulate", "simulate_batch", "sweep_point",
+                "sweep_batch", "trace", "lint", "search_shard",
+                "precompute_words", "flow_facts", "selftest",
+            )
+        }
+        assert set(callees) == expected
+
+    def test_exact_edge_set_execute_simulate(self, repo_graph):
+        callees = repo_graph.callees(
+            "repro.runtime.tasks.execute_simulate"
+        )
+        assert callees == [
+            "repro.isa.serialize.load_trace",
+            "repro.uarch.simulator.simulate",
+        ]
+
+    def test_lazy_import_and_reexport_resolution(self, repo_graph):
+        # execute_lint imports lint_trace *inside* the function body,
+        # and the name re-exports through repro.verify's __init__.
+        callees = set(repo_graph.callees(
+            "repro.runtime.tasks.execute_lint"
+        ))
+        assert "repro.verify.tracelint.lint_trace" in callees
+        assert "repro.isa.serialize.load_trace" in callees
+
+    def test_repo_is_flow_clean(self, repo_graph):
+        assert flow.lint_flow(graph=repo_graph) == []
+
+    def test_graph_pickles(self, repo_graph):
+        clone = pickle.loads(pickle.dumps(repo_graph))
+        assert clone.digest == repo_graph.digest
+        assert len(clone.functions) == len(repo_graph.functions)
+
+    def test_graph_json_shape(self, repo_graph):
+        dump = flow.graph_json(repo_graph)
+        assert set(dump) >= {"digest", "functions", "edges", "tables"}
+        names = {entry["qualname"] for entry in dump["functions"]}
+        assert "repro.runtime.tasks.run_task" in names
+        assert any(
+            caller == "repro.runtime.tasks.run_task"
+            for caller, _, _ in dump["edges"]
+        )
+
+    def test_check_flow_clean_and_memoized(self, repo_graph):
+        flow.check_flow()
+        flow.check_flow()  # second call is a digest-memo hit
+
+    def test_flowlint_error_formats_violations(self):
+        graph = fixture_graph("fl001")
+        violations = flow.lint_flow(graph=graph)
+        error = flow.FlowLintError(violations)
+        assert "FL001" in str(error)
+        assert "stats.py" in str(error)
+
+
+class TestGraphCache:
+    def test_warm_run_uses_pickle(self, tmp_path):
+        root = FIXTURES / "fl001" / "repro"
+        cold = flow.build_graph(root, spec=TaintSpec(), cache_dir=tmp_path)
+        assert not cold.from_cache
+        warm = flow.build_graph(root, spec=TaintSpec(), cache_dir=tmp_path)
+        assert warm.from_cache
+        assert warm.digest == cold.digest
+        assert len(warm.functions) == len(cold.functions)
+
+    def test_source_change_invalidates(self, tmp_path):
+        package = tmp_path / "repro"
+        package.mkdir()
+        module = package / "mod.py"
+        module.write_text("def f():\n    return 1\n")
+        first = flow.build_graph(
+            package, spec=TaintSpec(), cache_dir=tmp_path / "cache"
+        )
+        module.write_text("def f():\n    return 2\n")
+        second = flow.build_graph(
+            package, spec=TaintSpec(), cache_dir=tmp_path / "cache"
+        )
+        assert not second.from_cache
+        assert second.digest != first.digest
+
+
+class TestParallelScan:
+    def test_pool_scan_matches_serial(self):
+        from repro.runtime.engine import ExperimentRuntime
+
+        serial = flow.build_graph()
+        runtime = ExperimentRuntime(jobs=2)
+        try:
+            pooled = flow.build_graph(runtime=runtime)
+        finally:
+            runtime.close()
+        assert pooled.digest == serial.digest
+        assert set(pooled.functions) == set(serial.functions)
+        assert pooled.edges == serial.edges
+
+
+class TestStaleSuppressions:
+    def test_dead_disable_flagged_live_one_kept(self):
+        stale = flow.stale_suppressions(FIXTURES / "stale" / "repro")
+        assert len(stale) == 1
+        finding = stale[0]
+        assert finding.path == "repro/runtime/tasks.py"
+        assert "REP001" in finding.message
+        # The live FL001 disable (suppressing a real reachable
+        # finding) is not reported.
+        assert not any("FL001" in v.message for v in stale)
+
+    def test_docstring_examples_are_not_suppressions(self):
+        from repro.verify.repolint import suppression_maps
+
+        source = (
+            '"""Docs show `# repolint: disable=REP001` usage."""\n'
+            "import time\n"
+            "def f():\n"
+            "    return time.time()  # repolint: disable=REP001\n"
+        )
+        per_line, whole_file = suppression_maps(source)
+        assert per_line == {4: {"REP001"}}
+        assert whole_file == set()
+
+
+# ----------------------------------------------------------------------
+# Fuzz: graph construction never crashes on syntactically valid modules
+# ----------------------------------------------------------------------
+
+_NAMES = st.sampled_from(
+    ["alpha", "beta", "config", "trace", "run", "helper", "value"]
+)
+
+_SNIPPETS = [
+    "import time",
+    "import numpy as np",
+    "from repro.other import {a}",
+    "from dataclasses import replace",
+    "GLOBAL_TABLE = {{'one': {a}, 'two': {b}}}",
+    "def {a}({b}):\n    return {b}",
+    "def {a}(config):\n    return config.width + config.depth",
+    "def {a}(trace):\n    trace.cols = ()\n    trace.rows.append(1)",
+    "def {a}():\n    return time.time()",
+    "async def {a}():\n    import asyncio\n    await asyncio.sleep(0)",
+    "def {a}(x):\n    y = GLOBAL_TABLE[x]\n    return y(x)",
+    "def {a}(x):\n    return GLOBAL_TABLE[x](x)",
+    "def {a}(pool, x):\n    return pool.map({b}, x)",
+    "def {a}(x):\n    for item in {{1, 2, 3}}:\n        x += item\n"
+    "    return x",
+    "def {a}(x):\n    return sorted({{'z', 'y'}})",
+    "class {A}:\n    def __init__(self, config):\n"
+    "        self.config = config\n"
+    "    def go(self):\n        return self.config.width",
+    "class {A}:\n    def run(self):\n        return self",
+    "def {a}():\n    import os\n    return os.environ.get('X')",
+    "def {a}(x):\n    global COUNT\n    COUNT = x",
+    "def {a}(x):\n    def inner(config):\n        return config.depth\n"
+    "    return inner(x)",
+    "def {a}(x):\n    if (y := x):\n        return y\n    return None",
+    "def {a}(*args, **kwargs):\n    first, *rest = args\n    return rest",
+    "def {a}(x):\n    try:\n        return x.get()\n"
+    "    except Exception:\n        return None",
+    "def {a}(x):\n    with open(x) as stream:\n        return stream.read()",
+]
+
+
+@st.composite
+def module_sources(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    parts = []
+    for _ in range(count):
+        template = draw(st.sampled_from(_SNIPPETS))
+        a = draw(_NAMES)
+        b = draw(_NAMES)
+        parts.append(template.format(a=a, b=b, A=a.capitalize()))
+    return "\n\n".join(parts)
+
+
+class TestFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(source=module_sources())
+    def test_scan_and_link_never_crash(self, source):
+        ast.parse(source)  # the strategy only emits valid modules
+        spec = TaintSpec(
+            config_fields={PROCESSOR: {"width": None, "depth": None}},
+            name_seeds={
+                "config": PROCESSOR,
+                "trace": "repro.isa.trace.Trace",
+            },
+        )
+        facts = flow.scan_module(
+            source, "repro/fuzzed.py", "repro.fuzzed", spec=spec
+        )
+        graph = flow._link(
+            [facts], Path("src"), "repro", "fuzz-digest"
+        )
+        for rule in flow.FLOW_RULE_IMPLS.values():
+            rule(graph)

@@ -118,3 +118,62 @@ class TestLintCode:
         completed = run_cli("lint-code", str(offender))
         assert completed.returncode == 1
         assert "REP005" in completed.stdout
+
+
+class TestLintFlow:
+    def test_repo_is_clean(self):
+        completed = run_cli("lint-flow")
+        assert completed.returncode == 0, completed.stdout
+        assert "flowlint: clean" in completed.stdout
+
+    def test_json_report_shape(self):
+        completed = run_cli("lint-flow", "--json")
+        assert completed.returncode == 0
+        payload = json.loads(completed.stdout)
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert set(payload["rules"]) == {
+            "FL001", "FL002", "FL003", "FL004", "FL005",
+        }
+        assert payload["graph"]["functions"] > 500
+        assert payload["graph"]["edges"] > 1000
+
+    def test_rule_subset_and_unknown_rule(self):
+        completed = run_cli("lint-flow", "--rules", "FL001,FL004")
+        assert completed.returncode == 0
+        completed = run_cli("lint-flow", "--rules", "FL999")
+        assert completed.returncode == 2
+        assert "unknown flow rule" in completed.stderr
+
+    def test_graph_json_dump(self, tmp_path):
+        target = tmp_path / "graph.json"
+        completed = run_cli("lint-flow", "--graph-json", str(target))
+        assert completed.returncode == 0
+        payload = json.loads(target.read_text())
+        assert {"digest", "functions", "edges", "tables"} <= set(payload)
+        names = {entry["qualname"] for entry in payload["functions"]}
+        assert "repro.runtime.tasks.run_task" in names
+
+    def test_graph_json_stdout_is_pure_json(self):
+        # With `--graph-json -` the document owns stdout; the human
+        # report must land on stderr or the stream is unparseable.
+        completed = run_cli("lint-flow", "--graph-json", "-")
+        assert completed.returncode == 0
+        payload = json.loads(completed.stdout)
+        assert {"digest", "functions", "edges", "tables"} <= set(payload)
+        assert "flowlint: clean" in completed.stderr
+
+    def test_warm_cache_run(self, tmp_path):
+        cold = run_cli("lint-flow", "--cache-dir", str(tmp_path))
+        assert cold.returncode == 0
+        assert "cold scan" in cold.stdout
+        warm = run_cli("lint-flow", "--cache-dir", str(tmp_path))
+        assert warm.returncode == 0
+        assert "warm cache" in warm.stdout
+
+
+class TestStaleSuppressionsCli:
+    def test_repo_suppressions_all_live(self):
+        completed = run_cli("lint-code", "--stale-suppressions")
+        assert completed.returncode == 0, completed.stdout
+        assert "suppressions: all live" in completed.stdout

@@ -556,3 +556,62 @@ class TestRepoGate:
         assert violations == [], "\n".join(
             str(violation) for violation in violations
         )
+
+
+class TestRep006FlowRouting:
+    """Satellite: REP006 re-routed through the flow engine's call graph.
+
+    The classic direct-body check cannot see a ``time.sleep`` hidden
+    one synchronous helper below a serve coroutine; the flow-routed
+    REP006 (``repro.verify.flow.rep006_violations``) can, while the
+    per-file check remains the fallback when flow analysis is
+    unavailable.
+    """
+
+    def test_blocking_call_one_helper_deep(self):
+        from pathlib import Path
+
+        from repro.verify import flow
+
+        fixture = (
+            Path(__file__).parent / "flow_fixtures" / "fl004" / "repro"
+        )
+        graph = flow.build_graph(fixture, spec=flow.TaintSpec())
+        findings = flow.rep006_violations(graph)
+        assert rules_of(findings) == ["REP006"]
+        assert findings[0].path == "repro/serve/sync_ops.py"
+        assert "time.sleep" in findings[0].message
+
+    def test_flow_errors_degrade_to_fallback(self, monkeypatch):
+        from repro.verify import flow, repolint
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("scan failed")
+
+        monkeypatch.setattr(flow, "rep006_violations", boom)
+        assert repolint._flow_rep006() is None
+        # The full-package run still completes (per-file fallback).
+        assert repolint.lint_paths() == []
+
+
+class TestSuppressionInventory:
+    def test_comments_enumerated_per_rule(self):
+        from repro.verify.repolint import suppression_comments
+
+        source = (
+            "x = 1  # repolint: disable=REP001,REP002\n"
+            "# flowlint: disable-file=FL003\n"
+        )
+        entries = suppression_comments(source)
+        assert (1, "repolint", "REP001", False) in entries
+        assert (1, "repolint", "REP002", False) in entries
+        assert (2, "flowlint", "FL003", True) in entries
+
+    def test_docstring_mentions_are_not_comments(self):
+        from repro.verify.repolint import suppression_comments
+
+        source = (
+            '"""Shows `# repolint: disable=REP001` in docs."""\n'
+            "x = 1\n"
+        )
+        assert suppression_comments(source) == []
