@@ -13,6 +13,8 @@ Usage::
     python -m repro bench --quick --check # fast CI smoke + regression gate
     python -m repro serve --port 7717     # alignment-search service (TCP)
     python -m repro loadgen --requests 50 # benchmark a service (loopback)
+    python -m repro cluster up            # replicated serving (router + N)
+    python -m repro cluster restart       # zero-downtime rolling restart
     python -m repro lint-trace blast      # static trace invariant check
     python -m repro lint-trace --all -j 4 # lint every workload, in parallel
     python -m repro lint-code             # repo-specific AST lint (REP00x)
@@ -713,6 +715,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.loadgen import main_loadgen
 
         return main_loadgen(arguments[1:])
+    if arguments[0] == "cluster":
+        from repro.cluster.cli import main_cluster
+
+        return main_cluster(arguments[1:])
     if arguments[0] == "lint-trace":
         return _lint_trace_command(arguments[1:])
     if arguments[0] == "lint-code":

@@ -1,0 +1,42 @@
+"""Multi-replica serving tier: router, replication, zero-downtime ops.
+
+The cluster layer puts N :mod:`repro.serve` replica servers behind one
+router process speaking the identical JSON-lines protocol (clients are
+unchanged), adding:
+
+* least-loaded dispatch with consistent-hash affinity for cacheable
+  repeat queries (:mod:`repro.cluster.hashing`);
+* full shard replication — any replica answers any query, so results
+  are byte-identical to a standalone server;
+* backpressure propagation — replica admission sheds are retried
+  elsewhere, and the router sheds only when the whole cluster is
+  saturated (:mod:`repro.cluster.router`);
+* zero-downtime operations — health-checked ejection and rejoin,
+  graceful drain, rolling restart, and chaos-kill self-healing
+  (:mod:`repro.cluster.supervisor`), driven by the ``repro cluster``
+  CLI (:mod:`repro.cluster.cli`).
+
+See ``docs/cluster.md``.
+"""
+
+from repro.cluster.hashing import HashRing, affinity_key, stable_hash
+from repro.cluster.replicas import ReplicaGone, ReplicaHandle
+from repro.cluster.router import ClusterRouter, RouterConfig
+from repro.cluster.supervisor import (
+    ClusterConfig,
+    ClusterSupervisor,
+    free_port,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "HashRing",
+    "ReplicaGone",
+    "ReplicaHandle",
+    "RouterConfig",
+    "affinity_key",
+    "free_port",
+    "stable_hash",
+]

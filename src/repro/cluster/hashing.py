@@ -1,0 +1,94 @@
+"""Consistent hashing for query→replica affinity.
+
+The router prefers to send a repeated query back to the replica that
+served it before: every replica holds a full copy of the shard set, so
+*any* replica can answer *any* query, and affinity is purely a cache
+optimization — the preferred replica's runtime scan cache and
+worker-side engine memos are already warm for that query.
+
+A classic hash ring with virtual nodes gives the two properties the
+topology operations need:
+
+* **determinism** — the preferred replica for a key is a pure function
+  of the key and the replica set (seeded SHA-1, no process state), so
+  routers restart without losing affinity;
+* **minimal remapping** — removing one replica (drain, crash, scale
+  down) remaps only the keys that replica owned; every other key keeps
+  its warm cache.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+#: Virtual nodes per replica: enough to spread ownership evenly across
+#: single-digit replica counts without making ring edits expensive.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic 64-bit position for a key (seeded by content only)."""
+    digest = hashlib.sha1(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to replica names."""
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._points: list[tuple[int, str]] = []
+        self._members: set[str] = set()
+
+    def add(self, name: str) -> None:
+        """Join a replica (idempotent)."""
+        if name in self._members:
+            return
+        self._members.add(name)
+        for index in range(self.vnodes):
+            point = (stable_hash(f"{name}#{index}"), name)
+            bisect.insort(self._points, point)
+
+    def remove(self, name: str) -> None:
+        """Leave the ring (idempotent)."""
+        if name not in self._members:
+            return
+        self._members.discard(name)
+        self._points = [
+            point for point in self._points if point[1] != name
+        ]
+
+    def members(self) -> set[str]:
+        return set(self._members)
+
+    def lookup(self, key: str) -> str | None:
+        """The replica owning ``key`` (clockwise successor), or None."""
+        if not self._points:
+            return None
+        position = stable_hash(key)
+        index = bisect.bisect_right(
+            self._points, (position, "￿")
+        )
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+
+def affinity_key(data: dict) -> str:
+    """Affinity key for one decoded search payload.
+
+    Everything that shapes the cached scan participates — the query
+    text and id plus the scoring knobs — so two requests hit the same
+    replica exactly when the replica-side caches can serve the second
+    from the first.
+    """
+    return "|".join(
+        str(data.get(field, ""))
+        for field in (
+            "query", "query_id", "algorithm", "best_count",
+            "gap_open", "gap_extend", "threshold",
+        )
+    )

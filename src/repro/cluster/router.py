@@ -1,0 +1,494 @@
+"""The cluster router: dispatch, backpressure, health, aggregation.
+
+One asyncio process speaking the same JSON-lines protocol as a single
+``repro serve`` server, in front of N replica servers.  Clients do not
+change a line of code: a ``search`` sent to the router comes back with
+the same byte-identical ``result`` a standalone server would produce —
+the router adds availability (any replica can answer any query; a
+dying replica's in-flight work is redispatched) and capacity (load
+spreads by outstanding work).
+
+Dispatch policy
+===============
+
+* **Least-loaded**: among healthy replicas, pick the one with the
+  fewest outstanding requests — outstanding work is the most direct
+  congestion signal available without guessing at service times.
+* **Affinity**: cacheable repeat queries prefer their consistent-hash
+  owner (:mod:`repro.cluster.hashing`) as long as that replica is not
+  materially busier than the least-loaded one — warm scan caches and
+  engine memos beat perfect balance for hot-query traffic.
+* **Backpressure**: a replica that sheds (admission queue full or
+  draining) is marked saturated for a short backoff and the request is
+  *redispatched* to the next candidate; the router itself sheds only
+  when every healthy replica has refused or the cluster-wide
+  outstanding total reaches the summed replica admission capacities.
+  Overload therefore degrades exactly like a single server's admission
+  control — immediate retryable ``shed`` responses — instead of
+  queueing into timeouts.
+
+Health
+======
+
+A background loop pings every replica; consecutive failures (or an
+outright connection drop) eject the replica — out of the hash ring,
+out of the candidate set — while the loop keeps probing and rejoins it
+the moment it answers again.  Ejection is also triggered inline by the
+connection reader, so a killed replica stops receiving dispatches
+immediately, not at the next probe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass
+
+from repro.cluster.hashing import HashRing, affinity_key
+from repro.cluster.replicas import (
+    STATE_DRAINING,
+    STATE_EJECTED,
+    STATE_HEALTHY,
+    ReplicaGone,
+    ReplicaHandle,
+)
+from repro.serve.protocol import (
+    STATUS_SHED,
+    ProtocolError,
+    decode_line,
+    decode_search,
+    error_response,
+    shed_response,
+    timeout_response,
+)
+from repro.serve.telemetry import Telemetry, merge_snapshots
+
+#: Admission capacity assumed for replicas that predate the status op.
+DEFAULT_REPLICA_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Dispatch and health policy knobs."""
+
+    #: Prefer the consistent-hash owner for repeat queries.
+    affinity: bool = True
+    #: How many more outstanding requests the affinity owner may carry
+    #: than the least-loaded replica before balance wins over warmth.
+    affinity_slack: int = 8
+    #: Seconds a replica sits out of dispatch after shedding.
+    saturation_backoff: float = 0.05
+    #: Seconds between health probes.
+    health_interval: float = 0.5
+    #: Per-probe timeout.
+    health_timeout: float = 2.0
+    #: Consecutive probe failures before ejection.
+    health_failures: int = 2
+    #: Router-side guard timeout for requests with no deadline.
+    request_timeout: float = 35.0
+
+    def __post_init__(self) -> None:
+        if self.health_interval <= 0:
+            raise ValueError("health_interval must be positive")
+        if self.health_failures < 1:
+            raise ValueError("health_failures must be positive")
+
+
+class ClusterRouter:
+    """Routes the serve protocol across replica servers."""
+
+    def __init__(
+        self,
+        config: RouterConfig = RouterConfig(),
+        telemetry: Telemetry | None = None,
+        ops=None,
+    ) -> None:
+        self.config = config
+        self.telemetry = telemetry or Telemetry()
+        #: Supervisor hooks for admin actions (scale/drain/restart/
+        #: kill) and topology enrichment; ``None`` for a router over
+        #: externally-managed replicas.
+        self.ops = ops
+        self.replicas: dict[str, ReplicaHandle] = {}
+        self.ring = HashRing()
+        self.draining = False
+        self._health_task: asyncio.Task | None = None
+        self._failures: dict[str, int] = {}
+        self.requests_total = self.telemetry.counter(
+            "router.requests.total", "search requests received"
+        )
+        self.shed = self.telemetry.counter(
+            "router.requests.shed",
+            "requests shed because every replica was saturated",
+        )
+        self.redispatches = self.telemetry.counter(
+            "router.redispatches",
+            "busy-replica retries routed to another replica",
+        )
+        self.failovers = self.telemetry.counter(
+            "router.failovers",
+            "in-flight requests redispatched after a replica died",
+        )
+        self.ejections = self.telemetry.counter(
+            "router.replica.ejections", "replicas removed from dispatch"
+        )
+        self.rejoins = self.telemetry.counter(
+            "router.replica.rejoins", "ejected replicas readmitted"
+        )
+        self.request_latency = self.telemetry.histogram(
+            "router.request.latency",
+            "seconds from router receipt to response",
+        )
+
+    # -- membership ----------------------------------------------------
+
+    async def add_replica(
+        self, name: str, host: str, port: int
+    ) -> ReplicaHandle:
+        """Register a replica and try to bring it into dispatch."""
+        replica = ReplicaHandle(
+            name, host, port, on_disconnect=self._on_disconnect
+        )
+        self.replicas[name] = replica
+        self._failures[name] = 0
+        try:
+            await replica.connect()
+        except OSError:
+            replica.state = STATE_EJECTED
+            return replica
+        self.ring.add(name)
+        return replica
+
+    async def remove_replica(self, name: str) -> None:
+        """Forget a replica entirely (scale-down's last step)."""
+        replica = self.replicas.pop(name, None)
+        self._failures.pop(name, None)
+        self.ring.remove(name)
+        if replica is not None:
+            await replica.close()
+
+    def set_draining(self, name: str, draining: bool = True) -> None:
+        """Take a replica out of dispatch without closing it.
+
+        Rolling restarts drain one replica at a time: out of the ring
+        (affinity remaps with minimal disruption), out of the
+        candidate set, while its in-flight requests finish.
+        """
+        replica = self.replicas.get(name)
+        if replica is None:
+            return
+        if draining:
+            replica.state = STATE_DRAINING
+            self.ring.remove(name)
+        elif replica.state == STATE_DRAINING:
+            replica.state = (
+                STATE_HEALTHY if replica.connected else STATE_EJECTED
+            )
+            if replica.connected:
+                self.ring.add(name)
+
+    def _on_disconnect(self, replica: ReplicaHandle) -> None:
+        # Reader-task callback: a dropped connection ejects inline so
+        # dispatch stops immediately; the health loop handles rejoin.
+        if replica.state == STATE_EJECTED:
+            self.ring.remove(replica.name)
+            self.ejections.increment()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._health_task = asyncio.get_running_loop().create_task(
+            self._health_loop()
+        )
+
+    async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
+        for name in list(self.replicas):
+            await self.remove_replica(name)
+
+    async def __aenter__(self) -> "ClusterRouter":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- health --------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.health_interval)
+            await self.check_health()
+
+    async def check_health(self) -> None:
+        """One probe round: eject the unresponsive, rejoin the cured."""
+        for replica in list(self.replicas.values()):
+            if replica.state == STATE_HEALTHY:
+                try:
+                    await replica.request(
+                        {"op": "ping"},
+                        timeout=self.config.health_timeout,
+                    )
+                    self._failures[replica.name] = 0
+                except (ReplicaGone, asyncio.TimeoutError, OSError):
+                    count = self._failures.get(replica.name, 0) + 1
+                    self._failures[replica.name] = count
+                    if (
+                        count >= self.config.health_failures
+                        or not replica.connected
+                    ):
+                        replica.state = STATE_EJECTED
+                        self.ring.remove(replica.name)
+                        self.ejections.increment()
+            elif replica.state == STATE_EJECTED:
+                await self.try_rejoin(replica)
+
+    async def try_rejoin(self, replica: ReplicaHandle) -> None:
+        """Reconnect an ejected replica and readmit it to dispatch."""
+        await replica.close()
+        try:
+            await replica.connect()
+        except OSError:
+            replica.state = STATE_EJECTED
+            return
+        self._failures[replica.name] = 0
+        self.ring.add(replica.name)
+        self.rejoins.increment()
+
+    # -- dispatch ------------------------------------------------------
+
+    def _candidates(self, tried: set[str]) -> list[ReplicaHandle]:
+        return [
+            replica for replica in self.replicas.values()
+            if replica.state == STATE_HEALTHY
+            and replica.name not in tried
+        ]
+
+    def pick(
+        self, key: str, tried: set[str], now: float
+    ) -> ReplicaHandle | None:
+        """Choose the dispatch target for one attempt."""
+        candidates = self._candidates(tried)
+        if not candidates:
+            return None
+        # Saturation backoff is a soft hint: skip recently-shedding
+        # replicas while alternatives exist, but when *everyone* is
+        # marked, still try the least loaded — its queue may have
+        # drained, and its own admission control is the authority.
+        fresh = [
+            replica for replica in candidates
+            if replica.saturated_until <= now
+        ] or candidates
+        least = min(
+            fresh, key=lambda replica: (replica.outstanding, replica.name)
+        )
+        if self.config.affinity:
+            preferred_name = self.ring.lookup(key)
+            preferred = next(
+                (r for r in fresh if r.name == preferred_name), None
+            )
+            if (
+                preferred is not None
+                and preferred.outstanding
+                <= least.outstanding + self.config.affinity_slack
+            ):
+                return preferred
+        return least
+
+    def total_outstanding(self) -> int:
+        return sum(
+            replica.outstanding for replica in self.replicas.values()
+        )
+
+    def total_capacity(self) -> int:
+        """Summed admission capacities of dispatchable replicas."""
+        return sum(
+            replica.queue_capacity or DEFAULT_REPLICA_CAPACITY
+            for replica in self.replicas.values()
+            if replica.state == STATE_HEALTHY
+        )
+
+    def _request_timeout(self, data: dict) -> float:
+        timeout = data.get("timeout")
+        if isinstance(timeout, (int, float)) and timeout > 0:
+            # The replica answers `timeout` itself at the deadline;
+            # the slack only guards against a hung replica.
+            return float(timeout) + 5.0
+        return self.config.request_timeout
+
+    async def dispatch_search(self, data: dict) -> dict:
+        """Route one search, redispatching around busy/dead replicas."""
+        request_id = str(data.get("id", ""))
+        self.requests_total.increment()
+        loop = asyncio.get_running_loop()
+        began = loop.time()
+        if self.draining:
+            return shed_response(request_id, reason="cluster draining")
+        if (
+            self.replicas
+            and self.total_outstanding() >= self.total_capacity()
+        ):
+            # Backpressure propagation: replica admission queues are
+            # collectively full, so shed at the door instead of
+            # queueing the request into a guaranteed timeout.
+            self.shed.increment()
+            return shed_response(request_id, reason="saturated")
+        key = affinity_key(data)
+        tried: set[str] = set()
+        while True:
+            replica = self.pick(key, tried, loop.time())
+            if replica is None:
+                self.shed.increment()
+                return shed_response(request_id, reason="saturated")
+            tried.add(replica.name)
+            replica.dispatched_total += 1
+            self.telemetry.counter(
+                "router.dispatched",
+                "requests dispatched per replica",
+                labels={"replica": replica.name},
+            ).increment()
+            try:
+                response = await replica.request(
+                    data, timeout=self._request_timeout(data)
+                )
+            except ReplicaGone:
+                # The replica died with our request in flight; searches
+                # are deterministic and idempotent, so redispatching is
+                # always safe and the client never sees the crash.
+                self.failovers.increment()
+                continue
+            except asyncio.TimeoutError:
+                return timeout_response(request_id)
+            if response.get("status") == STATUS_SHED:
+                replica.shed_total += 1
+                replica.saturated_until = (
+                    loop.time() + self.config.saturation_backoff
+                )
+                self.redispatches.increment()
+                continue
+            response["id"] = request_id
+            response["replica"] = replica.name
+            self.request_latency.observe(loop.time() - began)
+            return response
+
+    # -- protocol ------------------------------------------------------
+
+    async def handle_line(self, line: str) -> dict:
+        """One wire line in, one response out (never raises)."""
+        try:
+            data = decode_line(line)
+        except ProtocolError as error:
+            return error_response("", str(error))
+        request_id = str(data.get("id", ""))
+        operation = data.get("op", "search")
+        if operation == "ping":
+            return {"id": request_id, "status": "ok", "op": "ping"}
+        if operation == "status":
+            return {
+                "id": request_id,
+                "status": "ok",
+                "cluster": self.topology(),
+            }
+        if operation == "telemetry":
+            return {
+                "id": request_id,
+                "status": "ok",
+                "telemetry": await self.aggregate_telemetry(),
+            }
+        if operation == "admin":
+            return await self.handle_admin(data)
+        try:
+            decode_search(data)
+        except ProtocolError as error:
+            return error_response(request_id, str(error))
+        return await self.dispatch_search(data)
+
+    def topology(self) -> dict:
+        """Cluster status: one row per replica plus totals."""
+        rows = [
+            self.replicas[name].describe()
+            for name in sorted(self.replicas)
+        ]
+        if self.ops is not None:
+            self.ops.enrich_topology(rows)
+        healthy = sum(
+            1 for row in rows if row["state"] == STATE_HEALTHY
+        )
+        return {
+            "replicas": rows,
+            "healthy": healthy,
+            "total": len(rows),
+            "draining": self.draining,
+            "outstanding": self.total_outstanding(),
+            "capacity": self.total_capacity(),
+        }
+
+    async def aggregate_telemetry(self) -> dict:
+        """Router + per-replica + merged cluster-wide telemetry.
+
+        Replica snapshots are fetched with their histogram sample
+        windows so the aggregate's percentiles are computed over the
+        pooled samples with the shared nearest-rank definition — then
+        the samples are stripped from the per-replica view to keep the
+        response lean.
+        """
+        snapshots: dict[str, dict] = {}
+        for name in sorted(self.replicas):
+            replica = self.replicas[name]
+            if replica.state not in (STATE_HEALTHY, STATE_DRAINING):
+                continue
+            try:
+                answer = await replica.request(
+                    {"op": "telemetry", "samples": True},
+                    timeout=self.config.health_timeout,
+                )
+            except (ReplicaGone, asyncio.TimeoutError, OSError):
+                continue
+            snapshots[name] = answer.get("telemetry", {})
+        aggregate = merge_snapshots(list(snapshots.values()))
+        for snapshot in snapshots.values():
+            for shaped in snapshot.get("histograms", {}).values():
+                shaped.pop("samples", None)
+        return {
+            "router": self.telemetry.snapshot(),
+            "replicas": snapshots,
+            "aggregate": aggregate,
+        }
+
+    async def handle_admin(self, data: dict) -> dict:
+        """Control-channel actions (``repro cluster`` subcommands)."""
+        request_id = str(data.get("id", ""))
+        action = data.get("action", "status")
+        if action == "status":
+            return {
+                "id": request_id,
+                "status": "ok",
+                "cluster": self.topology(),
+            }
+        if self.ops is None:
+            return error_response(
+                request_id,
+                f"admin action {action!r} needs a supervised cluster "
+                "(repro cluster up)",
+            )
+        try:
+            if action == "scale":
+                count = int(data.get("replicas", 0))
+                result = await self.ops.scale(count)
+            elif action == "drain":
+                result = await self.ops.drain()
+            elif action == "restart":
+                result = await self.ops.rolling_restart()
+            elif action == "kill":
+                result = await self.ops.kill(str(data.get("replica", "")))
+            else:
+                return error_response(
+                    request_id, f"unknown admin action {action!r}"
+                )
+        except ValueError as error:
+            return error_response(request_id, str(error))
+        return {"id": request_id, "status": "ok", **result}

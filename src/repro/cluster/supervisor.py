@@ -1,0 +1,341 @@
+"""Cluster supervisor: replica processes and zero-downtime operations.
+
+``repro cluster up`` runs one supervisor process hosting the router's
+event loop; each replica is a separate OS process (multiprocessing
+``spawn``) running the ordinary ``repro serve`` TCP server with a
+``--replica-label``.  The supervisor owns the topology operations the
+router's admin channel exposes:
+
+* **scale** — spawn new replicas (joined once healthy) or drain and
+  retire the highest-numbered ones;
+* **drain** — stop dispatching cluster-wide, let in-flight work
+  finish, then gracefully stop every replica and exit;
+* **rolling restart** — one replica at a time: out of dispatch, wait
+  for its in-flight requests, SIGTERM (the serve layer's drain
+  handler), relaunch, wait healthy, rejoin — traffic keeps flowing on
+  the others throughout;
+* **kill** — SIGKILL a replica (chaos testing); the watcher respawns
+  it and the router rejoins it, so the cluster self-heals.
+
+A watcher task restarts replicas that die *unexpectedly* (bounded by
+``max_restarts``); intentional stops (drain, restart, scale-down) are
+flagged so the watcher leaves them alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing
+import socket
+import sys
+from dataclasses import dataclass, field
+
+from repro.cluster.replicas import STATE_EJECTED, STATE_HEALTHY
+from repro.cluster.router import ClusterRouter, RouterConfig
+
+
+def _replica_entry(argv: list[str]) -> None:
+    """Spawn target: run one replica server (its own event loop)."""
+    from repro.serve.server import main_serve
+
+    sys.exit(main_serve(argv))
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (bind-and-release)."""
+    with socket.socket() as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology shape for one supervised cluster."""
+
+    replicas: int = 3
+    host: str = "127.0.0.1"
+    #: Router port (0 picks a free one).
+    port: int = 0
+    #: Raw ``repro serve`` flags every replica is launched with.
+    serve_args: tuple[str, ...] = ()
+    router: RouterConfig = field(default_factory=RouterConfig)
+    #: Seconds to wait for a spawned replica to come up healthy.
+    spawn_timeout: float = 60.0
+    #: Seconds a drain waits for in-flight requests.
+    drain_grace: float = 30.0
+    #: Unexpected-death respawns per replica before giving up.
+    max_restarts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("need at least one replica")
+
+
+@dataclass
+class ReplicaProcess:
+    """One supervised replica OS process."""
+
+    name: str
+    port: int
+    process: multiprocessing.process.BaseProcess | None = None
+    #: Should this replica be running?  Scale-down/drain clear it so
+    #: the watcher does not resurrect an intentional stop.
+    desired: bool = True
+    #: A planned stop (rolling restart) is in progress.
+    stopping: bool = False
+    #: Unexpected-death respawns performed by the watcher.
+    restarts: int = 0
+    #: Planned relaunches (rolling restarts) completed.
+    generation: int = 0
+
+
+class ClusterSupervisor:
+    """Owns replica processes and serves the router in-process."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.router = ClusterRouter(config.router, ops=self)
+        self.specs: dict[str, ReplicaProcess] = {}
+        self.shutdown = asyncio.Event()
+        self._context = multiprocessing.get_context("spawn")
+        self._watch_task: asyncio.Task | None = None
+        self._ops_lock = asyncio.Lock()
+
+    # -- process plumbing ---------------------------------------------
+
+    def _spawn(self, spec: ReplicaProcess) -> None:
+        argv = [
+            "--host", self.config.host,
+            "--port", str(spec.port),
+            "--replica-label", spec.name,
+            *self.config.serve_args,
+        ]
+        spec.process = self._context.Process(
+            target=_replica_entry, args=(argv,), name=spec.name
+        )
+        spec.process.start()
+
+    async def _stop_process(
+        self, spec: ReplicaProcess, graceful: bool = True
+    ) -> None:
+        """Terminate one replica process (SIGTERM drains, SIGKILL not)."""
+        process = spec.process
+        if process is None:
+            return
+        if process.is_alive():
+            if graceful:
+                process.terminate()
+            else:
+                process.kill()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, process.join, 10.0)
+        if process.is_alive():
+            process.kill()
+            await loop.run_in_executor(None, process.join, 5.0)
+        spec.process = None
+
+    async def _await_healthy(
+        self, name: str, timeout: float | None = None
+    ) -> bool:
+        """Poll/rejoin until the replica answers, or time out."""
+        if timeout is None:
+            timeout = self.config.spawn_timeout
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        replica = self.router.replicas.get(name)
+        while loop.time() < deadline:
+            if replica is None:
+                replica = await self.router.add_replica(
+                    name, self.config.host, self.specs[name].port
+                )
+            if replica.state == STATE_HEALTHY:
+                return True
+            replica.state = STATE_EJECTED
+            await self.router.try_rejoin(replica)
+            if replica.state == STATE_HEALTHY:
+                return True
+            await asyncio.sleep(0.2)
+        return False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the topology and wait until every replica serves."""
+        for index in range(self.config.replicas):
+            name = f"r{index}"
+            spec = ReplicaProcess(name, free_port(self.config.host))
+            self.specs[name] = spec
+            self._spawn(spec)
+        await self.router.start()
+        failures = []
+        for name in sorted(self.specs):
+            if not await self._await_healthy(name):
+                failures.append(name)
+        if failures:
+            await self.stop()
+            raise RuntimeError(
+                f"replicas never became healthy: {', '.join(failures)}"
+            )
+        self._watch_task = asyncio.get_running_loop().create_task(
+            self._watch_loop()
+        )
+
+    async def stop(self) -> None:
+        """Tear everything down (drain() is the graceful road here)."""
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._watch_task
+            self._watch_task = None
+        await self.router.stop()
+        for spec in self.specs.values():
+            spec.desired = False
+            await self._stop_process(spec, graceful=True)
+
+    # -- watcher -------------------------------------------------------
+
+    async def _watch_loop(self) -> None:
+        """Respawn replicas that die unexpectedly (self-healing)."""
+        while True:
+            await asyncio.sleep(0.3)
+            for spec in list(self.specs.values()):
+                if not spec.desired or spec.stopping:
+                    continue
+                process = spec.process
+                if process is not None and process.is_alive():
+                    continue
+                if spec.restarts >= self.config.max_restarts:
+                    continue
+                spec.restarts += 1
+                if process is not None:
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, process.join, 1.0
+                    )
+                self._spawn(spec)
+                # The router's health loop rejoins the replica once
+                # the relaunched process answers; nothing to do here.
+
+    # -- admin operations (router.ops hooks) --------------------------
+
+    def enrich_topology(self, rows: list[dict]) -> None:
+        """Add process facts to the router's topology rows."""
+        for row in rows:
+            spec = self.specs.get(row["name"])
+            if spec is None:
+                continue
+            process = spec.process
+            row["pid"] = process.pid if process is not None else None
+            row["alive"] = (
+                process.is_alive() if process is not None else False
+            )
+            row["restarts"] = spec.restarts
+            row["generation"] = spec.generation
+
+    async def scale(self, count: int) -> dict:
+        """Grow or shrink the replica set to ``count``."""
+        if count < 1:
+            raise ValueError("scale target must be at least 1")
+        async with self._ops_lock:
+            current = [
+                name for name, spec in sorted(self.specs.items())
+                if spec.desired
+            ]
+            added, removed = [], []
+            next_index = 0
+            while len(current) + len(added) < count:
+                while f"r{next_index}" in self.specs:
+                    next_index += 1
+                name = f"r{next_index}"
+                spec = ReplicaProcess(
+                    name, free_port(self.config.host)
+                )
+                self.specs[name] = spec
+                self._spawn(spec)
+                added.append(name)
+            for name in added:
+                if not await self._await_healthy(name):
+                    raise ValueError(
+                        f"new replica {name} never became healthy"
+                    )
+            # Shrink from the top so names stay dense and stable.
+            for name in reversed(current):
+                if len(current) - len(removed) <= count:
+                    break
+                await self._retire(name)
+                removed.append(name)
+            return {
+                "replicas": count, "added": added, "removed": removed
+            }
+
+    async def _retire(self, name: str) -> None:
+        """Drain one replica out of existence (scale-down)."""
+        spec = self.specs[name]
+        spec.desired = False
+        spec.stopping = True
+        self.router.set_draining(name)
+        replica = self.router.replicas.get(name)
+        if replica is not None:
+            await replica.wait_drained(self.config.drain_grace)
+        await self._stop_process(spec, graceful=True)
+        await self.router.remove_replica(name)
+        del self.specs[name]
+
+    async def drain(self) -> dict:
+        """Cluster-wide graceful drain; the up-loop exits afterwards."""
+        async with self._ops_lock:
+            self.router.draining = True
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.config.drain_grace
+            while (
+                self.router.total_outstanding() > 0
+                and loop.time() < deadline
+            ):
+                await asyncio.sleep(0.02)
+            for name in sorted(self.specs):
+                spec = self.specs[name]
+                spec.desired = False
+                spec.stopping = True
+                await self._stop_process(spec, graceful=True)
+            self.shutdown.set()
+            return {"drained": True, "replicas": len(self.specs)}
+
+    async def rolling_restart(self) -> dict:
+        """Restart every replica one at a time, never dropping traffic."""
+        async with self._ops_lock:
+            restarted = []
+            for name in sorted(self.specs):
+                spec = self.specs[name]
+                if not spec.desired:
+                    continue
+                spec.stopping = True
+                self.router.set_draining(name)
+                replica = self.router.replicas.get(name)
+                if replica is not None:
+                    await replica.wait_drained(self.config.drain_grace)
+                await self._stop_process(spec, graceful=True)
+                self._spawn(spec)
+                spec.generation += 1
+                if replica is not None:
+                    replica.state = STATE_EJECTED
+                if not await self._await_healthy(name):
+                    spec.stopping = False
+                    raise ValueError(
+                        f"replica {name} never came back after restart"
+                    )
+                spec.stopping = False
+                restarted.append(name)
+            return {"restarted": restarted}
+
+    async def kill(self, name: str) -> dict:
+        """Chaos: SIGKILL one replica (no drain, no warning).
+
+        The router redispatches its in-flight requests, the watcher
+        respawns the process, and the health loop rejoins it — the
+        full failover-and-heal path a chaos test wants to exercise.
+        """
+        spec = self.specs.get(name)
+        if spec is None or spec.process is None:
+            raise ValueError(f"no such replica: {name!r}")
+        spec.process.kill()
+        return {"killed": name, "pid": spec.process.pid}

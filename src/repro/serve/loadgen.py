@@ -19,6 +19,14 @@ twice — once with the configured batch size, once with batch size N —
 and reports the throughput ratio; ``--require-speedup X`` turns that
 ratio into an exit code for CI.
 
+``--targets a:p,b:q`` opens one connection per address and deals the
+workload round-robin (drive a whole cluster's replicas, or its router
+plus a control server, with one deterministic schedule).
+``--require-p99-ms D`` prints a p99-deadline-compliance line and turns
+it into an exit code, so the cluster chaos gate is a one-liner:
+open-loop rate, kill a replica mid-run, require zero failures
+(``--fail-on-error``) and p99 within the deadline.
+
 Latency percentiles use the same nearest-rank definition as the run
 reports and the service telemetry
 (:func:`repro.runtime.metrics.percentiles`).
@@ -102,6 +110,32 @@ class LoopbackClient:
 
     async def close(self) -> None:
         return None
+
+
+class MultiTargetClient:
+    """Round-robins requests across several connected clients.
+
+    This is how a cluster acceptance run drives the topology: one
+    connection per target (usually just the router; optionally each
+    replica directly) with payloads dealt in arrival order, so every
+    target sees an interleaved slice of the same deterministic
+    workload.
+    """
+
+    def __init__(self, clients: list) -> None:
+        if not clients:
+            raise ValueError("need at least one target client")
+        self.clients = clients
+        self._next = 0
+
+    async def request(self, payload: dict) -> dict:
+        client = self.clients[self._next % len(self.clients)]
+        self._next += 1
+        return await client.request(payload)
+
+    async def close(self) -> None:
+        for client in self.clients:
+            await client.close()
 
 
 class TcpClient:
@@ -208,7 +242,7 @@ def summarize(outcome: dict, args, batch_size: int) -> dict:
     latencies = outcome["latencies"]
     mean = sum(latencies) / len(latencies) if latencies else 0.0
     wall_time = outcome["wall_time"]
-    return {
+    report = {
         "mode": "open" if args.rate else "closed",
         "requests": len(latencies),
         "concurrency": args.concurrency,
@@ -236,6 +270,31 @@ def summarize(outcome: dict, args, batch_size: int) -> dict:
                 for point, value in percentiles(latencies).items()
             },
         },
+    }
+    limit_ms = getattr(args, "require_p99_ms", None)
+    if limit_ms is not None:
+        report["deadline"] = deadline_compliance(
+            report, latencies, limit_ms
+        )
+    return report
+
+
+def deadline_compliance(report: dict, latencies: list[float], limit_ms: float) -> dict:
+    """p99-vs-deadline summary: the cluster acceptance gate's shape.
+
+    ``compliant`` is the gate (`--require-p99-ms`): nearest-rank p99
+    latency at or under the deadline.  ``within_pct`` reports how much
+    of the whole run met the deadline, which diagnoses *how* a miss
+    happened (a fat tail vs a shifted distribution).
+    """
+    p99_ms = report["latency"].get("p99", 0.0) * 1e3
+    within = sum(1 for value in latencies if value * 1e3 <= limit_ms)
+    total = len(latencies)
+    return {
+        "limit_ms": limit_ms,
+        "p99_ms": round(p99_ms, 3),
+        "within_pct": round(100.0 * within / total if total else 0.0, 2),
+        "compliant": p99_ms <= limit_ms,
     }
 
 
@@ -312,8 +371,14 @@ async def best_of(args, batch_size: int) -> dict:
     return best
 
 
-async def run_connect(args, host: str, port: int) -> dict:
-    """Drive a remote server over TCP."""
+def parse_address(address: str) -> tuple[str, int]:
+    """``host:port`` (host optional) into a connectable pair."""
+    host, _, port = address.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+async def run_connect(args, addresses: list[tuple[str, int]]) -> dict:
+    """Drive one or more remote servers over TCP (round-robin)."""
     database = SyntheticDatabaseConfig(
         sequence_count=args.db_sequences,
         seed=args.db_seed,
@@ -328,18 +393,39 @@ async def run_connect(args, host: str, port: int) -> dict:
         args.query_length, args.algorithm, args.seed,
         threshold=args.threshold,
     )
-    client = await TcpClient.connect(host, port)
+    clients = [
+        await TcpClient.connect(host, port) for host, port in addresses
+    ]
+    client = (
+        clients[0] if len(clients) == 1 else MultiTargetClient(clients)
+    )
     try:
         outcome = await drive(
             client, requests, args.concurrency, args.rate, args.seed
         )
         report = summarize(outcome, args, args.batch_size)
-        telemetry = await client.request(
-            {"op": "telemetry", "id": "loadgen-telemetry"}
-        )
-        report["telemetry"] = telemetry.get("telemetry", {})
+        if len(clients) == 1:
+            telemetry = await clients[0].request(
+                {"op": "telemetry", "id": "loadgen-telemetry"}
+            )
+            report["telemetry"] = telemetry.get("telemetry", {})
+        else:
+            report["targets"] = [
+                f"{host}:{port}" for host, port in addresses
+            ]
+            report["telemetry"] = {}
+            for (host, port), target in zip(addresses, clients):
+                telemetry = await target.request(
+                    {"op": "telemetry", "id": f"loadgen-{host}:{port}"}
+                )
+                report["telemetry"][f"{host}:{port}"] = telemetry.get(
+                    "telemetry", {}
+                )
     finally:
-        await client.close()
+        if len(clients) == 1:
+            await clients[0].close()
+        else:
+            await client.close()
     return report
 
 
@@ -372,6 +458,17 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--connect", default=None, metavar="HOST:PORT",
         help="drive a running server instead of a loopback service",
+    )
+    parser.add_argument(
+        "--targets", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="drive several running servers round-robin (e.g. every "
+             "replica of a cluster, or the router plus a control); "
+             "supersedes --connect",
+    )
+    parser.add_argument(
+        "--require-p99-ms", type=float, default=None, metavar="MS",
+        help="deadline-compliance gate: report p99 vs this deadline "
+             "and exit non-zero when p99 exceeds it",
     )
     parser.add_argument(
         "--requests", type=int, default=100,
@@ -440,11 +537,15 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     async def run() -> tuple[dict, int]:
-        if args.connect is not None:
+        if args.targets is not None or args.connect is not None:
             if args.compare_batch_size is not None:
                 parser.error("--compare-batch-size needs --loopback mode")
-            host, _, port = args.connect.rpartition(":")
-            report = await run_connect(args, host or "127.0.0.1", int(port))
+            raw = args.targets if args.targets is not None else args.connect
+            addresses = [
+                parse_address(part)
+                for part in raw.split(",") if part.strip()
+            ]
+            report = await run_connect(args, addresses)
         else:
             report = await best_of(args, args.batch_size)
             if args.compare_batch_size is not None:
@@ -475,10 +576,21 @@ def main_loadgen(argv: list[str] | None = None) -> int:
             and comparison["speedup"] < args.require_speedup
         ):
             status = 1
+        deadline = report.get("deadline")
+        if deadline is not None and not deadline["compliant"]:
+            status = 1
         return report, status
 
     report, status = asyncio.run(run())
     print(format_summary(report))
+    deadline = report.get("deadline")
+    if deadline is not None:
+        verdict = "OK" if deadline["compliant"] else "MISS"
+        print(
+            f"p99 deadline {deadline['limit_ms']:.0f}ms: {verdict} "
+            f"(p99={deadline['p99_ms']:.1f}ms, "
+            f"{deadline['within_pct']:.1f}% of requests within deadline)"
+        )
     comparison = report.get("comparison")
     if comparison is not None:
         print(

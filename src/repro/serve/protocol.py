@@ -7,6 +7,7 @@ Request operations::
 
     {"op": "ping", "id": "1"}
     {"op": "telemetry", "id": "2"}
+    {"op": "status", "id": "4"}
     {"op": "search", "id": "3", "query": "MKTAYIAK...",
      "query_id": "sp|P00762", "algorithm": "blast",
      "best_count": 500, "gap_open": 10, "gap_extend": 1,
@@ -19,10 +20,16 @@ speed.  ``timeout`` is the per-request deadline in seconds (server
 default applies when absent).
 
 Responses carry ``status``: ``ok`` (with ``result``), ``shed`` (queue
-full — the 429 analogue), ``timeout`` (deadline expired before the
-search finished), or ``error`` (with ``error`` text).  ``ok`` search
-responses embed a ranked hit list in the
-:func:`repro.align.batch.result_to_dict` shape.
+full or draining — the 429 analogue, with a ``reason``), ``timeout``
+(deadline expired before the search finished), or ``error`` (with
+``error`` text).  ``ok`` search responses embed a ranked hit list in
+the :func:`repro.align.batch.result_to_dict` shape.
+
+``status`` reports liveness/load (in-flight count, queue depth,
+draining flag) — the cluster router uses it for admission capacity
+discovery, and ``repro cluster status`` renders it.  ``admin`` is the
+router's control channel (``repro cluster {scale,drain,restart}``);
+plain replicas answer it with an error.
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ STATUS_TIMEOUT = "timeout"
 STATUS_ERROR = "error"
 
 #: Request operations.
-OPS = ("search", "telemetry", "ping")
+OPS = ("search", "telemetry", "ping", "status", "admin")
 
 
 class ProtocolError(ValueError):
@@ -115,11 +122,19 @@ def ok_response(request_id: str, result: dict, **extra) -> dict:
     }
 
 
-def shed_response(request_id: str) -> dict:
-    """Load-shedding rejection (the HTTP 429 analogue)."""
+def shed_response(request_id: str, reason: str | None = None) -> dict:
+    """Load-shedding rejection (the HTTP 429 analogue).
+
+    ``reason`` distinguishes *why* the request was refused — a full
+    admission queue (``overloaded``) versus a draining server
+    (``draining``) versus a saturated cluster (``saturated``).  Either
+    way the request is retryable: the cluster router redispatches shed
+    responses to other replicas before giving up.
+    """
     return {
         "id": request_id,
         "status": STATUS_SHED,
+        "reason": reason or "overloaded",
         "error": "server overloaded; retry later",
     }
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import signal
 import sys
 from dataclasses import dataclass, field
 
@@ -62,6 +63,12 @@ class ServeConfig:
     #: path degrade to memo lookups.  The CLI turns this on; tests
     #: constructing configs directly keep fast startup by default.
     precompute: bool = False
+    #: Replica name for telemetry labelling (``repro cluster`` sets it
+    #: per replica process so Prometheus series and aggregated
+    #: snapshots stay distinguishable); ``None`` means standalone.
+    replica: str | None = None
+    #: Seconds a drain waits for in-flight requests before giving up.
+    drain_grace: float = 30.0
 
 
 class AlignmentService:
@@ -73,18 +80,29 @@ class AlignmentService:
         telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
-        self.telemetry = telemetry or Telemetry()
+        if telemetry is None:
+            labels = (
+                {"replica": config.replica} if config.replica else None
+            )
+            telemetry = Telemetry(labels=labels)
+        self.telemetry = telemetry
         self.runtime: ExperimentRuntime | None = None
         self.admission: AdmissionController | None = None
         self.backend: ShardSearchBackend | None = None
         self.batcher: DynamicBatcher | None = None
         self._batch_task: asyncio.Task | None = None
+        self.draining = False
+        self._inflight = 0
         self.request_latency = self.telemetry.histogram(
             "serve.request.latency",
             "seconds from admission to response",
         )
         self.requests_total = self.telemetry.counter(
             "serve.requests.total", "search requests received"
+        )
+        self.inflight = self.telemetry.gauge(
+            "serve.requests.inflight",
+            "admitted requests not yet answered",
         )
 
     async def start(self) -> None:
@@ -133,6 +151,26 @@ class AlignmentService:
             self.runtime.close()
             self.runtime = None
 
+    async def drain(self, grace: float | None = None) -> None:
+        """Graceful drain: stop admitting, flush in-flight, shut down.
+
+        New search submissions shed immediately (``reason=draining`` —
+        the cluster router redispatches them to live replicas); batches
+        already queued or executing run to completion.  Returns once
+        every in-flight request has been answered or ``grace`` seconds
+        elapsed, with the batching loop and worker pool stopped either
+        way.  Idempotent: the SIGTERM handler and the cluster
+        supervisor may both call it.
+        """
+        self.draining = True
+        if grace is None:
+            grace = self.config.drain_grace
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, grace)
+        while self._inflight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        await self.stop()
+
     async def __aenter__(self) -> "AlignmentService":
         await self.start()
         return self
@@ -156,8 +194,21 @@ class AlignmentService:
             return {
                 "id": request_id,
                 "status": "ok",
-                "telemetry": self.telemetry.snapshot(),
+                "telemetry": self.telemetry.snapshot(
+                    include_samples=bool(data.get("samples"))
+                ),
             }
+        if operation == "status":
+            return {
+                "id": request_id,
+                "status": "ok",
+                "serve": self.describe(),
+            }
+        if operation == "admin":
+            return error_response(
+                request_id,
+                "admin operations need the cluster router, not a replica",
+            )
         try:
             request = decode_search(data)
         except ProtocolError as error:
@@ -168,12 +219,19 @@ class AlignmentService:
         """Admit one search request and await its response."""
         assert self.admission is not None, "service not started"
         self.requests_total.increment()
+        if self.draining:
+            # Drain semantics: refuse new work with a retryable signal
+            # so a router can redispatch it, while in-flight requests
+            # keep running to completion.
+            return shed_response(request.request_id, reason="draining")
         loop = asyncio.get_running_loop()
         now = loop.time()
         try:
             pending = self.admission.submit(request, now)
         except QueueFull:
             return shed_response(request.request_id)
+        self._inflight += 1
+        self.inflight.set(self._inflight)
         expiry = None
         if pending.deadline is not None:
             # A timer handle is far cheaper than a wait_for task per
@@ -188,8 +246,24 @@ class AlignmentService:
         finally:
             if expiry is not None:
                 expiry.cancel()
+            self._inflight -= 1
+            self.inflight.set(self._inflight)
         self.request_latency.observe(loop.time() - now)
         return response
+
+    def describe(self) -> dict:
+        """Liveness/load summary for the ``status`` op."""
+        return {
+            "replica": self.config.replica,
+            "draining": self.draining,
+            "inflight": self._inflight,
+            "queue_depth": (
+                self.admission.queue.qsize() if self.admission else 0
+            ),
+            "queue_capacity": self.config.queue_capacity,
+            "shards": self.config.shard_count,
+            "jobs": self.config.jobs,
+        }
 
 
 def _expire_pending(pending) -> None:
@@ -236,6 +310,11 @@ async def serve_tcp(
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            # server.close() cancels connection handlers at shutdown;
+            # fall through to flush in-flight answers and close the
+            # socket instead of dying mid-teardown with a traceback.
+            pass
         finally:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
@@ -283,6 +362,8 @@ def build_config(args) -> ServeConfig:
         default_timeout=args.timeout if args.timeout > 0 else None,
         cache_dir=args.cache_dir,
         precompute=args.precompute,
+        replica=getattr(args, "replica_label", None),
+        drain_grace=getattr(args, "drain_grace", 30.0),
     )
 
 
@@ -331,6 +412,15 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="expand the full BLAST word table in each worker at "
              "startup (adds ~0.6s/worker, makes query compiles cheap)",
     )
+    parser.add_argument(
+        "--replica-label", default=None, metavar="NAME",
+        help="label telemetry with replica=NAME (cluster replicas)",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=30.0,
+        help="seconds a graceful drain (SIGTERM) waits for in-flight "
+             "requests before shutting down anyway (default 30)",
+    )
 
 
 def main_serve(argv: list[str] | None = None) -> int:
@@ -362,9 +452,27 @@ def main_serve(argv: list[str] | None = None) -> int:
                 f"batch={args.batch_size})",
                 flush=True,
             )
-            async with server:
-                with contextlib.suppress(asyncio.CancelledError):
-                    await server.serve_forever()
+            # SIGTERM/SIGINT trigger a graceful drain, not loop
+            # teardown: stop accepting, shed new submissions with a
+            # retryable signal, flush in-flight batches, then exit.
+            # The cluster's rolling restart and `repro cluster drain`
+            # both depend on this path answering every admitted
+            # request before the process dies.
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError):
+                    loop.add_signal_handler(signum, stop.set)
+            try:
+                await stop.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.drain()
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    with contextlib.suppress(NotImplementedError):
+                        loop.remove_signal_handler(signum)
+            print("drained: in-flight flushed, exiting", flush=True)
             return 0
 
     try:

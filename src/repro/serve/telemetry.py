@@ -12,6 +12,15 @@ op and loadgen report artifacts) and Prometheus text exposition (for
 scraping).  Instruments are plain objects guarded by the event loop —
 the service mutates them only from coroutine context — but nothing
 here awaits, so they are equally usable from synchronous code.
+
+Labels: a registry may carry process-wide labels (every cluster
+replica runs with ``labels={"replica": "r0"}``) and individual
+instruments may carry their own (the router keeps one dispatch counter
+per replica).  Both render as ordinary Prometheus label blocks, and
+:func:`merge_snapshots` folds many labelled replica snapshots into one
+cluster-wide aggregate — summing counters and gauges, and re-deriving
+histogram percentiles from the pooled sample windows via the shared
+``percentiles`` definition.
 """
 
 from __future__ import annotations
@@ -22,12 +31,28 @@ from collections import deque
 from repro.runtime.metrics import DEFAULT_PERCENTILES, percentiles
 
 
+def _label_suffix(labels: dict[str, str] | None) -> str:
+    """Render instrument labels into the registry/snapshot key."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{value}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
 class Counter:
     """Monotonically increasing count (requests, errors, sheds)."""
 
-    def __init__(self, name: str, help_text: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: dict[str, str] | None = None,
+    ) -> None:
         self.name = name
         self.help_text = help_text
+        self.labels = dict(labels) if labels else {}
         self.value = 0
 
     def increment(self, amount: int = 1) -> None:
@@ -43,9 +68,15 @@ class Counter:
 class Gauge:
     """Instantaneous level (queue depth, in-flight batches)."""
 
-    def __init__(self, name: str, help_text: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: dict[str, str] | None = None,
+    ) -> None:
         self.name = name
         self.help_text = help_text
+        self.labels = dict(labels) if labels else {}
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -68,10 +99,15 @@ class Histogram:
     """
 
     def __init__(
-        self, name: str, help_text: str = "", window: int = 4096
+        self,
+        name: str,
+        help_text: str = "",
+        window: int = 4096,
+        labels: dict[str, str] | None = None,
     ) -> None:
         self.name = name
         self.help_text = help_text
+        self.labels = dict(labels) if labels else {}
         self.count = 0
         self.total = 0.0
         self.samples: deque[float] = deque(maxlen=window)
@@ -88,9 +124,9 @@ class Histogram:
         """Nearest-rank percentiles over the retained window."""
         return percentiles(list(self.samples), points)
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_samples: bool = False) -> dict:
         mean = self.total / self.count if self.count else 0.0
-        return {
+        shaped = {
             "count": self.count,
             "total": round(self.total, 6),
             "mean": round(mean, 6),
@@ -99,57 +135,92 @@ class Histogram:
                 for point, value in self.percentiles().items()
             },
         }
+        if include_samples:
+            # The windowed samples travel with the snapshot so a
+            # downstream aggregator (the cluster router) can pool
+            # windows across replicas and re-derive exact nearest-rank
+            # percentiles instead of averaging percentiles.
+            shaped["samples"] = [round(s, 6) for s in self.samples]
+        return shaped
 
 
 class Telemetry:
-    """Registry of named instruments for one service instance."""
+    """Registry of named instruments for one service instance.
 
-    def __init__(self) -> None:
+    ``labels`` apply to every instrument in the registry — a cluster
+    replica passes ``{"replica": "r0"}`` so its Prometheus export and
+    snapshots are distinguishable after router-side aggregation.
+    """
+
+    def __init__(self, labels: dict[str, str] | None = None) -> None:
+        self.labels = dict(labels) if labels else {}
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
-    def counter(self, name: str, help_text: str = "") -> Counter:
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: dict[str, str] | None = None,
+    ) -> Counter:
         """The counter called ``name`` (created on first use)."""
-        instrument = self._counters.get(name)
+        key = name + _label_suffix(labels)
+        instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name, help_text)
-        return instrument
-
-    def gauge(self, name: str, help_text: str = "") -> Gauge:
-        """The gauge called ``name`` (created on first use)."""
-        instrument = self._gauges.get(name)
-        if instrument is None:
-            instrument = self._gauges[name] = Gauge(name, help_text)
-        return instrument
-
-    def histogram(
-        self, name: str, help_text: str = "", window: int = 4096
-    ) -> Histogram:
-        """The histogram called ``name`` (created on first use)."""
-        instrument = self._histograms.get(name)
-        if instrument is None:
-            instrument = self._histograms[name] = Histogram(
-                name, help_text, window
+            instrument = self._counters[key] = Counter(
+                name, help_text, labels
             )
         return instrument
 
-    def snapshot(self) -> dict:
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: dict[str, str] | None = None,
+    ) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        key = name + _label_suffix(labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, help_text, labels)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        window: int = 4096,
+        labels: dict[str, str] | None = None,
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        key = name + _label_suffix(labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                name, help_text, window, labels
+            )
+        return instrument
+
+    def snapshot(self, include_samples: bool = False) -> dict:
         """All instruments as one JSON-able dict."""
-        return {
+        shaped = {
             "counters": {
-                name: counter.snapshot()
-                for name, counter in sorted(self._counters.items())
+                key: counter.snapshot()
+                for key, counter in sorted(self._counters.items())
             },
             "gauges": {
-                name: gauge.snapshot()
-                for name, gauge in sorted(self._gauges.items())
+                key: gauge.snapshot()
+                for key, gauge in sorted(self._gauges.items())
             },
             "histograms": {
-                name: histogram.snapshot()
-                for name, histogram in sorted(self._histograms.items())
+                key: histogram.snapshot(include_samples)
+                for key, histogram in sorted(self._histograms.items())
             },
         }
+        if self.labels:
+            shaped["labels"] = dict(sorted(self.labels.items()))
+        return shaped
 
     def to_json(self) -> str:
         """Snapshot rendered as a JSON document."""
@@ -158,32 +229,90 @@ class Telemetry:
     def to_prometheus(self) -> str:
         """Snapshot in Prometheus text exposition format."""
         lines: list[str] = []
-        for name, counter in sorted(self._counters.items()):
-            metric = _metric_name(name)
+        for _, counter in sorted(self._counters.items()):
+            metric = _metric_name(counter.name)
             if counter.help_text:
                 lines.append(f"# HELP {metric} {counter.help_text}")
             lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {counter.value}")
-        for name, gauge in sorted(self._gauges.items()):
-            metric = _metric_name(name)
+            block = self._label_block(counter.labels)
+            lines.append(f"{metric}{block} {counter.value}")
+        for _, gauge in sorted(self._gauges.items()):
+            metric = _metric_name(gauge.name)
             if gauge.help_text:
                 lines.append(f"# HELP {metric} {gauge.help_text}")
             lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {_format_value(gauge.value)}")
-        for name, histogram in sorted(self._histograms.items()):
-            metric = _metric_name(name)
+            block = self._label_block(gauge.labels)
+            lines.append(f"{metric}{block} {_format_value(gauge.value)}")
+        for _, histogram in sorted(self._histograms.items()):
+            metric = _metric_name(histogram.name)
             if histogram.help_text:
                 lines.append(f"# HELP {metric} {histogram.help_text}")
             lines.append(f"# TYPE {metric} summary")
             for point, value in histogram.percentiles().items():
                 quantile = int(point[1:]) / 100
-                lines.append(
-                    f'{metric}{{quantile="{quantile}"}} '
-                    f"{_format_value(value)}"
+                block = self._label_block(
+                    histogram.labels, quantile=str(quantile)
                 )
-            lines.append(f"{metric}_sum {_format_value(histogram.total)}")
-            lines.append(f"{metric}_count {histogram.count}")
+                lines.append(f"{metric}{block} {_format_value(value)}")
+            block = self._label_block(histogram.labels)
+            lines.append(
+                f"{metric}_sum{block} {_format_value(histogram.total)}"
+            )
+            lines.append(f"{metric}_count{block} {histogram.count}")
         return "\n".join(lines) + "\n"
+
+    def _label_block(
+        self, instrument_labels: dict[str, str], **extra: str
+    ) -> str:
+        merged = {**self.labels, **instrument_labels, **extra}
+        return _label_suffix(merged)
+
+
+def merge_snapshots(
+    snapshots: list[dict],
+    points: tuple[int, ...] = DEFAULT_PERCENTILES,
+) -> dict:
+    """Fold per-replica telemetry snapshots into one aggregate.
+
+    Counters and gauges sum by instrument key; histograms sum their
+    exact ``count``/``total`` accumulators and, when the snapshots
+    carry sample windows (``snapshot(include_samples=True)``), the
+    pooled windows feed :func:`repro.runtime.metrics.percentiles` so
+    the aggregate p50/p95/p99 use the same nearest-rank definition as
+    every other report in the repo.  Registry-level ``labels`` are
+    dropped — the aggregate speaks for the whole cluster.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    pooled: dict[str, list[float]] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            gauges[key] = gauges.get(key, 0.0) + value
+        for key, shaped in snapshot.get("histograms", {}).items():
+            merged = histograms.setdefault(
+                key, {"count": 0, "total": 0.0}
+            )
+            merged["count"] += shaped.get("count", 0)
+            merged["total"] += shaped.get("total", 0.0)
+            pooled.setdefault(key, []).extend(shaped.get("samples", ()))
+    for key, merged in histograms.items():
+        count = merged["count"]
+        merged["total"] = round(merged["total"], 6)
+        merged["mean"] = round(
+            merged["total"] / count if count else 0.0, 6
+        )
+        for point, value in percentiles(pooled.get(key, []), points).items():
+            merged[point] = round(value, 6)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": {
+            key: value for key, value in sorted(gauges.items())
+        },
+        "histograms": dict(sorted(histograms.items())),
+    }
 
 
 def _metric_name(name: str) -> str:

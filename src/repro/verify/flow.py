@@ -119,7 +119,11 @@ _KEY_ROOTS = (
     "repro.runtime.keys.trace_task_key",
     "repro.runtime.keys.search_shard_key",
 )
-_SERVE_PREFIX = "repro.serve"
+#: Packages whose coroutines must never block the event loop: the
+#: single-server serve layer and the cluster router/supervisor built
+#: on top of it (one stalled router coroutine stalls every replica's
+#: traffic, so the cluster tier is held to the same standard).
+_SERVE_PREFIXES = ("repro.serve", "repro.cluster")
 
 #: Receiver methods that dispatch a function argument onto a pool.
 _CALLBACK_METHODS = {
@@ -1430,14 +1434,20 @@ def fl003(
 
 
 def fl004(
-    graph: FlowGraph, serve_prefix: str = _SERVE_PREFIX
+    graph: FlowGraph,
+    serve_prefix: str | tuple[str, ...] = _SERVE_PREFIXES,
 ) -> list[FlowViolation]:
     """Blocking calls reachable from serve coroutines (interproc REP006)."""
+    prefixes = (
+        (serve_prefix,) if isinstance(serve_prefix, str)
+        else tuple(serve_prefix)
+    )
     roots = [
         qual for qual, info in graph.functions.items()
-        if info.is_coroutine and (
-            info.module == serve_prefix
-            or info.module.startswith(serve_prefix + ".")
+        if info.is_coroutine and any(
+            info.module == prefix
+            or info.module.startswith(prefix + ".")
+            for prefix in prefixes
         )
     ]
     parents = reachable(graph, sorted(roots))

@@ -95,8 +95,9 @@ REP002_OWNERS = (
 #: Where REP005 applies.
 REP005_SCOPE = "runtime/"
 
-#: Where REP006 applies.
-REP006_SCOPE = "serve/"
+#: Where REP006 applies: every asyncio serving layer — the single
+#: server and the cluster router/supervisor tier built on it.
+REP006_SCOPES = ("serve/", "cluster/")
 
 #: Where REP007 applies (the experiment-driver layer).
 REP007_SCOPE = "analysis/"
@@ -693,7 +694,7 @@ def blocking_findings(
 
 
 def _rep006(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
-    """Flag event-loop-stalling calls inside ``serve/`` coroutines.
+    """Flag event-loop-stalling calls in serving-layer coroutines.
 
     The serving layer is single-event-loop asyncio: one ``time.sleep``
     or un-timed synchronous queue/pool ``.get()`` inside a coroutine
@@ -707,7 +708,8 @@ def _rep006(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
     blocking calls hidden inside synchronous helpers the coroutines
     call.
     """
-    if REP006_SCOPE not in relative.replace("\\", "/"):
+    normalized = relative.replace("\\", "/")
+    if not any(scope in normalized for scope in REP006_SCOPES):
         return []
     imports = _ModuleAliases()
     imports.visit(tree)

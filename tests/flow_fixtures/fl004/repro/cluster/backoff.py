@@ -1,0 +1,13 @@
+"""FL004 fixture helpers: blocking retry delay behind a sync helper."""
+
+import time
+
+
+def backoff(request):
+    time.sleep(0.05)
+    return request
+
+
+def backoff_quiet(request):
+    time.sleep(0.05)  # flowlint: disable=FL004
+    return request

@@ -1,0 +1,19 @@
+"""FL004 fixture: cluster router coroutines calling blocking helpers."""
+
+import asyncio
+
+from repro.cluster.backoff import backoff, backoff_quiet
+
+
+async def dispatch(request):
+    await asyncio.sleep(0)
+    return backoff(request)
+
+
+async def dispatch_quiet(request):
+    return backoff_quiet(request)
+
+
+async def probe():
+    await asyncio.sleep(0.01)
+    return True

@@ -117,27 +117,55 @@ class TestFL004:
     def test_blocking_call_one_helper_deep(self):
         graph = fixture_graph("fl004")
         violations = flow.lint_flow(graph=graph)
-        assert [v.rule for v in violations] == ["FL004"]
-        violation = violations[0]
-        assert violation.path == "repro/serve/sync_ops.py"
+        assert [v.rule for v in violations] == ["FL004", "FL004"]
+        violation = next(
+            v for v in violations
+            if v.path == "repro/serve/sync_ops.py"
+        )
         assert "time.sleep" in violation.message
         assert "handle" in violation.message  # names the coroutine
         assert violation.chain[0].endswith("handle")
         assert violation.chain[-1].endswith("respond")
 
+    def test_cluster_coroutines_are_roots(self):
+        """Regression: repro.cluster coroutines count as serve roots."""
+        graph = fixture_graph("fl004")
+        violations = flow.lint_flow(graph=graph)
+        violation = next(
+            v for v in violations
+            if v.path == "repro/cluster/backoff.py"
+        )
+        assert "time.sleep" in violation.message
+        assert "dispatch" in violation.message
+        assert violation.chain[0].endswith("dispatch")
+        assert violation.chain[-1].endswith("backoff")
+
+    def test_prefix_opt_out_narrows_roots(self):
+        # A caller passing the classic single prefix sees only the
+        # serve-side finding — the cluster coroutine is not a root.
+        graph = fixture_graph("fl004")
+        narrowed = flow.fl004(graph, serve_prefix="repro.serve")
+        assert {v.path for v in narrowed} == {
+            "repro/serve/sync_ops.py"
+        }
+
     def test_awaited_asyncio_sleep_clean(self):
         graph = fixture_graph("fl004")
         raw = flow.lint_flow(graph=graph, honor_suppressions=False)
         assert not any("tick" in v.chain[0] for v in raw)
+        assert not any("probe" in v.chain[0] for v in raw)
 
     def test_rep006_routes_through_graph(self):
         """Satellite: the classic rule id gains call-graph depth."""
         graph = fixture_graph("fl004")
         findings = flow.rep006_violations(graph)
-        assert [f.rule for f in findings] == ["REP006"]
-        assert findings[0].path == "repro/serve/sync_ops.py"
-        # The flowlint FL004 disable quiets the REP006 spelling too.
-        assert len(findings) == 1
+        assert [f.rule for f in findings] == ["REP006", "REP006"]
+        assert {f.path for f in findings} == {
+            "repro/cluster/backoff.py", "repro/serve/sync_ops.py"
+        }
+        # The flowlint FL004 disables quiet the REP006 spelling too
+        # (one suppressed twin per package stays suppressed).
+        assert len(findings) == 2
 
 
 class TestFL005:

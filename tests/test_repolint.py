@@ -578,9 +578,13 @@ class TestRep006FlowRouting:
         )
         graph = flow.build_graph(fixture, spec=flow.TaintSpec())
         findings = flow.rep006_violations(graph)
-        assert rules_of(findings) == ["REP006"]
-        assert findings[0].path == "repro/serve/sync_ops.py"
-        assert "time.sleep" in findings[0].message
+        assert rules_of(findings) == ["REP006", "REP006"]
+        # Both serving layers are covered: the single server and the
+        # cluster router tier.
+        assert {f.path for f in findings} == {
+            "repro/cluster/backoff.py", "repro/serve/sync_ops.py"
+        }
+        assert all("time.sleep" in f.message for f in findings)
 
     def test_flow_errors_degrade_to_fallback(self, monkeypatch):
         from repro.verify import flow, repolint

@@ -367,3 +367,161 @@ class TestLoadgen:
             report["telemetry"]["counters"]["serve.requests.completed"]
             == 12 + report["query_pool"]  # measured + warmup
         )
+
+    def test_p99_deadline_gate_passes_and_fails(self, tmp_path):
+        report_path = tmp_path / "deadline.json"
+        base = [
+            "--requests", "8", "--concurrency", "4",
+            "--jobs", "1", "--shards", "2", "--batch-size", "4",
+            "--query-pool", "4", "--db-sequences", "10",
+            "--db-seed", "91", "--no-precompute",
+        ]
+        status = main_loadgen(base + [
+            "--require-p99-ms", "60000", "--report", str(report_path),
+        ])
+        assert status == 0
+        deadline = json.loads(report_path.read_text())["deadline"]
+        assert deadline["compliant"] is True
+        assert deadline["limit_ms"] == 60000
+        assert deadline["within_pct"] == 100.0
+        # An impossible deadline flips the exit code, nothing else.
+        assert main_loadgen(base + ["--require-p99-ms", "0.00001"]) == 1
+
+
+class TestMultiTargetLoadgen:
+    def test_targets_round_robin_two_servers(self, tmp_path):
+        import threading
+
+        ports: list[int] = []
+        ready = threading.Event()
+        shared: dict = {}
+
+        def serve_thread():
+            async def main():
+                shared["loop"] = asyncio.get_running_loop()
+                shared["stop"] = asyncio.Event()
+                async with AlignmentService(
+                    small_config(replica="r0")
+                ) as first, AlignmentService(
+                    small_config(replica="r1")
+                ) as second:
+                    servers = [
+                        await serve_tcp(first, "127.0.0.1", 0),
+                        await serve_tcp(second, "127.0.0.1", 0),
+                    ]
+                    ports.extend(
+                        s.sockets[0].getsockname()[1] for s in servers
+                    )
+                    ready.set()
+                    await shared["stop"].wait()
+                    for server in servers:
+                        server.close()
+                        await server.wait_closed()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve_thread, daemon=True)
+        thread.start()
+        assert ready.wait(60), "servers never came up"
+        try:
+            report_path = tmp_path / "targets.json"
+            targets = ",".join(f"127.0.0.1:{port}" for port in ports)
+            status = main_loadgen([
+                "--targets", targets,
+                "--requests", "8", "--concurrency", "4",
+                "--query-pool", "4", "--db-sequences", "10",
+                "--db-seed", "91",
+                "--require-p99-ms", "60000",
+                "--fail-on-error", "--report", str(report_path),
+            ])
+            assert status == 0
+            report = json.loads(report_path.read_text())
+            assert report["statuses"]["ok"] == 8
+            assert report["targets"] == [
+                f"127.0.0.1:{port}" for port in ports
+            ]
+            assert report["deadline"]["compliant"] is True
+            # Per-target telemetry keyed by address, each labelled
+            # with the replica that produced it.
+            assert set(report["telemetry"]) == set(report["targets"])
+            labels = {
+                view["labels"]["replica"]
+                for view in report["telemetry"].values()
+            }
+            assert labels == {"r0", "r1"}
+            # Round-robin: both servers actually served requests.
+            for view in report["telemetry"].values():
+                completed = view["counters"][
+                    "serve.requests.completed"
+                ]
+                assert completed >= 1
+        finally:
+            shared["loop"].call_soon_threadsafe(shared["stop"].set)
+            thread.join(30)
+
+
+class TestDrain:
+    def test_drain_sheds_new_requests_with_reason(self):
+        async def main():
+            queries = db_queries(1)
+            async with AlignmentService(small_config()) as service:
+                payload = search_payload("d1", *queries[0])
+                first = await service.handle_line(json.dumps(payload))
+                assert first["status"] == "ok"
+                await service.drain(grace=2.0)
+                assert service.draining
+                late = await service.handle_line(
+                    json.dumps(search_payload("d2", *queries[0]))
+                )
+                # The retryable busy signal a cluster router acts on.
+                assert late["status"] == "shed"
+                assert late["reason"] == "draining"
+
+        asyncio.run(main())
+
+    def test_drain_flushes_in_flight_requests(self):
+        async def main():
+            queries = db_queries(3)
+            async with AlignmentService(small_config()) as service:
+                loop = asyncio.get_running_loop()
+                tasks = [
+                    loop.create_task(service.handle_line(json.dumps(
+                        search_payload(f"f{i}", *queries[i])
+                    )))
+                    for i in range(3)
+                ]
+                await asyncio.sleep(0)
+                await service.drain(grace=30.0)
+                responses = await asyncio.gather(*tasks)
+                # Everything admitted before the drain still answers.
+                assert all(
+                    r["status"] in ("ok", "shed") for r in responses
+                )
+                admitted = [
+                    r for r in responses if r["status"] == "ok"
+                ]
+                assert admitted, "drain dropped every in-flight request"
+                assert service._inflight == 0
+
+        asyncio.run(main())
+
+    def test_status_op_reports_drain_state(self):
+        async def main():
+            async with AlignmentService(
+                small_config(replica="r7")
+            ) as service:
+                status = await service.handle_line(
+                    json.dumps({"op": "status", "id": "s"})
+                )
+                assert status["status"] == "ok"
+                serve = status["serve"]
+                assert serve["replica"] == "r7"
+                assert serve["draining"] is False
+                assert serve["queue_capacity"] == 32
+                await service.drain(grace=1.0)
+                drained = await service.handle_line(
+                    json.dumps({"op": "status", "id": "s2"})
+                )
+                assert drained["serve"]["draining"] is True
+
+        asyncio.run(main())
