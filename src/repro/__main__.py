@@ -9,6 +9,9 @@ Usage::
     python -m repro trace blast out.npz   # export one workload's trace
     python -m repro cache stats           # persistent result cache usage
     python -m repro cache clean           # drop every cached artifact
+    python -m repro store pack-db db/     # zero-copy packed DB snapshot
+    python -m repro store prewarm         # persist BLAST neighbor table
+    python -m repro store stats           # artifact store usage/hit rate
     python -m repro bench                 # hot-path throughput benchmark
     python -m repro bench --quick --check # fast CI smoke + regression gate
     python -m repro serve --port 7717     # alignment-search service (TCP)
@@ -80,11 +83,17 @@ def _cache_command(arguments: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro cache",
-        description="Inspect or clear the persistent result cache.",
+        description="Inspect or clear the persistent result cache "
+        "(and, with --store-dir, the compiled-artifact store beside "
+        "it).",
     )
     parser.add_argument("action", choices=("stats", "clean"))
     parser.add_argument(
         "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR")
+    )
+    parser.add_argument(
+        "--store-dir", default=os.environ.get("REPRO_STORE_DIR"),
+        help="also report/clean the compiled-artifact store here",
     )
     try:
         options = parser.parse_args(arguments)
@@ -101,10 +110,158 @@ def _cache_command(arguments: list[str]) -> int:
               f"{stats.runs} kernel runs, {stats.traces} traces, "
               f"{stats.searches} search scans, "
               f"{stats.total_bytes / 1e6:.1f} MB")
+        if options.store_dir:
+            _print_store_stats(options.store_dir)
     else:
         removed = cache.clean()
         print(f"cache {cache.root}: removed {removed.entries} artifacts "
               f"({removed.total_bytes / 1e6:.1f} MB)")
+        if options.store_dir:
+            _clean_store(options.store_dir)
+    return 0
+
+
+def _print_store_stats(store_dir: str) -> None:
+    from repro.store.artifacts import ArtifactStore
+
+    store = ArtifactStore(store_dir)
+    stats = store.stats()
+    print(f"store {store.root}: {stats['artifacts']} compiled artifacts, "
+          f"{stats['total_bytes'] / 1e6:.1f} MB; handle cache "
+          f"{stats['handle_hits']} hits / {stats['disk_hits']} disk / "
+          f"{stats['misses']} misses "
+          f"(hit rate {stats['hit_rate']:.0%}), "
+          f"{stats['corrupt']} corrupt entries dropped")
+
+
+def _clean_store(store_dir: str) -> None:
+    from repro.store.artifacts import ArtifactStore
+
+    store = ArtifactStore(store_dir)
+    removed = store.clean()
+    print(f"store {store.root}: removed {removed['artifacts']} artifacts "
+          f"({removed['total_bytes'] / 1e6:.1f} MB)")
+
+
+def _store_command(arguments: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro store",
+        description="Content-addressed compiled-artifact store and "
+        "packed (mmap-able) database snapshots (see docs/storage.md).",
+    )
+    commands = parser.add_subparsers(dest="action", required=True)
+
+    def with_store_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store-dir", default=os.environ.get("REPRO_STORE_DIR"),
+            help="artifact store root (default: $REPRO_STORE_DIR)",
+        )
+
+    stats = commands.add_parser(
+        "stats", help="artifact count, bytes, and handle-cache hit rate"
+    )
+    with_store_dir(stats)
+    clean = commands.add_parser(
+        "clean", help="drop every stored compiled artifact"
+    )
+    with_store_dir(clean)
+    prewarm = commands.add_parser(
+        "prewarm",
+        help="compile + store the BLAST neighbor table so no serving "
+        "process ever pays the expansion",
+    )
+    with_store_dir(prewarm)
+    prewarm.add_argument("--threshold", type=int, default=None)
+    prewarm.add_argument("--word-size", type=int, default=None)
+    pack = commands.add_parser(
+        "pack-db",
+        help="snapshot a synthetic database into the zero-copy packed "
+        "format replicas mmap (serve --db-path)",
+    )
+    pack.add_argument("out", help="output directory for the snapshot")
+    pack.add_argument(
+        "--db-sequences", type=int, default=None,
+        help="synthetic database size in sequences (default: serve's)",
+    )
+    pack.add_argument(
+        "--db-seed", type=int, default=None,
+        help="synthetic database seed (default: serve's)",
+    )
+    pack.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing snapshot at OUT",
+    )
+    verify = commands.add_parser(
+        "verify-db",
+        help="recompute a snapshot's content digest against its header",
+    )
+    verify.add_argument("path", help="packed database directory")
+    try:
+        options = parser.parse_args(arguments)
+    except SystemExit as exit_:
+        return int(exit_.code or 0)
+
+    if options.action == "pack-db":
+        import dataclasses
+
+        from repro.bio.synthetic import generate_database
+        from repro.serve.server import DEFAULT_DATABASE
+        from repro.store.packdb import pack_database
+
+        overrides = {}
+        if options.db_sequences is not None:
+            overrides["sequence_count"] = options.db_sequences
+        if options.db_seed is not None:
+            overrides["seed"] = options.db_seed
+        config = dataclasses.replace(DEFAULT_DATABASE, **overrides)
+        database = generate_database(config)
+        try:
+            out = pack_database(
+                database, options.out,
+                source_config=config, overwrite=options.overwrite,
+            )
+        except FileExistsError:
+            print(f"{options.out} already holds a packed database; "
+                  "pass --overwrite to replace it", file=sys.stderr)
+            return 2
+        stats = database.stats()
+        print(f"packed {stats.sequence_count} sequences "
+              f"({stats.residue_count} residues) into {out}")
+        return 0
+    if options.action == "verify-db":
+        from repro.store.packdb import PackedDatabaseError, verify_packed
+
+        try:
+            header = verify_packed(options.path)
+        except PackedDatabaseError as error:
+            print(f"CORRUPT {error}", file=sys.stderr)
+            return 1
+        print(f"ok {options.path}: {header['sequence_count']} sequences, "
+              f"digest {header['content_digest']}")
+        return 0
+
+    if not options.store_dir:
+        print("no store directory: pass --store-dir or set REPRO_STORE_DIR",
+              file=sys.stderr)
+        return 2
+    if options.action == "stats":
+        _print_store_stats(options.store_dir)
+    elif options.action == "clean":
+        _clean_store(options.store_dir)
+    else:
+        from repro.store.artifacts import ArtifactStore, prewarm
+
+        started = time.perf_counter()
+        report = prewarm(
+            ArtifactStore(options.store_dir),
+            threshold=options.threshold,
+            word_size=options.word_size,
+        )
+        print(f"store {options.store_dir}: neighbor table "
+              f"({report['neighbor_entries']} entries) ready in "
+              f"{time.perf_counter() - started:.2f}s; "
+              f"{report['artifacts']} artifacts, "
+              f"{report['total_bytes'] / 1e6:.1f} MB on disk")
     return 0
 
 
@@ -148,12 +305,48 @@ def _bench_command(arguments: list[str]) -> int:
         "--fail-threshold", type=float, default=3.0,
         help="regression factor that fails the run (default 3.0)",
     )
+    parser.add_argument(
+        "--cluster", action="store_true",
+        help="also benchmark a 3-replica cluster on a packed "
+        "(mmap-shared) database vs materialize-per-replica: fleet "
+        "cold start, per-replica RSS, response byte-identity",
+    )
+    parser.add_argument(
+        "--cluster-only", action="store_true",
+        help="run only the cluster benchmark (skips the core metrics)",
+    )
     try:
         options = parser.parse_args(arguments)
     except SystemExit as exit_:
         return int(exit_.code or 0)
 
+    if options.cluster_only:
+        from repro.bench import bench_cluster, format_cluster
+
+        cluster = bench_cluster()
+        if options.json:
+            print(json.dumps(cluster, indent=2, sort_keys=True))
+        else:
+            print(format_cluster(cluster))
+        if options.out:
+            write_report({"cluster": cluster}, options.out)
+            print(f"wrote {options.out}")
+        if options.check:
+            from repro.bench import check_cluster_floors
+
+            failures = check_cluster_floors({"cluster": cluster})
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            if failures:
+                return 1
+            print("cluster floors hold (cold start, RSS, byte-identity)")
+        return 0
+
     report = run_bench(quick=options.quick)
+    if options.cluster:
+        from repro.bench import bench_cluster
+
+        report["cluster"] = bench_cluster()
     if options.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -165,12 +358,14 @@ def _bench_command(arguments: list[str]) -> int:
         from repro.bench import (
             COMMITTED_BASELINE,
             check_baseline,
+            check_cluster_floors,
             check_lockstep_floor,
         )
 
         warnings: list[str] = []
         failures = check_baseline(report, warnings=warnings)
         failures += check_lockstep_floor(report)
+        failures += check_cluster_floors(report)
         for warning in warnings:
             print(f"WARNING {warning}", file=sys.stderr)
         for failure in failures:
@@ -705,6 +900,8 @@ def main(argv: list[str] | None = None) -> int:
         return _export_trace(arguments[1:])
     if arguments[0] == "cache":
         return _cache_command(arguments[1:])
+    if arguments[0] == "store":
+        return _store_command(arguments[1:])
     if arguments[0] == "bench":
         return _bench_command(arguments[1:])
     if arguments[0] == "serve":

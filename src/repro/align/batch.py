@@ -108,10 +108,12 @@ def make_engine(
             query,
             FastaOptions(best_count=params.best_count, gaps=params.gaps),
         )
-    return BlastEngine(query, _blast_options(params))
+    return BlastEngine(query, blast_options(params))
 
 
-def _blast_options(params: SearchParams) -> BlastOptions:
+def blast_options(params: SearchParams) -> BlastOptions:
+    """BLAST engine options for one parameter set (shared with the
+    artifact store, which keys per-query lookup tables off them)."""
     options = BlastOptions(best_count=params.best_count, gaps=params.gaps)
     if params.threshold is not None:
         options = replace(options, threshold=params.threshold)
@@ -128,7 +130,7 @@ def make_finalizer(
     engines compile nothing heavy and are returned as-is.
     """
     if params.algorithm == "blast":
-        return BlastFinalizer(query, _blast_options(params))
+        return BlastFinalizer(query, blast_options(params))
     return make_engine(params, query)
 
 

@@ -395,6 +395,229 @@ def check_lockstep_floor(report: dict[str, Any]) -> list[str]:
     return []
 
 
+# -- cluster: packed-database replica fleet ---------------------------------
+
+#: Floors for the packed-database serving gates (``--check``): replica
+#: fleets on a packed snapshot must cold-start at least this much
+#: faster, and carry at least this fraction less per-replica RSS, than
+#: the same fleet materializing a private database copy per process.
+CLUSTER_COLD_START_FLOOR = 2.0
+CLUSTER_RSS_REDUCTION_FLOOR = 0.4
+
+#: Database the cluster benchmark serves: big enough that generation
+#: dominates replica start-up and the residue heap dominates RSS, small
+#: enough that a BLAST probe scan stays in benchmark time.
+CLUSTER_DB_CONFIG = SyntheticDatabaseConfig(
+    sequence_count=24_000,
+    family_count=2,
+    family_size=3,
+    seed=2006,
+    mean_length=200.0,
+)
+_CLUSTER_REPLICAS = 3
+_CLUSTER_QUERY = (
+    "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALP"
+    "DAQFEVVHSLAKWKR"
+)
+#: ``--jobs 1`` keeps each replica a single process (the serial
+#: executor materializes the database inline), so per-replica RSS is
+#: one process and the packed/materialized contrast is undiluted.
+_CLUSTER_SERVE_ARGS = (
+    "--jobs", "1", "--shards", "2", "--no-precompute",
+)
+
+
+def process_rss_bytes(pid: int) -> int | None:
+    """Proportional set size of one process, in bytes (Linux).
+
+    Pss splits shared pages among their sharers — exactly the
+    accounting under which N replicas mmapping one packed database pay
+    for its pages once between them.  Falls back to VmRSS where
+    ``smaps_rollup`` is unavailable, and to ``None`` off Linux
+    (callers treat the RSS gate as vacuous there).
+    """
+    try:
+        for line in Path(
+            f"/proc/{pid}/smaps_rollup"
+        ).read_text().splitlines():
+            if line.startswith("Pss:"):
+                return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        for line in Path(f"/proc/{pid}/status").read_text().splitlines():
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+async def _bench_cluster_path(
+    serve_args: tuple[str, ...], replicas: int
+) -> dict[str, Any]:
+    """Start one fleet, probe every replica, measure start + RSS."""
+    import asyncio
+
+    from repro.cluster.supervisor import ClusterConfig, ClusterSupervisor
+
+    supervisor = ClusterSupervisor(ClusterConfig(
+        replicas=replicas, serve_args=serve_args
+    ))
+    start = time.perf_counter()
+    await supervisor.start()
+    cold_start = time.perf_counter() - start
+    try:
+        # One probe per replica, dispatched directly (not through
+        # pick()): every replica reaches steady state — database
+        # resident, engines compiled, one full scan done — before RSS
+        # is read.
+        names = sorted(supervisor.router.replicas)
+        probes = [
+            supervisor.router.replicas[name].request(
+                {
+                    "op": "search",
+                    "id": f"probe-{name}",
+                    "query": _CLUSTER_QUERY,
+                    "algorithm": "blast",
+                    "best_count": 50,
+                },
+                timeout=300.0,
+            )
+            for name in names
+        ]
+        responses = await asyncio.gather(*probes)
+        rss = {
+            name: process_rss_bytes(spec.process.pid)
+            for name, spec in sorted(supervisor.specs.items())
+            if spec.process is not None
+        }
+    finally:
+        await supervisor.stop()
+    results = [
+        json.dumps(response.get("result"), sort_keys=True)
+        for response in responses
+    ]
+    for response in responses:
+        if response.get("status") != "ok":
+            raise RuntimeError(f"cluster probe failed: {response}")
+    return {
+        "cold_start_s": round(cold_start, 3),
+        "rss_per_replica": rss,
+        "results": results,
+    }
+
+
+def bench_cluster(replicas: int = _CLUSTER_REPLICAS) -> dict[str, Any]:
+    """Replica fleet on a packed snapshot vs materialize-per-replica.
+
+    Packs :data:`CLUSTER_DB_CONFIG` once, then brings up the same
+    topology twice — every replica generating a private database copy,
+    then every replica mmapping the shared snapshot — and reports the
+    fleet cold-start times, per-replica steady-state RSS (Pss), and
+    whether the probe search results were byte-identical across every
+    replica of both paths (they must be: the packed snapshot pins the
+    generator config's cache identity).
+    """
+    import asyncio
+
+    from repro.bio.synthetic import generate_database
+    from repro.store.packdb import pack_database
+
+    config = CLUSTER_DB_CONFIG
+    with tempfile.TemporaryDirectory() as scratch:
+        packed_dir = pack_database(
+            generate_database(config),
+            Path(scratch) / "packed-db",
+            source_config=config,
+        )
+        materialize_args = _CLUSTER_SERVE_ARGS + (
+            "--db-sequences", str(config.sequence_count),
+            "--db-seed", str(config.seed),
+        )
+        packed_args = _CLUSTER_SERVE_ARGS + (
+            "--db-path", str(packed_dir),
+        )
+
+        async def run() -> tuple[dict, dict]:
+            materialize = await _bench_cluster_path(
+                materialize_args, replicas
+            )
+            packed = await _bench_cluster_path(packed_args, replicas)
+            return materialize, packed
+
+        materialize, packed = asyncio.run(run())
+
+    identical = (
+        len(set(materialize.pop("results") + packed.pop("results"))) == 1
+    )
+    speedup = (
+        materialize["cold_start_s"] / packed["cold_start_s"]
+        if packed["cold_start_s"] else 0.0
+    )
+    rss_values = [
+        [value for value in path["rss_per_replica"].values() if value]
+        for path in (materialize, packed)
+    ]
+    if all(rss_values):
+        means = [sum(values) / len(values) for values in rss_values]
+        reduction = 1.0 - means[1] / means[0] if means[0] else 0.0
+        rss_metrics = {
+            "mean_rss_materialize": round(means[0]),
+            "mean_rss_packed": round(means[1]),
+            "rss_reduction": round(reduction, 3),
+        }
+    else:
+        rss_metrics = {"rss_reduction": None}
+    return {
+        "replicas": replicas,
+        "db_sequences": config.sequence_count,
+        "materialize": materialize,
+        "packed": packed,
+        "cold_start_speedup": round(speedup, 2),
+        "responses_identical": identical,
+        **rss_metrics,
+    }
+
+
+def check_cluster_floors(report: dict[str, Any]) -> list[str]:
+    """Floors for the packed-database serving path (``--check``).
+
+    Reads the report's top-level ``cluster`` section (written by
+    ``repro bench --cluster``); reports without one pass vacuously, as
+    does the RSS gate on platforms where RSS could not be read.  Like
+    :func:`check_lockstep_floor` the comparison is same-machine
+    back-to-back, so no speed normalization applies.
+    """
+    cluster = report.get("cluster")
+    if not isinstance(cluster, dict):
+        return []
+    failures = []
+    speedup = float(cluster.get("cold_start_speedup") or 0.0)
+    if speedup < CLUSTER_COLD_START_FLOOR:
+        failures.append(
+            f"cluster: packed-database cold start only {speedup:.2f}x "
+            f"faster than materialize-per-replica (floor "
+            f"{CLUSTER_COLD_START_FLOOR:.1f}x)"
+        )
+    reduction = cluster.get("rss_reduction")
+    if reduction is not None and (
+        float(reduction) < CLUSTER_RSS_REDUCTION_FLOOR
+    ):
+        failures.append(
+            f"cluster: packed-database replicas carry only "
+            f"{float(reduction):.0%} less RSS than materialized ones "
+            f"(floor {CLUSTER_RSS_REDUCTION_FLOOR:.0%})"
+        )
+    if not cluster.get("responses_identical", True):
+        failures.append(
+            "cluster: packed and materialized replicas returned "
+            "different search results — the packed snapshot broke "
+            "byte-identity"
+        )
+    return failures
+
+
 def check_regression(
     report: dict[str, Any],
     baseline: dict[str, Any],
@@ -452,6 +675,38 @@ def format_report(report: dict[str, Any]) -> str:
                 f"{metrics['configs']} scalar runs "
                 f"({metrics['scalar_ips']:,} instr/s aggregate)"
             )
+    if isinstance(report.get("cluster"), dict):
+        lines.append(format_cluster(report["cluster"]))
+    return "\n".join(lines)
+
+
+def format_cluster(cluster: dict[str, Any]) -> str:
+    """Human-readable summary of one cluster benchmark section."""
+    lines = [
+        f"cluster ({cluster['replicas']} replicas, "
+        f"{cluster['db_sequences']:,}-sequence database):"
+    ]
+    for label in ("materialize", "packed"):
+        path = cluster[label]
+        rss = [v for v in path["rss_per_replica"].values() if v]
+        shown = (
+            f"{sum(rss) / len(rss) / 1e6:,.0f} MB/replica" if rss
+            else "unavailable"
+        )
+        lines.append(
+            f"  {label:12s} cold start {path['cold_start_s']:6.2f}s, "
+            f"steady-state RSS {shown}"
+        )
+    reduction = cluster.get("rss_reduction")
+    lines.append(
+        f"  packed snapshot: {cluster['cold_start_speedup']:.2f}x faster "
+        "cold start, "
+        + (f"{reduction:.0%} less RSS" if reduction is not None
+           else "RSS n/a")
+        + (", responses byte-identical"
+           if cluster.get("responses_identical")
+           else ", RESPONSES DIFFER")
+    )
     return "\n".join(lines)
 
 

@@ -41,6 +41,31 @@ class Sequence:
         object.__setattr__(self, "text", normalized)
         object.__setattr__(self, "codes", tuple(self.alphabet.encode(normalized)))
 
+    @classmethod
+    def from_encoded(
+        cls,
+        identifier: str,
+        text: str,
+        codes: tuple[int, ...],
+        description: str = "",
+        alphabet: Alphabet = PROTEIN,
+    ) -> "Sequence":
+        """Trusted constructor for already-normalized, already-encoded data.
+
+        The packed database layer stores normalized text and derives
+        ``codes`` with a vectorized table lookup; going through
+        ``__init__`` again would re-encode residue-by-residue in Python
+        on the scan hot path.  Callers must guarantee ``text`` is
+        upper-cased and ``codes == tuple(alphabet.encode(text))``.
+        """
+        sequence = object.__new__(cls)
+        object.__setattr__(sequence, "identifier", identifier)
+        object.__setattr__(sequence, "text", text)
+        object.__setattr__(sequence, "description", description)
+        object.__setattr__(sequence, "alphabet", alphabet)
+        object.__setattr__(sequence, "codes", codes)
+        return sequence
+
     def __len__(self) -> int:
         return len(self.text)
 

@@ -54,6 +54,10 @@ def _serve_flags(args: argparse.Namespace) -> tuple[str, ...]:
     ]
     if args.cache_dir:
         flags += ["--cache-dir", args.cache_dir]
+    if getattr(args, "db_path", None):
+        flags += ["--db-path", args.db_path]
+    if getattr(args, "store_dir", None):
+        flags += ["--store-dir", args.store_dir]
     return tuple(flags)
 
 
@@ -135,6 +139,7 @@ async def run_up(args: argparse.Namespace) -> int:
         router=RouterConfig(
             affinity=args.affinity,
             request_timeout=max(35.0, args.timeout + 5.0),
+            response_cache_size=args.response_cache,
         ),
         drain_grace=args.drain_grace,
     )
@@ -263,6 +268,11 @@ def main_cluster(argv: list[str] | None = None) -> int:
         "--affinity", action=argparse.BooleanOptionalAction,
         default=True,
         help="consistent-hash affinity for repeat queries (default on)",
+    )
+    up.add_argument(
+        "--response-cache", type=int, default=256, metavar="N",
+        help="router-side LRU of completed search responses; repeats "
+        "are answered without touching a replica (default 256, 0 off)",
     )
     add_serve_arguments(up)
 

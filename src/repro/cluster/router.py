@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.cluster.hashing import HashRing, affinity_key
@@ -86,12 +87,19 @@ class RouterConfig:
     health_failures: int = 2
     #: Router-side guard timeout for requests with no deadline.
     request_timeout: float = 35.0
+    #: Completed search responses the router keeps (LRU); a repeat of
+    #: a cached request is answered without touching any replica.
+    #: The key is the affinity key — every result-shaping field — so a
+    #: hit is exact by construction.  0 disables the cache.
+    response_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.health_interval <= 0:
             raise ValueError("health_interval must be positive")
         if self.health_failures < 1:
             raise ValueError("health_failures must be positive")
+        if self.response_cache_size < 0:
+            raise ValueError("response_cache_size must be >= 0")
 
 
 class ClusterRouter:
@@ -138,6 +146,16 @@ class ClusterRouter:
         self.request_latency = self.telemetry.histogram(
             "router.request.latency",
             "seconds from router receipt to response",
+        )
+        #: affinity key -> completed ok response (sans request id).
+        self._response_cache: OrderedDict[str, dict] = OrderedDict()
+        self.cache_hits = self.telemetry.counter(
+            "router.cache.hits",
+            "searches answered from the router response cache",
+        )
+        self.cache_misses = self.telemetry.counter(
+            "router.cache.misses",
+            "cacheable searches that had to be dispatched",
         )
 
     # -- membership ----------------------------------------------------
@@ -328,6 +346,27 @@ class ClusterRouter:
         began = loop.time()
         if self.draining:
             return shed_response(request_id, reason="cluster draining")
+        key = affinity_key(data)
+        # Searches are deterministic, so the affinity key (query text
+        # plus every scoring knob) addresses the exact response; a hit
+        # costs the router a dict probe instead of a replica round trip
+        # — and is checked before the saturation gate, because serving
+        # from cache is precisely what a saturated cluster wants.
+        cacheable = (
+            self.config.response_cache_size > 0
+            and not data.get("no_cache")
+        )
+        if cacheable:
+            cached = self._response_cache.get(key)
+            if cached is not None:
+                self._response_cache.move_to_end(key)
+                self.cache_hits.increment()
+                response = dict(cached)
+                response["id"] = request_id
+                response["cached"] = True
+                self.request_latency.observe(loop.time() - began)
+                return response
+            self.cache_misses.increment()
         if (
             self.replicas
             and self.total_outstanding() >= self.total_capacity()
@@ -337,7 +376,6 @@ class ClusterRouter:
             # queueing the request into a guaranteed timeout.
             self.shed.increment()
             return shed_response(request_id, reason="saturated")
-        key = affinity_key(data)
         tried: set[str] = set()
         while True:
             replica = self.pick(key, tried, loop.time())
@@ -372,6 +410,18 @@ class ClusterRouter:
                 continue
             response["id"] = request_id
             response["replica"] = replica.name
+            if cacheable and response.get("status") == "ok":
+                # Only completed searches are cacheable: sheds,
+                # timeouts, and errors are transient verdicts.
+                entry = dict(response)
+                del entry["id"]
+                self._response_cache[key] = entry
+                self._response_cache.move_to_end(key)
+                while (
+                    len(self._response_cache)
+                    > self.config.response_cache_size
+                ):
+                    self._response_cache.popitem(last=False)
             self.request_latency.observe(loop.time() - began)
             return response
 

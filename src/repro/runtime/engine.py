@@ -56,6 +56,7 @@ class ExperimentRuntime:
         jobs: int = 1,
         cache_dir: str | None = None,
         *,
+        store_dir: str | None = None,
         task_timeout: float | None = None,
         retries: int = 2,
         fault_hook=None,
@@ -63,6 +64,10 @@ class ExperimentRuntime:
         metrics: RunMetrics | None = None,
         strict: bool = False,
     ) -> None:
+        #: Compiled-artifact store root (repro.store.artifacts); when
+        #: set, search workers resolve neighbor tables and query
+        #: lookup tables store-first instead of recompiling.
+        self.store_dir = store_dir
         #: Refuse to cache or simulate traces that fail lint
         #: (repro.verify.tracelint); see docs/verify.md.
         self.strict = strict
@@ -441,7 +446,7 @@ class ExperimentRuntime:
                 kind="search_shard",
                 payload=(
                     params_key, queries, database_config,
-                    shard_index, shard_count,
+                    shard_index, shard_count, self.store_dir,
                 ),
                 label=_search_label(
                     SearchParams.from_key(params_key), len(queries),
@@ -486,6 +491,7 @@ class ExperimentRuntime:
         payload = (
             DEFAULT_THRESHOLD if threshold is None else threshold,
             DEFAULT_WORD_SIZE if word_size is None else word_size,
+            self.store_dir,
         )
         tasks = [
             Task(

@@ -149,6 +149,23 @@ def simulate_key(
     ))
 
 
+def database_cache_key(database_config) -> object:
+    """Digest material for a database configuration.
+
+    A generator config contributes its ``dataclasses.astuple`` (as
+    always).  A :class:`~repro.store.packdb.PackedDatabaseRef`
+    contributes the *source key* its header pinned at pack time — the
+    very same astuple, JSON round-tripped — so a packed snapshot of
+    config C hashes identically to C itself and the two paths share
+    every cache entry byte-for-byte.
+    """
+    from repro.store.packdb import PackedDatabaseRef, packed_source_key
+
+    if isinstance(database_config, PackedDatabaseRef):
+        return packed_source_key(database_config)
+    return dataclasses.astuple(database_config)
+
+
 def trace_task_key(name: str, budget: int, database_config, query) -> str:
     """Cache address of one ``trace(workload)`` task's result."""
     return _hash_material((
@@ -157,7 +174,7 @@ def trace_task_key(name: str, budget: int, database_config, query) -> str:
         code_salt(),
         name,
         int(budget),
-        dataclasses.astuple(database_config),
+        database_cache_key(database_config),
         query.identifier,
         query.text,
         scale_factor(),
@@ -183,7 +200,7 @@ def search_shard_key(
         code_salt(),
         tuple(params_key),
         query_text,
-        dataclasses.astuple(database_config),
+        database_cache_key(database_config),
         int(shard_index),
         int(shard_count),
     ))

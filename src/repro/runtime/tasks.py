@@ -49,18 +49,24 @@ Kinds
     ``sweep_point`` would produce), and the return value is the list of
     result dicts in config order.
 ``search_shard``
-    ``(params_key, queries, database_config, shard_index, shard_count)``
-    — scans one deterministic shard of the synthetic database for a
-    *batch* of queries (``queries`` is a tuple of ``(id, residues)``
-    pairs) and returns ``{"scans": [ShardScan dict, ...]}`` in query
-    order.  Workers memoize the generated database and the compiled
-    per-query engines across tasks, so a serving workload pays the
-    expensive setup once per worker rather than once per request.
+    ``(params_key, queries, database_config, shard_index, shard_count
+    [, store_root])`` — scans one deterministic shard of the database
+    for a *batch* of queries (``queries`` is a tuple of ``(id,
+    residues)`` pairs) and returns ``{"scans": [ShardScan dict, ...]}``
+    in query order.  ``database_config`` is either a generator config
+    (the worker materializes and memoizes the database) or a
+    :class:`~repro.store.packdb.PackedDatabaseRef` (the worker mmaps
+    the shared snapshot).  With ``store_root``, BLAST query lookup
+    tables resolve through the artifact store
+    (:mod:`repro.store.artifacts`) before compiling.
 ``precompute_words``
-    ``(threshold, word_size)`` — expands every possible BLAST word's
-    neighborhood into the worker's memo (the moral equivalent of
-    BLAST's shipped neighbor tables).  The serving layer dispatches one
-    per worker at startup so later query compiles are memo lookups.
+    ``(threshold, word_size[, store_root])`` — expands every possible
+    BLAST word's neighborhood into the worker's memo (the moral
+    equivalent of BLAST's shipped neighbor tables).  With
+    ``store_root`` the expansion is loaded from / persisted to the
+    artifact store, so only the first process ever pays it.  The
+    serving layer dispatches one per worker at startup so later query
+    compiles are memo lookups.
 ``flow_facts``
     ``(path, relative, module, is_package, spec)`` — scans one module's
     source into :class:`repro.verify.flow.ModuleFacts` (symbol table,
@@ -180,18 +186,31 @@ _ENGINE_MEMO_CAP = 128
 
 def _memo_database(database_config):
     from repro.bio.synthetic import generate_database
+    from repro.store.packdb import PackedDatabaseRef, open_packed
 
     key = repr(database_config)
     database = _database_memo.get(key)
     if database is None:
         if len(_database_memo) >= _DATABASE_MEMO_CAP:
             _database_memo.clear()
-        database = generate_database(database_config)
+        if isinstance(database_config, PackedDatabaseRef):
+            # An mmap open, not a materialization: the worker shares
+            # the snapshot's page-cache pages with every other process
+            # scanning it.
+            database = open_packed(database_config.path)
+        else:
+            database = generate_database(database_config)
         _database_memo[key] = database
     return database
 
 
-def _memo_engine(params, params_key: tuple, query_id: str, query_text: str):
+def _memo_engine(
+    params,
+    params_key: tuple,
+    query_id: str,
+    query_text: str,
+    store_root: str | None = None,
+):
     from repro.align.batch import make_engine, make_query
 
     key = (params_key, query_text)
@@ -199,7 +218,19 @@ def _memo_engine(params, params_key: tuple, query_id: str, query_text: str):
     if engine is None:
         if len(_engine_memo) >= _ENGINE_MEMO_CAP:
             _engine_memo.clear()
-        engine = make_engine(params, make_query(query_id, query_text))
+        if store_root is not None and params.algorithm == "blast":
+            from repro.store.artifacts import (
+                ArtifactStore,
+                cached_blast_engine,
+            )
+
+            engine = cached_blast_engine(
+                ArtifactStore(store_root),
+                params,
+                make_query(query_id, query_text),
+            )
+        else:
+            engine = make_engine(params, make_query(query_id, query_text))
         _engine_memo[key] = engine
     return engine
 
@@ -207,11 +238,16 @@ def _memo_engine(params, params_key: tuple, query_id: str, query_text: str):
 def execute_search_shard(payload: tuple) -> dict:
     from repro.align.batch import SearchParams, scan_shard
 
-    params_key, queries, database_config, shard_index, shard_count = payload
+    params_key, queries, database_config, shard_index, shard_count = (
+        payload[:5]
+    )
+    store_root = payload[5] if len(payload) > 5 else None
     params = SearchParams.from_key(params_key)
     database = _memo_database(database_config)
     engines = [
-        _memo_engine(params, tuple(params_key), query_id, query_text)
+        _memo_engine(
+            params, tuple(params_key), query_id, query_text, store_root
+        )
         for query_id, query_text in queries
     ]
     scans = scan_shard(params, engines, database, shard_index, shard_count)
@@ -221,11 +257,20 @@ def execute_search_shard(payload: tuple) -> dict:
 def execute_precompute_words(payload: tuple) -> dict:
     from repro.align.blast.wordfinder import precompute_neighborhoods
 
-    threshold, word_size = payload
+    threshold, word_size = payload[:2]
+    store_root = payload[2] if len(payload) > 2 else None
     start = time.perf_counter()
-    entries = precompute_neighborhoods(
-        threshold=threshold, word_size=word_size
-    )
+    if store_root is not None:
+        from repro.store.artifacts import ArtifactStore, ensure_neighbor_table
+
+        entries = ensure_neighbor_table(
+            ArtifactStore(store_root),
+            threshold=threshold, word_size=word_size,
+        )
+    else:
+        entries = precompute_neighborhoods(
+            threshold=threshold, word_size=word_size
+        )
     return {
         "entries": entries,
         "seconds": time.perf_counter() - start,

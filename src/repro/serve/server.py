@@ -52,12 +52,20 @@ class ServeConfig:
     """Everything that shapes one service instance."""
 
     database: SyntheticDatabaseConfig = DEFAULT_DATABASE
+    #: Packed database directory (``repro store pack-db``).  When set
+    #: it replaces ``database``: workers mmap the snapshot instead of
+    #: materializing a private copy, and startup skips generation
+    #: entirely — this is the replicated tier's shared-memory path.
+    database_path: str | None = None
     shard_count: int = 2
     jobs: int = 2
     queue_capacity: int = 64
     policy: BatchPolicy = field(default_factory=BatchPolicy)
     default_timeout: float | None = 30.0
     cache_dir: str | None = None
+    #: Compiled-artifact store root (``repro store``); neighbor tables
+    #: and query lookup tables resolve store-first when set.
+    store_dir: str | None = None
     #: Expand the full BLAST neighborhood table in every worker at
     #: startup (~0.6 s per worker once) so query compiles on the hot
     #: path degrade to memo lookups.  The CLI turns this on; tests
@@ -109,9 +117,20 @@ class AlignmentService:
         """Bring up the runtime pool and the batching loop."""
         config = self.config
         self.runtime = ExperimentRuntime(
-            jobs=config.jobs, cache_dir=config.cache_dir
+            jobs=config.jobs,
+            cache_dir=config.cache_dir,
+            store_dir=config.store_dir,
         )
-        database_name = generate_database(config.database).name
+        if config.database_path is not None:
+            from repro.store.packdb import PackedDatabaseRef, open_packed
+
+            # Cold start is a header read plus an mmap — no generation,
+            # no per-replica heap copy of the residues.
+            database_config = PackedDatabaseRef(config.database_path)
+            database_name = open_packed(config.database_path).name
+        else:
+            database_config = config.database
+            database_name = generate_database(config.database).name
         self.admission = AdmissionController(
             config.queue_capacity,
             self.telemetry,
@@ -119,7 +138,7 @@ class AlignmentService:
         )
         self.backend = ShardSearchBackend(
             self.runtime,
-            config.database,
+            database_config,
             database_name,
             config.shard_count,
             self.telemetry,
@@ -353,6 +372,8 @@ def build_config(args) -> ServeConfig:
     )
     return ServeConfig(
         database=database,
+        database_path=getattr(args, "db_path", None),
+        store_dir=getattr(args, "store_dir", None),
         shard_count=args.shards,
         jobs=args.jobs,
         queue_capacity=args.queue_capacity,
@@ -403,8 +424,19 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="synthetic database seed",
     )
     parser.add_argument(
+        "--db-path", default=None, metavar="DIR",
+        help="packed database directory (repro store pack-db); "
+             "replaces --db-sequences/--db-seed and mmaps the "
+             "snapshot instead of generating a private copy",
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
         help="persistent scan cache directory (default: ephemeral)",
+    )
+    parser.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="compiled-artifact store (repro store); BLAST tables "
+             "load from it instead of recompiling per process",
     )
     parser.add_argument(
         "--precompute", action=argparse.BooleanOptionalAction,

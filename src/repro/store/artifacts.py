@@ -1,0 +1,375 @@
+"""Persistent compiled-artifact store.
+
+The serving hot path compiles two kinds of structure before it can
+scan a single residue: the BLAST *neighbor table* (every word within
+threshold of every query word — ~0.6 s to expand in full) and the
+per-query *lookup table* (the query's word index / profile).  Both are
+pure functions of their inputs and the source tree, so they are
+content-addressed here the same way the runtime caches results:
+
+    objects/<aa>/<digest>.artifact.npz
+
+``<digest>`` is :func:`artifact_key` — a blake2b over the artifact
+kind, its defining material, the cache schema version, and
+:func:`repro.runtime.keys.code_salt` — so any source change invalidates
+every artifact, exactly like result-cache entries.  Payloads are
+``.npz`` bundles of integer arrays with an embedded content checksum:
+a corrupt or truncated object loads as a miss (and is deleted), never
+as wrong data — callers rebuild and overwrite.
+
+A process-local handle cache sits in front of disk: decoded artifacts
+are memoized by digest, so a warm process pays one dict probe.  The
+memos are module-owned globals written only from this module, which
+keeps them fork-safe under the pool executor (each worker warms its
+own copy from the shared files).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.store.base import ContentStore
+
+ARTIFACT_SUFFIX = ".artifact.npz"
+_CHECKSUM_FIELD = "__checksum__"
+
+#: Process-local decoded-artifact handles, keyed by digest.
+_HANDLES: dict[str, object] = {}
+_HANDLE_CAP = 128
+#: Hit/miss telemetry for ``repro store stats`` and tests.
+_COUNTS = {"handle_hits": 0, "disk_hits": 0, "misses": 0, "corrupt": 0}
+
+
+def artifact_key(kind: str, material: object) -> str:
+    """Content digest for one compiled artifact.
+
+    Mixes in ``CACHE_SCHEMA_VERSION`` and :func:`code_salt` so that
+    artifacts are exactly as durable as result-cache entries: a source
+    change invalidates both, and a stale artifact can never be read
+    back under new code.
+    """
+    from repro.runtime.keys import CACHE_SCHEMA_VERSION, code_salt
+
+    material = ("artifact", CACHE_SCHEMA_VERSION, code_salt(), kind, material)
+    return hashlib.blake2b(
+        repr(material).encode(), digest_size=16
+    ).hexdigest()
+
+
+def _checksum(arrays: dict[str, np.ndarray]) -> bytes:
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.digest()
+
+
+class ArtifactStore(ContentStore):
+    """Content-addressed store for compiled search artifacts."""
+
+    def artifact_path(self, digest: str) -> Path:
+        """Where an artifact with this digest lives (may not exist)."""
+        return self._path(digest, ARTIFACT_SUFFIX)
+
+    def store_arrays(
+        self, digest: str, arrays: dict[str, np.ndarray]
+    ) -> Path:
+        """Persist one artifact bundle (no-op when it already exists)."""
+        path = self.artifact_path(digest)
+        if not path.exists():
+            payload = {
+                name: np.ascontiguousarray(array)
+                for name, array in arrays.items()
+            }
+            payload[_CHECKSUM_FIELD] = np.frombuffer(
+                _checksum(arrays), dtype=np.uint8
+            )
+            self._write_atomic(
+                path, lambda temp: np.savez(temp, **payload)
+            )
+        return path
+
+    def load_arrays(self, digest: str) -> dict[str, np.ndarray] | None:
+        """Load one artifact bundle, or ``None`` on miss/corruption.
+
+        A bundle whose embedded checksum disagrees with its content
+        (truncated write, bit rot, tampering) is deleted and reported
+        as a miss — the caller rebuilds, it never crashes or computes
+        on bad data.
+        """
+        path = self.artifact_path(digest)
+        try:
+            with np.load(path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            _COUNTS["misses"] += 1
+            return None
+        recorded = arrays.pop(_CHECKSUM_FIELD, None)
+        if (
+            recorded is None
+            or recorded.tobytes() != _checksum(arrays)
+        ):
+            _COUNTS["corrupt"] += 1
+            path.unlink(missing_ok=True)
+            return None
+        return arrays
+
+    def stats(self) -> dict:
+        """On-disk totals plus this process's handle-cache telemetry."""
+        counts, entries, total = self.measure((ARTIFACT_SUFFIX,))
+        return {
+            "artifacts": counts[ARTIFACT_SUFFIX],
+            "entries": entries,
+            "total_bytes": total,
+            **handle_cache_stats(),
+        }
+
+    def clean(self) -> dict:
+        """Delete every artifact; returns what was removed."""
+        stats = self.stats()
+        self.clear_objects()
+        _HANDLES.clear()
+        return stats
+
+
+def handle_cache_stats() -> dict:
+    """This process's artifact handle-cache counters."""
+    probes = (
+        _COUNTS["handle_hits"] + _COUNTS["disk_hits"] + _COUNTS["misses"]
+        + _COUNTS["corrupt"]
+    )
+    return {
+        **_COUNTS,
+        "handles": len(_HANDLES),
+        "hit_rate": (
+            (_COUNTS["handle_hits"] + _COUNTS["disk_hits"]) / probes
+            if probes else 0.0
+        ),
+    }
+
+
+def reset_handle_cache() -> None:
+    """Drop decoded handles and zero the counters (tests)."""
+    _HANDLES.clear()
+    for name in _COUNTS:
+        _COUNTS[name] = 0
+
+
+def _remember(digest: str, handle: object) -> None:
+    if len(_HANDLES) >= _HANDLE_CAP:
+        _HANDLES.clear()
+    _HANDLES[digest] = handle
+
+
+# -- neighbor tables --------------------------------------------------------
+
+
+def neighbor_table_key(
+    matrix_name: str, threshold: int, word_size: int
+) -> str:
+    return artifact_key(
+        "neighbor-table", (matrix_name, int(threshold), int(word_size))
+    )
+
+
+def _encode_table(table: dict[int, tuple[int, ...]]) -> dict:
+    words = np.fromiter(sorted(table), dtype=np.int64, count=len(table))
+    counts = np.fromiter(
+        (len(table[int(word)]) for word in words),
+        dtype=np.int64, count=len(words),
+    )
+    offsets = np.zeros(len(words) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    neighbors = np.fromiter(
+        (
+            neighbor
+            for word in words
+            for neighbor in table[int(word)]
+        ),
+        dtype=np.int64, count=int(offsets[-1]),
+    )
+    return {"words": words, "offsets": offsets, "neighbors": neighbors}
+
+
+def _decode_table(arrays: dict) -> dict[int, tuple[int, ...]]:
+    words = arrays["words"]
+    offsets = arrays["offsets"]
+    neighbors = arrays["neighbors"].tolist()
+    return {
+        int(word): tuple(neighbors[offsets[index]:offsets[index + 1]])
+        for index, word in enumerate(words.tolist())
+    }
+
+
+def ensure_neighbor_table(
+    store: ArtifactStore,
+    matrix=None,
+    threshold: int | None = None,
+    word_size: int | None = None,
+) -> int:
+    """Install the full neighbor table, store-first.
+
+    On a store hit the decoded table is installed into the wordfinder
+    memo directly — no branch-and-bound expansion at all.  On a miss
+    the table is expanded once (:func:`precompute_neighborhoods`) and
+    persisted for every later process.  Returns the entry count either
+    way.
+    """
+    from repro.align.blast.wordfinder import (
+        DEFAULT_THRESHOLD,
+        DEFAULT_WORD_SIZE,
+        export_neighbor_table,
+        install_neighbor_table,
+        precompute_neighborhoods,
+    )
+    from repro.bio.matrices import BLOSUM62
+
+    matrix = BLOSUM62 if matrix is None else matrix
+    threshold = DEFAULT_THRESHOLD if threshold is None else threshold
+    word_size = DEFAULT_WORD_SIZE if word_size is None else word_size
+    digest = neighbor_table_key(matrix.name, threshold, word_size)
+    table = _HANDLES.get(digest)
+    if table is not None:
+        _COUNTS["handle_hits"] += 1
+        install_neighbor_table(matrix.name, threshold, word_size, table)
+        return sum(len(neighbors) for neighbors in table.values())
+    arrays = store.load_arrays(digest)
+    if arrays is not None:
+        _COUNTS["disk_hits"] += 1
+        table = _decode_table(arrays)
+        install_neighbor_table(matrix.name, threshold, word_size, table)
+        _remember(digest, table)
+        return sum(len(neighbors) for neighbors in table.values())
+    entries = precompute_neighborhoods(
+        matrix=matrix, threshold=threshold, word_size=word_size
+    )
+    table = export_neighbor_table(matrix.name, threshold, word_size)
+    if table is not None:
+        store.store_arrays(digest, _encode_table(table))
+        _remember(digest, table)
+    return entries
+
+
+# -- per-query lookup tables (word indexes) ---------------------------------
+
+
+def lookup_key(
+    matrix_name: str,
+    threshold: int,
+    word_size: int,
+    mask_query: bool,
+    query_text: str,
+) -> str:
+    return artifact_key(
+        "query-lookup",
+        (
+            matrix_name, int(threshold), int(word_size),
+            bool(mask_query), query_text,
+        ),
+    )
+
+
+def _encode_lookup(lookup) -> dict:
+    occupied = np.fromiter(
+        lookup.occupied, dtype=np.int64, count=len(lookup.occupied)
+    )
+    counts = np.fromiter(
+        (len(lookup._cells[int(index)]) for index in occupied),
+        dtype=np.int64, count=len(occupied),
+    )
+    offsets = np.zeros(len(occupied) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    positions = np.fromiter(
+        (
+            position
+            for index in occupied
+            for position in lookup._cells[int(index)]
+        ),
+        dtype=np.int64, count=int(offsets[-1]),
+    )
+    meta = np.array(
+        [lookup.word_size, lookup.threshold, lookup.entry_count],
+        dtype=np.int64,
+    )
+    return {
+        "occupied": occupied, "offsets": offsets,
+        "positions": positions, "meta": meta,
+    }
+
+
+def _decode_lookup(arrays: dict):
+    from repro.align.blast.wordfinder import LookupTable
+
+    word_size, threshold, entry_count = (
+        int(value) for value in arrays["meta"]
+    )
+    occupied = arrays["occupied"]
+    offsets = arrays["offsets"]
+    positions = arrays["positions"].tolist()
+    cells: list[list[int] | None] = [None] * (20 ** word_size)
+    for index, cell in enumerate(occupied.tolist()):
+        cells[cell] = positions[offsets[index]:offsets[index + 1]]
+    return LookupTable.from_cells(
+        word_size=word_size,
+        threshold=threshold,
+        cells=cells,
+        occupied=tuple(occupied.tolist()),
+        entry_count=entry_count,
+    )
+
+
+def cached_blast_engine(store: ArtifactStore, params, query):
+    """A BLAST engine whose query lookup table is store-resident.
+
+    On a hit the engine skips lookup compilation (and query masking)
+    entirely; on a miss it compiles as usual and persists the table
+    for every later process.  The produced engine scans byte-identically
+    either way — the lookup codec round-trips cells exactly.
+    """
+    from repro.align.batch import blast_options
+    from repro.align.blast.engine import BlastEngine
+
+    options = blast_options(params)
+    digest = lookup_key(
+        options.matrix.name, options.threshold, options.word_size,
+        options.mask_query, query.text,
+    )
+    lookup = _HANDLES.get(digest)
+    if lookup is not None:
+        _COUNTS["handle_hits"] += 1
+        return BlastEngine(query, options, lookup=lookup)
+    arrays = store.load_arrays(digest)
+    if arrays is not None:
+        _COUNTS["disk_hits"] += 1
+        lookup = _decode_lookup(arrays)
+        _remember(digest, lookup)
+        return BlastEngine(query, options, lookup=lookup)
+    engine = BlastEngine(query, options)
+    store.store_arrays(digest, _encode_lookup(engine.lookup))
+    _remember(digest, engine.lookup)
+    return engine
+
+
+def prewarm(
+    store: ArtifactStore,
+    threshold: int | None = None,
+    word_size: int | None = None,
+) -> dict:
+    """Populate the store with the compile-heavy shared artifacts.
+
+    ``repro store prewarm`` runs this once per deployment; replica
+    processes then start with every neighbor-table expansion already
+    on disk.  Per-query lookup tables accrete organically as queries
+    arrive (each is persisted on first compile).
+    """
+    entries = ensure_neighbor_table(
+        store, threshold=threshold, word_size=word_size
+    )
+    return {"neighbor_entries": entries, **store.stats()}

@@ -1,0 +1,139 @@
+"""Content-addressed object store primitives.
+
+Both persistent stores in the repo — the runtime *result* cache
+(:mod:`repro.runtime.cache`) and the compiled-*artifact* store
+(:mod:`repro.store.artifacts`) — share one on-disk discipline,
+factored here:
+
+* objects live under ``<root>/objects/<aa>/<digest><suffix>`` where
+  ``<aa>`` is the first two hex characters of the digest (fan-out so
+  directories stay small);
+* writes go through a same-directory temporary file plus
+  :func:`os.replace`, so concurrent producers of one entry are safe —
+  identical content, last write wins, readers never observe a torn
+  file;
+* maintenance (counting, clearing, bounded eviction) touches only the
+  ``objects/`` tree, so a store root can host sidecar state (sweep
+  manifests, flow-graph pickles) without the cleaner removing it.
+
+Eviction policy is shared by every subclass: :meth:`ContentStore.evict`
+removes oldest-modified objects first until the tree fits the byte
+budget.  Reads treat a missing object as a cache miss, so evicting
+under concurrent readers is always safe — the entry is simply rebuilt.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Entry/byte totals for one object tree."""
+
+    entries: int
+    total_bytes: int
+
+
+class ContentStore:
+    """A directory of digest-addressed objects with atomic writes."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, digest: str, suffix: str) -> Path:
+        return self.objects / digest[:2] / f"{digest}{suffix}"
+
+    def _write_atomic(
+        self, path: Path, writer: Callable[[Path], None]
+    ) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Keep the real suffix: np.savez appends ".npz" to paths without
+        # it.  The temp name carries pid AND thread id — concurrent
+        # producers in one process (serve loop + pool threads) must not
+        # share a temp or one replaces the other's half-written file.
+        temporary = path.with_name(
+            f".{path.stem}.{os.getpid()}.{threading.get_ident()}"
+            f".tmp{path.suffix}"
+        )
+        try:
+            writer(temporary)
+            os.replace(temporary, path)
+        finally:
+            temporary.unlink(missing_ok=True)
+
+    # -- maintenance --------------------------------------------------------
+
+    def object_files(self) -> Iterator[Path]:
+        """Every stored object (skips directories and in-flight temps)."""
+        for path in self.objects.rglob("*"):
+            if path.is_file() and not path.name.startswith("."):
+                yield path
+
+    def measure(
+        self, suffixes: tuple[str, ...] = ()
+    ) -> tuple[dict[str, int], int, int]:
+        """Per-suffix counts plus ``(entries, total_bytes)`` overall."""
+        counts = {suffix: 0 for suffix in suffixes}
+        entries = total = 0
+        for path in self.object_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # concurrently evicted
+            entries += 1
+            for suffix in suffixes:
+                if path.name.endswith(suffix):
+                    counts[suffix] += 1
+                    break
+        return counts, entries, total
+
+    def store_stats(self) -> StoreStats:
+        """Entry and byte totals for the object tree."""
+        _, entries, total = self.measure()
+        return StoreStats(entries=entries, total_bytes=total)
+
+    def clear_objects(self) -> StoreStats:
+        """Delete every object; returns what was removed."""
+        stats = self.store_stats()
+        shutil.rmtree(self.objects, ignore_errors=True)
+        self.objects.mkdir(parents=True, exist_ok=True)
+        return stats
+
+    def evict(self, max_bytes: int) -> StoreStats:
+        """Shrink the object tree to ``max_bytes``, oldest-modified first.
+
+        The shared eviction policy for every store: objects are ranked
+        by modification time (ties broken by path for determinism) and
+        removed until the remainder fits the budget.  Concurrent
+        readers see evicted entries as ordinary misses and rebuild.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        ranked: list[tuple[float, str, int, Path]] = []
+        total = 0
+        for path in self.object_files():
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            ranked.append(
+                (status.st_mtime, str(path), status.st_size, path)
+            )
+            total += status.st_size
+        removed = freed = 0
+        ranked.sort()
+        for _, _, size, path in ranked:
+            if total - freed <= max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            removed += 1
+            freed += size
+        return StoreStats(entries=removed, total_bytes=freed)

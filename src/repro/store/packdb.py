@@ -1,0 +1,471 @@
+"""Zero-copy packed columnar database format.
+
+``repro store pack-db`` snapshots a :class:`SequenceDatabase` into a
+directory of raw per-column ``.npy`` files plus a JSON header::
+
+    <db>/header.json          format version, name, alphabet, counts,
+                              content digest, pinned source key
+    <db>/residues.npy         uint8 — normalized residue letters, all
+                              sequences concatenated
+    <db>/offsets.npy          int64, n+1 — residue extents per sequence
+    <db>/ids.npy              uint8 — identifiers, concatenated
+    <db>/id_offsets.npy       int64, n+1
+    <db>/descriptions.npy     uint8 — description lines, concatenated
+    <db>/desc_offsets.npy     int64, n+1
+
+Raw ``.npy`` (not ``.npz``) because zip members cannot be memory-
+mapped: :class:`PackedDatabase` opens the byte columns with
+``np.load(..., mmap_mode="r")``, so N replica processes scanning the
+same snapshot share read-only page-cache pages instead of each
+materializing a private heap of Sequence objects.  Subjects are
+decoded lazily per scan (text via one ``bytes`` copy, codes via a
+vectorized 256-entry table lookup) and not retained.
+
+Digest compatibility is the load-bearing property: the header pins the
+*source key* — the generator config's ``dataclasses.astuple`` JSON
+round-tripped at pack time — and
+:func:`repro.runtime.keys.database_cache_key` resolves a
+:class:`PackedDatabaseRef` to that key.  A packed snapshot of config C
+therefore hashes identically to C itself, and every search-shard /
+trace cache entry is shared byte-for-byte between the two paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import astuple, dataclass, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bio.alphabet import DNA, PROTEIN, Alphabet
+from repro.bio.database import DatabaseStats, SequenceDatabase
+from repro.bio.sequence import Sequence
+
+FORMAT_VERSION = 1
+HEADER_NAME = "header.json"
+_TEXT_COLUMNS = ("residues", "ids", "descriptions")
+_OFFSET_COLUMNS = ("offsets", "id_offsets", "desc_offsets")
+_ALPHABETS = {PROTEIN.name: PROTEIN, DNA.name: DNA}
+
+#: Process-local open-database memo (mmap handles are shareable).
+_OPEN_MEMO: dict[str, "PackedDatabase"] = {}
+_OPEN_MEMO_CAP = 8
+#: Process-local header source-key memo (one tiny JSON read per path).
+_SOURCE_KEY_MEMO: dict[str, object] = {}
+#: Per-alphabet byte→code lookup tables.
+_LUT_MEMO: dict[str, np.ndarray] = {}
+
+
+class PackedDatabaseError(ValueError):
+    """A packed database directory is missing, malformed, or corrupt."""
+
+
+@dataclass(frozen=True)
+class PackedDatabaseRef:
+    """A picklable pointer to a packed database directory.
+
+    This is what flows through serve configs and task payloads in
+    place of a generator config; workers resolve it lazily with
+    :func:`open_packed` (an mmap open, not a materialization).
+    """
+
+    path: str
+
+
+def _codes_lut(alphabet: Alphabet) -> np.ndarray:
+    """Byte-value → residue-code table for one alphabet.
+
+    Packed text is normalized (upper-case, validated at original
+    encode time), so every byte is either an alphabet symbol or an
+    unknown letter that encodes to the wildcard — exactly
+    ``Alphabet.code_of``'s fallback, applied here as the table
+    default.
+    """
+    lut = _LUT_MEMO.get(alphabet.name)
+    if lut is None:
+        lut = np.full(256, alphabet.wildcard_code, dtype=np.int64)
+        for symbol in alphabet.symbols:
+            lut[ord(symbol)] = alphabet.code_of(symbol)
+        _LUT_MEMO[alphabet.name] = lut
+    return lut
+
+
+def _concat_text(texts: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    offsets = np.zeros(len(texts) + 1, dtype=np.int64)
+    np.cumsum([len(text) for text in texts], out=offsets[1:])
+    blob = "".join(texts).encode("ascii")
+    data = np.frombuffer(blob, dtype=np.uint8).copy()
+    return data, offsets
+
+
+def _content_digest(columns: dict[str, np.ndarray]) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(columns):
+        array = np.ascontiguousarray(columns[name])
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _jsonable_source_key(source_config: object) -> object:
+    if not is_dataclass(source_config):
+        raise TypeError(
+            "source_config must be a database-config dataclass, got "
+            f"{type(source_config).__name__}"
+        )
+    # JSON round-trips ints, floats (shortest-repr), and strings
+    # exactly, so the tuple read back at serve time reprs identically
+    # to the live config's astuple — the digest-compatibility anchor.
+    return json.loads(json.dumps(astuple(source_config)))
+
+
+def _as_tuple(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(_as_tuple(item) for item in value)
+    return value
+
+
+def pack_database(
+    database: SequenceDatabase,
+    out_dir: str | Path,
+    source_config: object | None = None,
+    overwrite: bool = False,
+) -> Path:
+    """Write one packed snapshot of ``database`` to ``out_dir``.
+
+    ``source_config`` (the generator config the database came from)
+    pins the snapshot's cache identity; without it the snapshot gets a
+    content-derived key and will not share cache entries with the
+    generator path.  The directory is assembled in a same-parent
+    temporary and renamed into place, so a crashed pack never leaves a
+    half-written database behind.
+    """
+    out = Path(out_dir)
+    if (out / HEADER_NAME).exists():
+        if not overwrite:
+            raise FileExistsError(f"packed database exists: {out}")
+        shutil.rmtree(out)
+    residues, offsets = _concat_text(
+        [sequence.text for sequence in database]
+    )
+    ids, id_offsets = _concat_text(
+        [sequence.identifier for sequence in database]
+    )
+    descriptions, desc_offsets = _concat_text(
+        [sequence.description for sequence in database]
+    )
+    columns = {
+        "residues": residues,
+        "offsets": offsets,
+        "ids": ids,
+        "id_offsets": id_offsets,
+        "descriptions": descriptions,
+        "desc_offsets": desc_offsets,
+    }
+    digest = _content_digest(columns)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "name": database.name,
+        "alphabet": database.alphabet.name,
+        "sequence_count": len(database),
+        "residue_count": int(offsets[-1]),
+        "content_digest": digest,
+        "source_key": (
+            None if source_config is None
+            else _jsonable_source_key(source_config)
+        ),
+    }
+    temporary = out.parent / f".{out.name}.{os.getpid()}.tmp"
+    if temporary.exists():
+        shutil.rmtree(temporary)
+    temporary.mkdir(parents=True)
+    try:
+        for name, column in columns.items():
+            np.save(temporary / f"{name}.npy", column)
+        (temporary / HEADER_NAME).write_text(
+            json.dumps(header, indent=2, sort_keys=True) + "\n"
+        )
+        os.replace(temporary, out)
+    finally:
+        if temporary.exists():
+            shutil.rmtree(temporary, ignore_errors=True)
+    return out
+
+
+def _read_header(path: str | Path) -> dict:
+    header_path = Path(path) / HEADER_NAME
+    try:
+        header = json.loads(header_path.read_text())
+    except OSError as error:
+        raise PackedDatabaseError(
+            f"not a packed database (no readable {HEADER_NAME}): {path} "
+            f"({error})"
+        ) from error
+    except ValueError as error:
+        raise PackedDatabaseError(
+            f"corrupt packed-database header: {header_path} ({error})"
+        ) from error
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PackedDatabaseError(
+            f"unsupported packed-database format {version!r} at {path} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return header
+
+
+def verify_packed(path: str | Path) -> dict:
+    """Full content check: recompute the column digest vs the header.
+
+    O(bytes) — used by ``repro store pack-db --verify`` and tests, not
+    on the open path.  Raises :class:`PackedDatabaseError` on any
+    mismatch.
+    """
+    header = _read_header(path)
+    columns = {}
+    for name in _TEXT_COLUMNS + _OFFSET_COLUMNS:
+        try:
+            columns[name] = np.load(Path(path) / f"{name}.npy")
+        except (OSError, ValueError) as error:
+            raise PackedDatabaseError(
+                f"missing or unreadable column {name!r} at {path} "
+                f"({error})"
+            ) from error
+    digest = _content_digest(columns)
+    if digest != header.get("content_digest"):
+        raise PackedDatabaseError(
+            f"content digest mismatch at {path}: header says "
+            f"{header.get('content_digest')}, columns hash to {digest}"
+        )
+    return header
+
+
+class PackedDatabase:
+    """Read-only, mmap-backed :class:`SequenceDatabase` equivalent.
+
+    Mirrors the SequenceDatabase API the scan/shard paths use —
+    iteration, ``len``, ``shard_bounds``/``shard``/``slice``,
+    ``stats``, ``residue_count``, id lookup — over shared column
+    arrays.  ``shard``/``slice`` return O(1) windowed views onto the
+    same arrays; subjects materialize lazily during iteration and are
+    not retained.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        alphabet: Alphabet,
+        columns: dict[str, np.ndarray],
+        start: int = 0,
+        stop: int | None = None,
+    ) -> None:
+        self.name = name
+        self.alphabet = alphabet
+        self._columns = columns
+        self._residues = columns["residues"]
+        self._offsets = columns["offsets"]
+        self._start = start
+        self._stop = (
+            len(self._offsets) - 1 if stop is None else stop
+        )
+        self._lut = _codes_lut(alphabet)
+        self._index_by_id: dict[str, int] | None = None
+
+    @classmethod
+    def open(cls, path: str | Path) -> "PackedDatabase":
+        """Map one packed directory (small columns load, bytes mmap)."""
+        header = _read_header(path)
+        root = Path(path)
+        columns: dict[str, np.ndarray] = {}
+        try:
+            for name in _OFFSET_COLUMNS:
+                columns[name] = np.load(root / f"{name}.npy")
+            for name in _TEXT_COLUMNS:
+                columns[name] = np.load(
+                    root / f"{name}.npy", mmap_mode="r"
+                )
+        except (OSError, ValueError) as error:
+            raise PackedDatabaseError(
+                f"missing or unreadable column at {path} ({error})"
+            ) from error
+        alphabet = _ALPHABETS.get(header["alphabet"])
+        if alphabet is None:
+            raise PackedDatabaseError(
+                f"unknown alphabet {header['alphabet']!r} at {path}"
+            )
+        expected = int(header["sequence_count"])
+        if len(columns["offsets"]) != expected + 1:
+            raise PackedDatabaseError(
+                f"offsets column disagrees with header at {path}: "
+                f"{len(columns['offsets'])} extents for {expected} "
+                "sequences"
+            )
+        return cls(header["name"], alphabet, columns)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self):
+        for index in range(self._start, self._stop):
+            yield self._materialize(index)
+
+    def __getitem__(self, position: int) -> Sequence:
+        length = len(self)
+        if position < 0:
+            position += length
+        if not 0 <= position < length:
+            raise IndexError("sequence index out of range")
+        return self._materialize(self._start + position)
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._id_index()
+
+    def get(self, identifier: str) -> Sequence | None:
+        """Sequence by identifier, or None."""
+        index = self._id_index().get(identifier)
+        return None if index is None else self._materialize(index)
+
+    def add(self, sequence: Sequence) -> None:
+        raise TypeError(
+            "packed databases are read-only snapshots; re-pack to change"
+        )
+
+    # -- materialization ----------------------------------------------------
+
+    def _decode(self, column: str, offsets: str, index: int) -> str:
+        extents = self._columns[offsets]
+        begin, end = int(extents[index]), int(extents[index + 1])
+        return bytes(self._columns[column][begin:end]).decode("ascii")
+
+    def _materialize(self, index: int) -> Sequence:
+        begin = int(self._offsets[index])
+        end = int(self._offsets[index + 1])
+        chunk = self._residues[begin:end]
+        text = bytes(chunk).decode("ascii")
+        codes = tuple(self._lut[chunk].tolist())
+        return Sequence.from_encoded(
+            identifier=self._decode("ids", "id_offsets", index),
+            text=text,
+            codes=codes,
+            description=self._decode(
+                "descriptions", "desc_offsets", index
+            ),
+            alphabet=self.alphabet,
+        )
+
+    def _id_index(self) -> dict[str, int]:
+        if self._index_by_id is None:
+            self._index_by_id = {
+                self._decode("ids", "id_offsets", index): index
+                for index in range(self._start, self._stop)
+            }
+        return self._index_by_id
+
+    # -- windows (sharding) -------------------------------------------------
+
+    def _window(self, start: int, stop: int, name: str) -> "PackedDatabase":
+        view = PackedDatabase(
+            name, self.alphabet, self._columns,
+            start=self._start + start, stop=self._start + stop,
+        )
+        return view
+
+    def slice(self, count: int, name: str | None = None) -> "PackedDatabase":
+        """First ``count`` sequences as a windowed view (O(1))."""
+        count = min(count, len(self))
+        return self._window(
+            0, count, name or f"{self.name}[:{count}]"
+        )
+
+    def shard_bounds(self, shard_count: int) -> list[tuple[int, int]]:
+        """Deterministic [start, stop) bounds for each shard."""
+        if shard_count < 1:
+            raise ValueError("shard_count must be positive")
+        total = len(self)
+        return [
+            (index * total // shard_count,
+             (index + 1) * total // shard_count)
+            for index in range(shard_count)
+        ]
+
+    def shard(
+        self, shard_index: int, shard_count: int, name: str | None = None
+    ) -> "PackedDatabase":
+        """One deterministic shard as a windowed view (O(1))."""
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard_index {shard_index} outside 0..{shard_count - 1}"
+            )
+        start, stop = self.shard_bounds(shard_count)[shard_index]
+        return self._window(
+            start, stop,
+            name or f"{self.name}[shard {shard_index}/{shard_count}]",
+        )
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def residue_count(self) -> int:
+        """Total residues in this view (O(1) via the offsets column)."""
+        return int(
+            self._offsets[self._stop] - self._offsets[self._start]
+        )
+
+    def stats(self) -> DatabaseStats:
+        """Aggregate statistics, vectorized over the offsets column."""
+        lengths = np.diff(self._offsets[self._start:self._stop + 1])
+        if len(lengths) == 0:
+            return DatabaseStats(
+                sequence_count=0, residue_count=0, shortest=0, longest=0
+            )
+        return DatabaseStats(
+            sequence_count=len(lengths),
+            residue_count=int(lengths.sum()),
+            shortest=int(lengths.min()),
+            longest=int(lengths.max()),
+        )
+
+
+def open_packed(path: str | Path) -> PackedDatabase:
+    """Open (memoized per process) one packed database directory."""
+    resolved = str(Path(path).resolve())
+    database = _OPEN_MEMO.get(resolved)
+    if database is None:
+        database = PackedDatabase.open(resolved)
+        if len(_OPEN_MEMO) >= _OPEN_MEMO_CAP:
+            _OPEN_MEMO.clear()
+        _OPEN_MEMO[resolved] = database
+    return database
+
+
+def packed_source_key(ref: PackedDatabaseRef) -> object:
+    """The cache-key material a packed snapshot stands for.
+
+    The header's pinned source key (the generator config's astuple),
+    tuple-ified so it reprs identically to the live config's — or a
+    content-derived key for packs with no recorded source.
+    """
+    resolved = str(Path(ref.path).resolve())
+    key = _SOURCE_KEY_MEMO.get(resolved)
+    if key is None:
+        header = _read_header(resolved)
+        raw = header.get("source_key")
+        if raw is None:
+            key = ("packed", header["content_digest"])
+        else:
+            key = _as_tuple(raw)
+        _SOURCE_KEY_MEMO[resolved] = key
+    return key
+
+
+def reset_packed_memos() -> None:
+    """Drop per-process open/source-key memos (tests repack paths)."""
+    _OPEN_MEMO.clear()
+    _SOURCE_KEY_MEMO.clear()

@@ -36,6 +36,15 @@ REP008   per-cycle Python-object allocation in ``repro.uarch`` cycle
          lives and dies by allocation pressure in the cycle loop —
          preallocate, reuse, or use a bounded timing wheel; the few
          deliberate cases in the scalar core carry per-line disables
+REP009   ad-hoc persistence outside the storage layer: a
+         ``pickle.dump``/``marshal.dump``/``np.save``/``np.savez``/
+         ``shelve.open`` call in a module that is not part of
+         ``repro.store``, ``repro.runtime.cache``, or
+         ``repro.isa.serialize``.  Every on-disk cache must go
+         through the content-addressed stores — they carry the
+         code-salted digests, atomic writes, and corruption checks
+         that make cached bytes trustworthy; a hand-rolled pickle
+         cache silently serves stale data across code versions
 =======  =============================================================
 
 Suppression: append ``# repolint: disable=REP00x`` (comma-separated for
@@ -66,6 +75,7 @@ RULES: dict[str, str] = {
     "REP006": "blocking call in repro.serve coroutine code",
     "REP007": "ad-hoc config-grid loop bypassing repro.sweep",
     "REP008": "per-cycle object allocation in a repro.uarch cycle loop",
+    "REP009": "ad-hoc on-disk cache outside the storage layer",
 }
 
 #: Modules allowed to be nondeterministic (CLI entry point, wall-clock
@@ -104,6 +114,20 @@ REP007_SCOPE = "analysis/"
 
 #: Where REP008 applies (the simulator's cycle-loop hot paths).
 REP008_SCOPE = "uarch/"
+
+#: Modules allowed to write on-disk artifacts (REP009): the
+#: content-addressed stores, the result cache built on them, and the
+#: versioned trace archive format.
+REP009_OWNERS = ("store/", "runtime/cache.py", "isa/serialize.py")
+
+#: Serialization writers that create an on-disk cache when called
+#: anywhere else: ``module root -> flagged attributes``.
+REP009_WRITERS: dict[str, set[str]] = {
+    "pickle": {"dump"},
+    "marshal": {"dump"},
+    "numpy": {"save", "savez", "savez_compressed"},
+    "shelve": {"open"},
+}
 
 #: Simulation entry points whose appearance inside a deep loop nest
 #: marks a hand-rolled grid.
@@ -877,6 +901,55 @@ def _rep008(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
 
 
 # ----------------------------------------------------------------------
+# REP009 — ad-hoc persistence outside the storage layer
+# ----------------------------------------------------------------------
+
+def _rep009(tree: ast.AST, relative: str) -> list[tuple[int, str]]:
+    """Flag serialization writes outside the content-addressed stores.
+
+    ``repro.store`` and the result cache built on it exist so that
+    every cached byte on disk is digest-addressed (code-salted — a
+    source change invalidates it), atomically written, and
+    checksum-verified on read.  A ``pickle.dump`` or ``np.save`` call
+    anywhere else starts a parallel cache with none of those
+    properties: it survives code changes it should not survive and
+    crashes (or worse, misleads) on torn writes.  Reads are not
+    flagged — consuming a store-managed file elsewhere is fine.
+    """
+    normalized = relative.replace("\\", "/")
+    if any(owner in normalized for owner in REP009_OWNERS):
+        return []
+    imports = _ModuleAliases()
+    imports.visit(tree)
+    findings: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        attr = None
+        root = None
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            root = _root_module(func, imports.aliases)
+        elif isinstance(func, ast.Name):
+            target = imports.from_imports.get(func.id)
+            if target is not None:
+                root, _, attr = target.rpartition(".")
+        if root is None or attr is None:
+            continue
+        flagged = REP009_WRITERS.get(root.split(".")[0])
+        if flagged and attr in flagged:
+            findings.append((
+                node.lineno,
+                f"{root.split('.')[0]}.{attr} writes an ad-hoc on-disk "
+                "artifact outside the storage layer; route it through "
+                "repro.store (content-addressed, code-salted, "
+                "checksummed) or repro.runtime.cache",
+            ))
+    return sorted(set(findings))
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 
@@ -887,6 +960,7 @@ _PER_FILE_RULES = {
     "REP006": _rep006,
     "REP007": _rep007,
     "REP008": _rep008,
+    "REP009": _rep009,
 }
 
 

@@ -1,0 +1,15 @@
+"""FL005 fixture: store reads one call below the cached task body."""
+
+from repro.store.artifacts import ArtifactStore, artifact_key
+
+
+def load_raw(store, name):
+    return store.load_arrays(("raw", name))
+
+
+def load_salted(store, name):
+    return store.load_arrays(artifact_key(name))
+
+
+def load_raw_quiet(store, name):
+    return store.load_arrays(("raw", name))  # flowlint: disable=FL005

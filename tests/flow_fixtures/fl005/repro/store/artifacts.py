@@ -1,0 +1,14 @@
+"""FL005 store fixture: the trusted storage layer itself."""
+
+
+def artifact_key(name):
+    return ("code-salt", name)
+
+
+class ArtifactStore:
+    def load_arrays(self, key):
+        return key
+
+    def ensure_table(self, name):
+        # Reads inside the storage layer are exempt by construction.
+        return self.load_arrays(artifact_key(name))

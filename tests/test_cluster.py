@@ -617,6 +617,145 @@ class TestReplicaLabels:
         assert 'repro_router_dispatched{replica="r1"} 3' in exported
 
 
+# -- router-side response cache ---------------------------------------------
+
+
+class TestRouterResponseCache:
+    def test_repeat_query_answered_from_cache(self):
+        async def main():
+            stub = await StubReplica("a").start()
+            router = await routed([stub])
+            try:
+                first = await router.dispatch_search(
+                    search_payload("c1", QUERY)
+                )
+                assert first["status"] == "ok"
+                assert "cached" not in first
+                second = await router.dispatch_search(
+                    search_payload("c2", QUERY)
+                )
+                assert second["cached"] is True
+                assert second["id"] == "c2"
+                assert second["result"] == first["result"]
+                # The repeat never reached a replica.
+                wire = [
+                    d for d in stub.received if d.get("op") == "search"
+                ]
+                assert len(wire) == 1
+                assert router.cache_hits.value == 1
+                assert router.cache_misses.value == 1
+            finally:
+                await router.stop()
+                await stub.stop()
+
+        asyncio.run(main())
+
+    def test_no_cache_flag_bypasses(self):
+        async def main():
+            stub = await StubReplica("a").start()
+            router = await routed([stub])
+            try:
+                for request_id in ("n1", "n2"):
+                    payload = search_payload(request_id, QUERY)
+                    payload["no_cache"] = True
+                    response = await router.dispatch_search(payload)
+                    assert response["status"] == "ok"
+                    assert "cached" not in response
+                wire = [
+                    d for d in stub.received if d.get("op") == "search"
+                ]
+                assert len(wire) == 2
+                assert router.cache_hits.value == 0
+                assert router.cache_misses.value == 0
+            finally:
+                await router.stop()
+                await stub.stop()
+
+        asyncio.run(main())
+
+    def test_zero_size_disables_cache(self):
+        async def main():
+            stub = await StubReplica("a").start()
+            router = await routed(
+                [stub], quick_router(response_cache_size=0)
+            )
+            try:
+                for request_id in ("z1", "z2"):
+                    response = await router.dispatch_search(
+                        search_payload(request_id, QUERY)
+                    )
+                    assert "cached" not in response
+                wire = [
+                    d for d in stub.received if d.get("op") == "search"
+                ]
+                assert len(wire) == 2
+            finally:
+                await router.stop()
+                await stub.stop()
+
+        asyncio.run(main())
+
+    def test_lru_bound_evicts_oldest(self):
+        async def main():
+            stub = await StubReplica("a").start()
+            router = await routed(
+                [stub], quick_router(response_cache_size=2)
+            )
+            try:
+                # Three distinct queries through a 2-entry cache: the
+                # first key is evicted and misses again on repeat.
+                for index in range(3):
+                    await router.dispatch_search(search_payload(
+                        f"f{index}", QUERY, query_id=f"q{index}"
+                    ))
+                repeat = await router.dispatch_search(
+                    search_payload("r0", QUERY, query_id="q0")
+                )
+                assert "cached" not in repeat
+                kept = await router.dispatch_search(
+                    search_payload("r2", QUERY, query_id="q2")
+                )
+                assert kept["cached"] is True
+            finally:
+                await router.stop()
+                await stub.stop()
+
+        asyncio.run(main())
+
+    def test_non_ok_responses_never_cached(self):
+        async def main():
+            verdicts = ["error", "ok"]
+
+            async def flaky(stub, data, writer):
+                status = verdicts.pop(0)
+                response = {"id": data["id"], "status": status}
+                if status == "ok":
+                    response["result"] = {"fresh": True}
+                else:
+                    response["error"] = "transient"
+                return response
+
+            stub = await StubReplica("a", responder=flaky).start()
+            router = await routed([stub])
+            try:
+                first = await router.dispatch_search(
+                    search_payload("e1", QUERY)
+                )
+                assert first["status"] == "error"
+                # The error was not cached: the retry reaches the
+                # replica and gets the fresh (ok) answer.
+                second = await router.dispatch_search(
+                    search_payload("e2", QUERY)
+                )
+                assert second["status"] == "ok"
+                assert "cached" not in second
+            finally:
+                await router.stop()
+                await stub.stop()
+
+        asyncio.run(main())
+
+
 # -- real services behind the router ----------------------------------------
 
 
@@ -669,6 +808,57 @@ class TestRouterOverRealServices:
                             await server.wait_closed()
 
         asyncio.run(main())
+
+    def test_packed_replica_byte_identical_through_router(self, tmp_path):
+        """A routed mmap-backed replica answers byte-for-byte like a
+        direct materialized server, for all three algorithms."""
+        from repro.store.packdb import pack_database, reset_packed_memos
+
+        async def main():
+            sequences = generate_database(SMALL_DATABASE)
+            packed = pack_database(
+                sequences, tmp_path / "db", source_config=SMALL_DATABASE
+            )
+            async with AlignmentService(small_config()) as materialized:
+                async with AlignmentService(small_config(
+                    replica="pk",
+                    database=None,
+                    database_path=str(packed),
+                )) as mapped:
+                    server = await serve_tcp(mapped, "127.0.0.1", 0)
+                    router = quick_router()
+                    port = server.sockets[0].getsockname()[1]
+                    await router.add_replica("pk", "127.0.0.1", port)
+                    try:
+                        query = sequences[1].text[:48]
+                        for algorithm in ("ssearch", "fasta", "blast"):
+                            payload = search_payload(
+                                f"{algorithm}-1", query,
+                                query_id=f"{algorithm}-q",
+                            )
+                            payload["algorithm"] = algorithm
+                            direct = await materialized.handle_line(
+                                json.dumps(payload)
+                            )
+                            routed_response = (
+                                await router.dispatch_search(payload)
+                            )
+                            assert routed_response["status"] == "ok"
+                            assert json.dumps(
+                                routed_response["result"],
+                                sort_keys=True,
+                            ) == json.dumps(
+                                direct["result"], sort_keys=True
+                            )
+                    finally:
+                        await router.stop()
+                        server.close()
+                        await server.wait_closed()
+
+        try:
+            asyncio.run(main())
+        finally:
+            reset_packed_memos()
 
 
 # -- supervisor: real replica processes --------------------------------------

@@ -102,7 +102,7 @@ class TestLintCode:
         assert payload["violations"] == []
         assert set(payload["rules"]) == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-            "REP007", "REP008",
+            "REP007", "REP008", "REP009",
         }
 
     def test_single_path_scope(self, tmp_path):

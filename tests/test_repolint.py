@@ -544,6 +544,90 @@ class TestRep008PerCycleAllocation:
         ) == []
 
 
+class TestRep009AdHocPersistence:
+    """Satellite: on-disk caches must route through the storage layer."""
+
+    def test_pickle_dump_flagged_outside_owners(self):
+        violations = lint(
+            """
+            import pickle
+
+            def memoize(table, path):
+                with open(path, "wb") as stream:
+                    pickle.dump(table, stream)
+            """
+        )
+        assert rules_of(violations) == ["REP009"]
+        assert "repro.store" in violations[0].message
+
+    def test_numpy_saves_flagged_under_alias(self):
+        violations = lint(
+            """
+            import numpy as np
+
+            def spill(arrays, path):
+                np.save(path, arrays["a"])
+                np.savez(path, **arrays)
+                np.savez_compressed(path, **arrays)
+            """
+        )
+        assert rules_of(violations) == ["REP009"] * 3
+
+    def test_bare_name_import_and_shelve_flagged(self):
+        violations = lint(
+            """
+            import shelve
+            from marshal import dump
+
+            def persist(table, path):
+                with shelve.open(path) as store:
+                    store["t"] = table
+                with open(path + ".m", "wb") as stream:
+                    dump(table, stream)
+            """
+        )
+        assert rules_of(violations) == ["REP009", "REP009"]
+
+    def test_in_memory_serialization_is_legal(self):
+        assert lint(
+            """
+            import pickle
+
+            def wire_bytes(table):
+                return pickle.dumps(table)
+
+            def rebuild(blob):
+                return pickle.loads(blob)
+            """
+        ) == []
+
+    def test_storage_layer_owners_exempt(self):
+        source = """
+            import pickle
+
+            def write(table, path):
+                with open(path, "wb") as stream:
+                    pickle.dump(table, stream)
+            """
+        for owner in (
+            "repro/store/artifacts.py",
+            "repro/runtime/cache.py",
+            "repro/isa/serialize.py",
+        ):
+            assert lint(source, owner) == []
+        assert rules_of(lint(source, LIB)) == ["REP009"]
+
+    def test_suppression_honored(self):
+        assert lint(
+            """
+            import pickle
+
+            def write(graph, stream):
+                pickle.dump(graph, stream)  # repolint: disable=REP009
+            """
+        ) == []
+
+
 class TestSyntaxErrors:
     def test_unparsable_source_is_rep000(self):
         violations = lint_source("def broken(:\n", LIB)

@@ -1,0 +1,347 @@
+"""Tests for ``repro.store``: artifact store + packed databases.
+
+Four layers:
+
+* the packed columnar format — content round-trip, shard windows,
+  read-only surface, corruption detection;
+* digest compatibility — a packed snapshot of config C produces the
+  same cache keys as C itself (the property that lets materialized and
+  mmap replicas share every cache entry);
+* byte-identity — search-shard scans over the packed database equal
+  the in-memory path for all three algorithms, with and without the
+  artifact store engaged;
+* the artifact store — round-trip, concurrent-writer atomicity,
+  corrupt-object-as-miss semantics, and the eviction policy shared
+  with the result cache through :class:`ContentStore`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.align.batch import SearchParams
+from repro.bio.synthetic import SyntheticDatabaseConfig, generate_database
+from repro.runtime.cache import ResultCache
+from repro.runtime.keys import search_shard_key
+from repro.runtime.tasks import execute_search_shard
+from repro.store.artifacts import (
+    ArtifactStore,
+    artifact_key,
+    handle_cache_stats,
+    reset_handle_cache,
+)
+from repro.store.base import ContentStore
+from repro.store.packdb import (
+    PackedDatabaseError,
+    PackedDatabaseRef,
+    open_packed,
+    pack_database,
+    packed_source_key,
+    reset_packed_memos,
+    verify_packed,
+)
+
+DB = SyntheticDatabaseConfig(
+    sequence_count=12,
+    family_count=2,
+    family_size=3,
+    seed=7,
+    mean_length=90.0,
+)
+
+ALGORITHMS = ("ssearch", "fasta", "blast")
+
+
+@pytest.fixture()
+def packed(tmp_path):
+    database = generate_database(DB)
+    path = pack_database(database, tmp_path / "db", source_config=DB)
+    yield path
+    reset_packed_memos()
+
+
+# -- packed columnar format --------------------------------------------------
+
+
+class TestPackedDatabase:
+    def test_content_round_trips_exactly(self, packed):
+        original = generate_database(DB)
+        snapshot = open_packed(packed)
+        assert snapshot.name == original.name
+        assert len(snapshot) == len(original)
+        assert snapshot.residue_count == original.residue_count
+        for theirs, ours in zip(original, snapshot):
+            assert ours.identifier == theirs.identifier
+            assert ours.text == theirs.text
+            assert ours.codes == theirs.codes
+            assert ours.description == theirs.description
+        assert snapshot.stats() == original.stats()
+
+    def test_shard_windows_match_generated(self, packed):
+        original = generate_database(DB)
+        snapshot = open_packed(packed)
+        assert list(snapshot.shard_bounds(3)) == list(
+            original.shard_bounds(3)
+        )
+        for index in range(3):
+            theirs = [s.identifier for s in original.shard(index, 3)]
+            ours = [s.identifier for s in snapshot.shard(index, 3)]
+            assert ours == theirs
+        assert [s.text for s in snapshot.slice(5)] == [
+            s.text for s in original.slice(5)
+        ]
+
+    def test_id_lookup_and_membership(self, packed):
+        original = generate_database(DB)
+        snapshot = open_packed(packed)
+        identifier = original[3].identifier
+        assert identifier in snapshot
+        assert snapshot.get(identifier).text == original[3].text
+        assert snapshot.get("no-such-id") is None
+
+    def test_snapshots_are_read_only(self, packed):
+        snapshot = open_packed(packed)
+        with pytest.raises(TypeError):
+            snapshot.add(generate_database(DB)[0])
+
+    def test_pack_refuses_overwrite_unless_asked(self, tmp_path):
+        database = generate_database(DB)
+        target = tmp_path / "db"
+        pack_database(database, target, source_config=DB)
+        with pytest.raises(FileExistsError):
+            pack_database(database, target, source_config=DB)
+        pack_database(database, target, source_config=DB, overwrite=True)
+        reset_packed_memos()
+        assert verify_packed(target)["sequence_count"] == len(database)
+
+    def test_verify_detects_column_corruption(self, packed):
+        verify_packed(packed)  # clean snapshot passes
+        column = packed / "residues.npy"
+        blob = bytearray(column.read_bytes())
+        blob[-1] ^= 0xFF
+        column.write_bytes(bytes(blob))
+        with pytest.raises(PackedDatabaseError, match="digest mismatch"):
+            verify_packed(packed)
+
+    def test_open_rejects_bad_header_and_version(self, tmp_path, packed):
+        with pytest.raises(PackedDatabaseError, match="no readable"):
+            open_packed(tmp_path / "missing")
+        header_path = packed / "header.json"
+        header = json.loads(header_path.read_text())
+        header["format_version"] = 99
+        header_path.write_text(json.dumps(header))
+        reset_packed_memos()
+        with pytest.raises(PackedDatabaseError, match="unsupported"):
+            open_packed(packed)
+
+
+# -- digest compatibility ----------------------------------------------------
+
+
+class TestDigestCompatibility:
+    def test_source_key_is_the_config_astuple(self, packed):
+        key = packed_source_key(PackedDatabaseRef(str(packed)))
+        assert key == dataclasses.astuple(DB)
+
+    def test_search_shard_keys_identical(self, packed):
+        params = SearchParams(algorithm="blast", best_count=50)
+        text = generate_database(DB)[0].text[:40]
+        via_config = search_shard_key(params.key(), text, DB, 0, 2)
+        via_ref = search_shard_key(
+            params.key(), text, PackedDatabaseRef(str(packed)), 0, 2
+        )
+        assert via_config == via_ref
+
+    def test_unpinned_pack_gets_content_key(self, tmp_path):
+        database = generate_database(DB)
+        path = pack_database(database, tmp_path / "anon")
+        key = packed_source_key(PackedDatabaseRef(str(path)))
+        reset_packed_memos()
+        assert key != dataclasses.astuple(DB)
+        assert key[0] == "packed"
+
+
+# -- byte-identity of scans --------------------------------------------------
+
+
+class TestScanByteIdentity:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_packed_scan_equals_in_memory(self, packed, algorithm):
+        params = SearchParams(algorithm=algorithm, best_count=25)
+        queries = (("q0", generate_database(DB)[0].text[:40]),)
+        for shard_index in range(2):
+            in_memory = execute_search_shard(
+                (params.key(), queries, DB, shard_index, 2)
+            )
+            mapped = execute_search_shard((
+                params.key(), queries,
+                PackedDatabaseRef(str(packed)), shard_index, 2,
+            ))
+            assert json.dumps(in_memory, sort_keys=True) == json.dumps(
+                mapped, sort_keys=True
+            )
+
+    def test_store_backed_blast_scan_identical(self, packed, tmp_path):
+        reset_handle_cache()
+        params = SearchParams(algorithm="blast", best_count=25)
+        queries = (("q0", generate_database(DB)[1].text[:36]),)
+        plain = execute_search_shard((params.key(), queries, DB, 0, 2))
+        store_root = str(tmp_path / "store")
+        for _ in range(2):  # second pass reads the persisted lookup
+            backed = execute_search_shard((
+                params.key(), queries,
+                PackedDatabaseRef(str(packed)), 0, 2, store_root,
+            ))
+            assert json.dumps(plain, sort_keys=True) == json.dumps(
+                backed, sort_keys=True
+            )
+
+
+# -- artifact store ----------------------------------------------------------
+
+
+def sample_arrays() -> dict[str, np.ndarray]:
+    return {
+        "words": np.arange(32, dtype=np.int64),
+        "weights": np.linspace(0.0, 1.0, 32),
+    }
+
+
+class TestArtifactStore:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = artifact_key("test", ("round-trip", 1))
+        store.store_arrays(digest, sample_arrays())
+        loaded = store.load_arrays(digest)
+        assert set(loaded) == {"words", "weights"}
+        for name, array in sample_arrays().items():
+            np.testing.assert_array_equal(loaded[name], array)
+        assert store.stats()["artifacts"] == 1
+
+    def test_keys_are_code_salted(self):
+        assert artifact_key("k", (1,)) != artifact_key("k", (2,))
+        assert artifact_key("a", (1,)) != artifact_key("b", (1,))
+
+    def test_missing_artifact_is_a_miss(self, tmp_path):
+        reset_handle_cache()
+        store = ArtifactStore(tmp_path)
+        assert store.load_arrays(artifact_key("test", "absent")) is None
+        assert handle_cache_stats()["misses"] == 1
+
+    def test_garbage_object_is_a_miss_not_a_crash(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = artifact_key("test", "garbage")
+        path = store.artifact_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"this is not a zip archive")
+        assert store.load_arrays(digest) is None
+
+    def test_checksum_mismatch_deletes_and_rebuilds(self, tmp_path):
+        reset_handle_cache()
+        store = ArtifactStore(tmp_path)
+        digest = artifact_key("test", "tampered")
+        store.store_arrays(digest, sample_arrays())
+        path = store.artifact_path(digest)
+        # A well-formed bundle whose payload no longer matches its
+        # embedded checksum: decodes fine, must still load as a miss.
+        tampered = sample_arrays()
+        with np.load(path) as archive:
+            checksum = archive["__checksum__"]
+        tampered["words"] = tampered["words"] + 1
+        np.savez(path.with_suffix(""), __checksum__=checksum, **tampered)
+        assert store.load_arrays(digest) is None
+        assert handle_cache_stats()["corrupt"] == 1
+        assert not path.exists()  # bad object removed, not left to loop
+        store.store_arrays(digest, sample_arrays())  # caller rebuilds
+        assert store.load_arrays(digest) is not None
+
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = artifact_key("test", "contended")
+        barrier = threading.Barrier(8)
+        failures: list[Exception] = []
+
+        def write():
+            try:
+                barrier.wait()
+                store.store_arrays(digest, sample_arrays())
+                loaded = store.load_arrays(digest)
+                if loaded is not None:
+                    np.testing.assert_array_equal(
+                        loaded["words"], sample_arrays()["words"]
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        threads = [threading.Thread(target=write) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        loaded = store.load_arrays(digest)
+        np.testing.assert_array_equal(
+            loaded["words"], sample_arrays()["words"]
+        )
+        leftovers = [
+            path for path in store.objects.rglob("*")
+            if path.is_file() and path.name.startswith(".")
+        ]
+        assert leftovers == []
+
+
+# -- shared eviction policy --------------------------------------------------
+
+
+class TestSharedEviction:
+    def test_result_cache_and_artifact_store_evict_identically(
+        self, tmp_path
+    ):
+        """Both stores inherit ContentStore.evict: oldest-mtime first."""
+        cache = ResultCache(tmp_path / "cache")
+        store = ArtifactStore(tmp_path / "store")
+        assert isinstance(cache, ContentStore)
+        assert isinstance(store, ContentStore)
+        scan = {"payload": "x" * 64}
+        survivors_expected = []
+        for index in range(4):
+            digest = f"{index:02d}" + "ab" * 15
+            cache.store_search(digest, scan)
+            store.store_arrays(digest, sample_arrays())
+            for path in list(cache.object_files()) + list(
+                store.object_files()
+            ):
+                if f"/{digest[:2]}/" in str(path):
+                    os.utime(path, (index, index))
+            if index >= 2:
+                survivors_expected.append(digest)
+
+        def survivors(owner: ContentStore) -> list[str]:
+            return sorted(
+                path.name.split(".")[0]
+                for path in owner.object_files()
+            )
+
+        for owner in (cache, store):
+            sizes = sorted(
+                path.stat().st_size for path in owner.object_files()
+            )
+            budget = sizes[-1] + sizes[-2]  # room for exactly two
+            removed = owner.evict(budget)
+            assert removed.entries == 2
+            assert survivors(owner) == sorted(survivors_expected)
+
+    def test_evicted_entry_is_an_ordinary_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = artifact_key("test", "evicted")
+        store.store_arrays(digest, sample_arrays())
+        store.evict(0)
+        assert store.load_arrays(digest) is None
+        store.store_arrays(digest, sample_arrays())
+        assert store.load_arrays(digest) is not None
